@@ -1,0 +1,67 @@
+// Fig. 7(a) reproduction: strong-scaling curves for both Lead Titanate
+// datasets with the ideal O(1/P) line.
+//
+// Emits the runtime series (minutes, 100 iterations) for GD on the small
+// and large datasets over a dense GPU sweep, plus the ideal linear-speedup
+// line anchored at the 6-GPU runtime; CSV for plotting + console summary.
+#include "bench_util.hpp"
+#include "data/io.hpp"
+
+using namespace ptycho;
+using namespace ptycho::bench;
+
+namespace {
+
+std::vector<double> runtime_series(const PaperDataset& dataset,
+                                   const std::vector<long long>& gpu_counts, int iterations) {
+  std::vector<double> minutes;
+  for (long long gpus : gpu_counts) {
+    ModelCell cell(dataset, static_cast<int>(gpus), Strategy::kGradientDecomposition);
+    rt::GdScheduleParams params;
+    params.iterations = iterations;
+    minutes.push_back(cell.perf(dataset).simulate_gd(params).makespan_seconds / 60.0);
+  }
+  return minutes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const int iterations = static_cast<int>(opts.get_int("iterations", 100));
+  const std::vector<long long> gpus =
+      opts.get_int_list("gpus", {6, 24, 54, 126, 198, 462, 924, 2048, 4158});
+
+  std::printf("=== Fig. 7a: strong scaling (runtime vs GPUs, log-log) ===\n\n");
+
+  const std::vector<double> small = runtime_series(paper_small_dataset(), gpus, iterations);
+  const std::vector<double> large = runtime_series(paper_large_dataset(), gpus, iterations);
+
+  io::CsvWriter csv(out_path(opts, "fig7a_scaling.csv"));
+  csv.header({"gpus", "small_minutes", "large_minutes", "ideal_small", "ideal_large"});
+
+  std::printf("%8s %14s %14s %14s %14s\n", "GPUs", "small (min)", "large (min)",
+              "ideal small", "ideal large");
+  for (usize i = 0; i < gpus.size(); ++i) {
+    const double p = static_cast<double>(gpus[i]);
+    const double ideal_small = small.front() * static_cast<double>(gpus.front()) / p;
+    const double ideal_large = large.front() * static_cast<double>(gpus.front()) / p;
+    std::printf("%8lld %14.2f %14.2f %14.2f %14.2f\n", gpus[i], small[i], large[i], ideal_small,
+                ideal_large);
+    csv.row({p, small[i], large[i], ideal_small, ideal_large});
+  }
+
+  // Super-linearity check: measured curves should run *below* the ideal
+  // O(1/P) line in the mid range (the paper's >100% efficiencies).
+  int below_ideal = 0;
+  for (usize i = 1; i < gpus.size(); ++i) {
+    const double ideal =
+        large.front() * static_cast<double>(gpus.front()) / static_cast<double>(gpus[i]);
+    if (large[i] < ideal) ++below_ideal;
+  }
+  std::printf("\nlarge dataset runs below the ideal line at %d of %zu scaled points "
+              "(super-linear scaling, paper reports 336-518%% efficiency)\n",
+              below_ideal, gpus.size() - 1);
+  std::printf("CSV written to %s\n", out_path(opts, "fig7a_scaling.csv").c_str());
+  return 0;
+}

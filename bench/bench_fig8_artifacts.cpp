@@ -1,0 +1,98 @@
+// Fig. 8 reproduction: image seam artifacts — Halo Voxel Exchange vs
+// Gradient Decomposition (functional experiment on the repro-small
+// dataset, real reconstructions on the virtual cluster).
+//
+// Outputs: seam metrics for both methods (plus serial reference), PGM
+// phase images of a reconstruction slice so the seams can be inspected
+// visually, and reconstruction error vs the serial reference.
+#include "bench_util.hpp"
+#include "core/reconstructor.hpp"
+#include "core/seam_metric.hpp"
+#include "data/io.hpp"
+
+using namespace ptycho;
+using namespace ptycho::bench;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const int iterations = static_cast<int>(opts.get_int("iterations", 12));
+  const int mesh = static_cast<int>(opts.get_int("mesh", 3));
+  const auto step = static_cast<real>(opts.get_double("step", 0.1));
+  const std::string which = opts.get_string("dataset", "small");
+
+  std::printf("=== Fig. 8: seam artifacts, HVE vs GD (functional, %s dataset) ===\n\n",
+              which.c_str());
+  const Dataset dataset = build_repro_dataset(which);
+  std::printf("dataset: %lld probes, field %lldx%lld, %lld slices, mesh %dx%d, %d iterations\n\n",
+              static_cast<long long>(dataset.probe_count()),
+              static_cast<long long>(dataset.field().h),
+              static_cast<long long>(dataset.field().w),
+              static_cast<long long>(dataset.spec.slices), mesh, mesh, iterations);
+
+  // Serial reference (no decomposition -> no seams by construction).
+  SerialConfig serial_config;
+  serial_config.iterations = iterations;
+  serial_config.step = step;
+  const SerialResult serial = reconstruct_serial(dataset, serial_config);
+
+  GdConfig gd_config;
+  gd_config.nranks = mesh * mesh;
+  gd_config.mesh_rows = mesh;
+  gd_config.mesh_cols = mesh;
+  gd_config.iterations = iterations;
+  gd_config.step = step;
+  const ParallelResult gd = reconstruct_gd(dataset, gd_config);
+  const Partition partition = make_gd_partition(dataset, gd_config);
+
+  const SeamReport serial_seams = measure_seams(serial.volume, partition);
+  const SeamReport gd_seams = measure_seams(gd.volume, partition);
+
+  std::printf("%-30s %14s %14s %14s\n", "method", "seam ratio", "border jump",
+              "err vs serial");
+  std::printf("%-30s %14.3f %14.3e %14s\n", "serial reference", serial_seams.seam_ratio,
+              serial_seams.border_jump, "0");
+  std::printf("%-30s %14.3f %14.3e %14.4f\n", "gradient decomposition", gd_seams.seam_ratio,
+              gd_seams.border_jump, relative_rms_error(gd.volume, serial.volume));
+
+  // HVE across replication rings: fewer rings -> cheaper but more missing
+  // overlap contributions -> stronger persistent seams. The paper's
+  // configuration is two rings; at its overlap ratio (probe spanning >5
+  // scan steps) even two rings leave contributions out.
+  const index_t mid = dataset.spec.slices / 2;
+  double hve_worst_ratio = 0.0;
+  for (const int rings : {0, 1, 2}) {
+    HveConfig hve_config;
+    hve_config.nranks = mesh * mesh;
+    hve_config.mesh_rows = mesh;
+    hve_config.mesh_cols = mesh;
+    hve_config.iterations = iterations;
+    hve_config.step = step;
+    hve_config.extra_rings = rings;
+    hve_config.local_epochs = static_cast<int>(opts.get_int("epochs", 2));
+    char label[64];
+    std::snprintf(label, sizeof label, "halo voxel exchange (rings=%d)", rings);
+    if (!hve_feasible(dataset, hve_config)) {
+      std::printf("%-30s %14s — paste constraint violated at this mesh\n", label, "NA");
+      continue;
+    }
+    const ParallelResult hve = reconstruct_hve(dataset, hve_config);
+    const SeamReport hve_seams = measure_seams(hve.volume, partition);
+    hve_worst_ratio = std::max(hve_worst_ratio, hve_seams.seam_ratio);
+    std::printf("%-30s %14.3f %14.3e %14.4f\n", label, hve_seams.seam_ratio,
+                hve_seams.border_jump, relative_rms_error(hve.volume, serial.volume));
+    char name[64];
+    std::snprintf(name, sizeof name, "fig8_hve_rings%d.pgm", rings);
+    io::write_phase_pgm(out_path(opts, name), hve.volume.window(mid, hve.volume.frame));
+  }
+  std::printf("\nworst HVE/GD seam ratio = %.2f (paper: HVE shows visible seams, GD none; "
+              "GD at/below the serial background level confirms elimination)\n",
+              hve_worst_ratio / gd_seams.seam_ratio);
+
+  io::write_phase_pgm(out_path(opts, "fig8_serial.pgm"),
+                      serial.volume.window(mid, serial.volume.frame));
+  io::write_phase_pgm(out_path(opts, "fig8_gd.pgm"), gd.volume.window(mid, gd.volume.frame));
+  io::write_phase_pgm(out_path(opts, "fig8_truth.pgm"),
+                      dataset.ground_truth.window(mid, dataset.ground_truth.frame));
+  std::printf("phase images written: fig8_{serial,gd,truth,hve_rings*}.pgm\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 9 reproduction: convergence of F(V) under three communication
+// frequencies for the parallel passes (functional experiment).
+//
+// Paper setup: 42 GPUs, three frequencies — per probe location (T=1),
+// twice per iteration, once per iteration. Finding: the *lower*
+// frequencies converge slightly faster (per-probe passes overshoot in the
+// probe-overlap regions) while also communicating far less.
+#include "bench_util.hpp"
+#include "core/gradient_decomposition.hpp"
+#include "data/io.hpp"
+#include "partition/assignment.hpp"
+
+using namespace ptycho;
+using namespace ptycho::bench;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const int iterations = static_cast<int>(opts.get_int("iterations", 15));
+  const int nranks = static_cast<int>(opts.get_int("ranks", 42));
+  const auto step = static_cast<real>(opts.get_double("step", 0.1));
+  const std::string which = opts.get_string("dataset", "small");
+
+  std::printf("=== Fig. 9: convergence vs communication frequency (%d ranks) ===\n\n", nranks);
+  const Dataset dataset = build_repro_dataset(which);
+
+  GdConfig probe_cfg;
+  probe_cfg.nranks = nranks;
+  const Partition partition = make_gd_partition(dataset, probe_cfg);
+  const PartitionStats stats = partition_stats(partition);
+  // "Once per probe location": every rank passes after each of its probes.
+  const int per_probe = static_cast<int>(std::max<index_t>(1, stats.max_probes));
+
+  struct Series {
+    const char* name;
+    int passes_per_iteration;
+  };
+  const Series series[] = {
+      {"once_per_probe", per_probe},
+      {"twice_per_iteration", 2},
+      {"once_per_iteration", 1},
+  };
+
+  io::CsvWriter csv(out_path(opts, "fig9_convergence.csv"));
+  csv.header({"iteration", "once_per_probe", "twice_per_iteration", "once_per_iteration"});
+
+  std::vector<CostHistory> histories;
+  std::vector<std::uint64_t> pass_bytes;
+  for (const Series& s : series) {
+    GdConfig config;
+    config.nranks = nranks;
+    config.iterations = iterations;
+    config.step = step;
+    config.passes_per_iteration = s.passes_per_iteration;
+    const ParallelResult result = reconstruct_gd(dataset, config);
+    histories.push_back(result.cost);
+    std::uint64_t bytes = 0;
+    for (std::uint64_t b : result.fabric.bytes_sent) bytes += b;
+    pass_bytes.push_back(bytes);
+  }
+
+  std::printf("%10s %18s %20s %20s\n", "iteration", series[0].name, series[1].name,
+              series[2].name);
+  for (int i = 0; i < iterations; ++i) {
+    const auto ui = static_cast<usize>(i);
+    std::printf("%10d %18.4g %20.4g %20.4g\n", i, histories[0].values()[ui],
+                histories[1].values()[ui], histories[2].values()[ui]);
+    csv.row({static_cast<double>(i), histories[0].values()[ui], histories[1].values()[ui],
+             histories[2].values()[ui]});
+  }
+
+  std::printf("\n%-22s %16s %16s %14s\n", "series", "final cost", "cost reduction",
+              "comm bytes");
+  for (usize s = 0; s < 3; ++s) {
+    std::printf("%-22s %16.4g %16.4f %14.3g\n", series[s].name, histories[s].last(),
+                histories[s].reduction(), static_cast<double>(pass_bytes[s]));
+  }
+  std::printf("\npaper finding to check: once/twice per iteration converge at least as fast\n"
+              "as per-probe passes while sending far fewer bytes.\n");
+  std::printf("CSV written to %s\n", out_path(opts, "fig9_convergence.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Kernel micro-benchmarks (google-benchmark): the building blocks whose
+// measured costs back the performance model's calibration.
+#include <benchmark/benchmark.h>
+
+#include "core/gradient_engine.hpp"
+#include "data/simulate.hpp"
+#include "fft/fft2d.hpp"
+#include "runtime/cluster.hpp"
+#include "tensor/ops.hpp"
+
+namespace ptycho {
+namespace {
+
+void BM_Fft1D(benchmark::State& state) {
+  const auto n = static_cast<usize>(state.range(0));
+  fft::Plan1D plan(n);
+  std::vector<cplx> data(n, cplx(1, 0));
+  for (auto _ : state) {
+    plan.forward(data.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft1D)->Arg(64)->Arg(256)->Arg(1024)->Arg(100)->Arg(360);  // pow2 + Bluestein
+
+void BM_Fft2D(benchmark::State& state) {
+  const auto n = static_cast<usize>(state.range(0));
+  fft::Fft2D plan(n, n);
+  CArray2D field(static_cast<index_t>(n), static_cast<index_t>(n));
+  field.fill(cplx(1, 0));
+  for (auto _ : state) {
+    plan.forward(field.view());
+    plan.inverse(field.view());
+    benchmark::DoNotOptimize(field.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_Fft2D)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ProbeGradient(benchmark::State& state) {
+  // One probe-location gradient on the tiny dataset: the inner loop of
+  // Alg. 1 step 6 and the unit the perf model's flops estimate describes.
+  static const Dataset dataset = make_synthetic_dataset(repro_tiny_spec());
+  GradientEngine engine(dataset);
+  MultisliceWorkspace ws = engine.make_workspace();
+  FramedVolume volume = make_vacuum_volume(dataset.field(), dataset.spec.slices);
+  FramedVolume grad(dataset.spec.slices, dataset.field());
+  for (auto _ : state) {
+    grad.data.fill(cplx{});
+    const double f = engine.probe_gradient(0, volume, grad, ws);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_ProbeGradient);
+
+void BM_RegionAdd(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  FramedVolume a(4, Rect{0, 0, n, n});
+  FramedVolume b(4, Rect{n / 2, n / 2, n, n});
+  a.data.fill(cplx(1, 1));
+  const Rect overlap = intersect(a.frame, b.frame);
+  for (auto _ : state) {
+    add_region(a, b, overlap);
+    benchmark::DoNotOptimize(b.data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(overlap.area() * 4) *
+                          static_cast<std::int64_t>(sizeof(cplx)));
+}
+BENCHMARK(BM_RegionAdd)->Arg(64)->Arg(256);
+
+void BM_PackUnpack(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  FramedVolume src(4, Rect{0, 0, n, n});
+  FramedVolume dst(4, Rect{0, 0, n, n});
+  const Rect region{0, 0, n, n / 2};
+  for (auto _ : state) {
+    std::vector<cplx> payload = pack_region(src, region);
+    unpack_add_region(payload, dst, region);
+    benchmark::DoNotOptimize(dst.data.data());
+  }
+}
+BENCHMARK(BM_PackUnpack)->Arg(64)->Arg(256);
+
+void BM_FabricPingPong(benchmark::State& state) {
+  const auto payload_size = static_cast<usize>(state.range(0));
+  rt::Fabric fabric(2);
+  std::int64_t round = 0;
+  for (auto _ : state) {
+    fabric.isend(0, 1, rt::make_tag(1, round), std::vector<cplx>(payload_size));
+    std::vector<cplx> got = fabric.recv(1, 0, rt::make_tag(1, round));
+    benchmark::DoNotOptimize(got.data());
+    ++round;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload_size * sizeof(cplx)));
+}
+BENCHMARK(BM_FabricPingPong)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_SpecimenSynthesis(benchmark::State& state) {
+  OpticsGrid grid;
+  const auto n = static_cast<index_t>(state.range(0));
+  for (auto _ : state) {
+    FramedVolume v = make_perovskite_specimen(Rect{0, 0, n, n}, 2, grid);
+    benchmark::DoNotOptimize(v.data.data());
+  }
+}
+BENCHMARK(BM_SpecimenSynthesis)->Arg(128);
+
+}  // namespace
+}  // namespace ptycho
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Table III reproduction: GD vs HVE on the *large* Lead Titanate dataset
+// (16632 probes, 3072^2 x 100 volume), GPUs 6 -> 4158.
+//
+// Same methodology as bench_table2_small (see that file's header).
+#include "bench_util.hpp"
+#include "data/io.hpp"
+
+using namespace ptycho;
+using namespace ptycho::bench;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const int iterations = static_cast<int>(opts.get_int("iterations", 100));
+  const std::vector<long long> gd_gpus = opts.get_int_list("gpus", {6, 54, 198, 462, 924, 4158});
+  const std::vector<long long> hve_gpus = {6, 54, 198, 462};
+  const PaperDataset dataset = paper_large_dataset();
+
+  std::printf("=== Table III: large Lead Titanate dataset ===\n");
+  std::printf("paper reference — GD: 9.14 GB / 5543 min @6 GPUs -> 0.18 GB / 2.2 min @4158\n");
+  std::printf("(51x memory reduction, 2519x speedup, 364%% efficiency at 4158);\n");
+  std::printf("HVE: 9.47 GB / 7213 min @6 -> 0.48 GB / 189.5 min @462 (blow-up past 198)\n\n");
+
+  io::CsvWriter csv(out_path(opts, "table3_large.csv"));
+  csv.header({"gpus", "gd_mem_gb", "gd_runtime_min", "gd_efficiency", "hve_mem_gb",
+              "hve_runtime_min", "hve_efficiency", "hve_feasible"});
+
+  TablePrinter gd_table({"Nodes", "GPUs", "Memory/GPU (GB)", "Runtime (mins)", "Scaling eff."});
+  double gd_base = 0.0;
+  int base_gpus = 0;
+  double gd_first_mem = 0.0;
+  double gd_last_mem = 0.0;
+  double gd_first_time = 0.0;
+  double gd_last_time = 0.0;
+
+  struct HveCell {
+    double mem = -1.0, minutes = -1.0, eff = -1.0;
+    bool feasible = false;
+  };
+  std::vector<HveCell> hve_cells(gd_gpus.size());
+
+  for (usize i = 0; i < gd_gpus.size(); ++i) {
+    const int gpus = static_cast<int>(gd_gpus[i]);
+    ModelCell gd(dataset, gpus, Strategy::kGradientDecomposition);
+    rt::GdScheduleParams params;
+    params.iterations = iterations;
+    const double minutes = gd.perf(dataset).simulate_gd(params).makespan_seconds / 60.0;
+    if (base_gpus == 0) {
+      base_gpus = gpus;
+      gd_base = minutes;
+      gd_first_mem = gd.memory.mean_gb();
+      gd_first_time = minutes;
+    }
+    gd_last_mem = gd.memory.mean_gb();
+    gd_last_time = minutes;
+    const double eff = scaling_efficiency(gd_base, base_gpus, minutes, gpus);
+    gd_table.add_column({fmt_int(gpus / 6), fmt_int(gpus), fmt("%.2f", gd.memory.mean_gb()),
+                         fmt("%.1f", minutes), fmt("%.0f%%", eff * 100.0)});
+
+    HveCell& cell = hve_cells[i];
+    const bool in_hve_sweep =
+        std::find(hve_gpus.begin(), hve_gpus.end(), gd_gpus[i]) != hve_gpus.end();
+    if (in_hve_sweep) {
+      ModelCell hve(dataset, gpus, Strategy::kHaloVoxelExchange);
+      cell.mem = hve.memory.mean_gb();
+      cell.feasible = hve.partition.hve_paste_feasible();
+      if (cell.feasible) {
+        rt::HveScheduleParams hp;
+        hp.iterations = iterations;
+        cell.minutes = hve.perf(dataset).simulate_hve(hp).makespan_seconds / 60.0;
+      }
+    }
+    csv.row({static_cast<double>(gpus), gd.memory.mean_gb(), minutes, eff * 100.0, cell.mem,
+             cell.minutes, cell.eff, cell.feasible ? 1.0 : 0.0});
+  }
+
+  std::printf("(a) Gradient Decomposition — %s\n", dataset.name.c_str());
+  gd_table.print();
+
+  std::printf("\n(b) Halo Voxel Exchange — same dataset\n");
+  TablePrinter hve_table({"Nodes", "GPUs", "Memory/GPU (GB)", "Runtime (mins)", "Scaling eff."});
+  double hve_base = 0.0;
+  for (usize i = 0; i < gd_gpus.size(); ++i) {
+    const HveCell& cell = hve_cells[i];
+    if (cell.mem < 0.0) continue;  // not part of the HVE sweep
+    const int gpus = static_cast<int>(gd_gpus[i]);
+    if (!cell.feasible) {
+      hve_table.add_column({fmt_int(gpus / 6), fmt_int(gpus), "NA", "NA", "NA"});
+      continue;
+    }
+    if (hve_base == 0.0) hve_base = cell.minutes;
+    const double eff = scaling_efficiency(hve_base, base_gpus, cell.minutes, gpus);
+    hve_table.add_column({fmt_int(gpus / 6), fmt_int(gpus), fmt("%.2f", cell.mem),
+                          fmt("%.1f", cell.minutes), fmt("%.0f%%", eff * 100.0)});
+  }
+  hve_table.print();
+
+  std::printf("\nheadline ratios — memory reduction %.0fx (paper: 51x), speedup %.0fx "
+              "(paper: 2519x)\n",
+              gd_first_mem / gd_last_mem, gd_first_time / gd_last_time);
+  std::printf("CSV written to %s\n", out_path(opts, "table3_large.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Material imaging workload: the paper's motivating scenario — a
+// perovskite (PbTiO3-like) crystal imaged by defocused electron
+// ptychography, reconstructed in parallel with Gradient Decomposition.
+//
+// Demonstrates: dataset configuration from physical units, shot-noise
+// acquisition at a chosen electron dose, multi-rank reconstruction with
+// per-phase timing breakdown, quality metrics against the ground truth,
+// and per-slice image export.
+//
+//   ./material_imaging [--ranks 6] [--iterations 12] [--dose 1e6]
+//                      [--defocus-pm 2000] [--step 0.1] [--refine-probe]
+//                      [--outdir .]
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "core/gradient_decomposition.hpp"
+#include "core/seam_metric.hpp"
+#include "data/io.hpp"
+#include "data/simulate.hpp"
+#include "partition/assignment.hpp"
+
+using namespace ptycho;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const std::string outdir = opts.get_string("outdir", ".");
+
+  // --- configure the acquisition from physical units --------------------
+  DatasetSpec spec = repro_small_spec();
+  spec.name = "PbTiO3 (synthetic)";
+  spec.probe.defocus_pm = opts.get_double("defocus-pm", 2000.0);
+
+  SpecimenParams specimen;        // PbTiO3-like lattice (a = 390 pm)
+  AcquisitionParams acquisition;  // finite dose -> Poisson shot noise
+  acquisition.dose_electrons = opts.get_double("dose", 1.0e6);
+
+  std::printf("acquiring %s: %lldx%lld scan, %.1f pm defocus, dose %.2g e-/position\n",
+              spec.name.c_str(), static_cast<long long>(spec.scan.rows),
+              static_cast<long long>(spec.scan.cols), spec.probe.defocus_pm,
+              acquisition.dose_electrons);
+  const Dataset dataset = make_synthetic_dataset(spec, specimen, acquisition);
+
+  // --- reconstruct -------------------------------------------------------
+  GdConfig config;
+  config.nranks = static_cast<int>(opts.get_int("ranks", 6));
+  config.iterations = static_cast<int>(opts.get_int("iterations", 12));
+  config.step = static_cast<real>(opts.get_double("step", 0.1));
+  // Joint probe refinement corrects defocus miscalibration (--refine-probe).
+  config.refine_probe = opts.get_bool("refine-probe", false);
+  const Partition partition = make_gd_partition(dataset, config);
+  std::printf("decomposition: %s\n", describe(partition).c_str());
+
+  const ParallelResult result = reconstruct_gd(dataset, config);
+
+  std::printf("\ncost %.4g -> %.4g over %d iterations, wall %.1f s\n", result.cost.first(),
+              result.cost.last(), config.iterations, result.wall_seconds);
+  std::printf("peak memory per rank: mean %.2f MiB, max %.2f MiB\n",
+              result.mean_peak_bytes / kMiB, static_cast<double>(result.max_peak_bytes) / kMiB);
+
+  const rt::BreakdownEntry mean = result.mean_breakdown();
+  std::printf("per-rank time breakdown: compute %.2f s, wait %.2f s, comm %.2f s\n",
+              mean.compute, mean.wait, mean.comm);
+
+  // --- quality ------------------------------------------------------------
+  const double err = relative_rms_error(result.volume, dataset.ground_truth);
+  std::printf("relative RMS error vs ground truth: %.4f\n", err);
+  const SeamReport seams = measure_seams(result.volume, partition);
+  std::printf("tile-border seam ratio: %.3f (1.0 = indistinguishable from background)\n",
+              seams.seam_ratio);
+
+  // --- export -------------------------------------------------------------
+  for (index_t s = 0; s < dataset.spec.slices; s += 2) {
+    char name[128];
+    std::snprintf(name, sizeof name, "%s/material_slice%02lld.pgm", outdir.c_str(),
+                  static_cast<long long>(s));
+    io::write_phase_pgm(name, result.volume.window(s, result.volume.frame));
+  }
+  io::save_volume(outdir + "/material_volume.bin", result.volume);
+  std::printf("wrote per-slice phase images and %s/material_volume.bin\n", outdir.c_str());
+  return 0;
+}

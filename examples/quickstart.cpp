@@ -1,0 +1,51 @@
+// Quickstart: simulate a tiny ptychography acquisition, reconstruct it
+// with the Gradient Decomposition solver on 4 virtual GPUs, and save the
+// result. Start here to see the whole public API in ~40 lines.
+//
+//   ./quickstart [--ranks 4] [--iterations 8] [--outdir .]
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "core/reconstructor.hpp"
+#include "data/io.hpp"
+#include "data/simulate.hpp"
+
+using namespace ptycho;
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const std::string outdir = opts.get_string("outdir", ".");
+
+  // 1. Acquire (here: simulate) a dataset — a raster scan of diffraction
+  //    magnitude measurements over a synthetic perovskite specimen.
+  const Dataset dataset = make_synthetic_dataset(repro_tiny_spec());
+  std::printf("dataset: %lld probe locations, %.0f%% overlap, field %lldx%lld px, %lld slices\n",
+              static_cast<long long>(dataset.probe_count()),
+              dataset.scan.overlap_ratio() * 100.0,
+              static_cast<long long>(dataset.field().h),
+              static_cast<long long>(dataset.field().w),
+              static_cast<long long>(dataset.spec.slices));
+
+  // 2. Reconstruct with the paper's Gradient Decomposition method.
+  Reconstructor reconstructor(dataset);
+  ReconstructionRequest request;
+  request.method = Method::kGradientDecomposition;
+  request.nranks = static_cast<int>(opts.get_int("ranks", 4));
+  request.iterations = static_cast<int>(opts.get_int("iterations", 8));
+  const ReconstructionOutcome outcome = reconstructor.run(request);
+
+  // 3. Inspect the result.
+  std::printf("cost: %.4g -> %.4g (%.1f%% of start) in %.2f s on %d virtual GPUs\n",
+              outcome.cost.first(), outcome.cost.last(), outcome.cost.reduction() * 100.0,
+              outcome.wall_seconds, request.nranks);
+  std::printf("peak device memory per GPU: %.2f MiB\n", outcome.mean_peak_bytes / kMiB);
+
+  // 4. Save: binary volume + a phase image of the middle slice.
+  io::save_volume(outdir + "/quickstart_volume.bin", outcome.volume);
+  const index_t mid = dataset.spec.slices / 2;
+  io::write_phase_pgm(outdir + "/quickstart_phase.pgm",
+                      outcome.volume.window(mid, outcome.volume.frame));
+  std::printf("wrote %s/quickstart_volume.bin and %s/quickstart_phase.pgm\n", outdir.c_str(),
+              outdir.c_str());
+  return 0;
+}

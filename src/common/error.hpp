@@ -1,0 +1,46 @@
+// Error handling: a library-wide exception type and check macros.
+//
+// Following the C++ Core Guidelines (E.2/E.3) we throw exceptions for
+// violated preconditions and unrecoverable runtime failures rather than
+// returning error codes; all throwing paths go through ptycho::Error so
+// callers can catch one type.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ptycho {
+
+/// Exception type thrown by all PTYCHO_CHECK/PTYCHO_REQUIRE failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ptycho
+
+/// Check a runtime condition; throws ptycho::Error with context on failure.
+#define PTYCHO_CHECK(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream ptycho_os_;                                       \
+      ptycho_os_ << "check failed: " #cond " — " << msg;                   \
+      ::ptycho::detail::throw_error(__FILE__, __LINE__, ptycho_os_.str()); \
+    }                                                                      \
+  } while (0)
+
+/// Precondition check for public API entry points.
+#define PTYCHO_REQUIRE(cond, msg) PTYCHO_CHECK(cond, "precondition: " << msg)
+
+/// Unreachable marker for exhaustive switches.
+#define PTYCHO_UNREACHABLE(msg) \
+  ::ptycho::detail::throw_error(__FILE__, __LINE__, std::string("unreachable: ") + (msg))

@@ -1,0 +1,37 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace ptycho::log {
+
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(Level::kInfo)};
+std::mutex g_emit_mutex;
+
+const char* prefix(Level level) {
+  switch (level) {
+    case Level::kDebug: return "[debug] ";
+    case Level::kInfo: return "[info ] ";
+    case Level::kWarn: return "[warn ] ";
+    case Level::kError: return "[error] ";
+    case Level::kOff: return "";
+  }
+  return "";
+}
+}  // namespace
+
+Level threshold() noexcept { return static_cast<Level>(g_threshold.load(std::memory_order_relaxed)); }
+
+void set_threshold(Level level) noexcept {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void emit(Level level, const std::string& message) {
+  if (static_cast<int>(level) < g_threshold.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::ostream& os = (level >= Level::kWarn) ? std::cerr : std::clog;
+  os << prefix(level) << message << '\n';
+}
+
+}  // namespace ptycho::log

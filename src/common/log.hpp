@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// Thread-safe (a single mutex around emission), cheap when the level is
+// filtered out. Bench harnesses set the level from --verbose flags.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ptycho::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold: messages below this level are dropped.
+Level threshold() noexcept;
+void set_threshold(Level level) noexcept;
+
+/// Emit one line at `level` (no-op if filtered). Adds a level prefix.
+void emit(Level level, const std::string& message);
+
+namespace detail {
+class LineStream {
+ public:
+  explicit LineStream(Level level) : level_(level) {}
+  ~LineStream() { emit(level_, os_.str()); }
+  LineStream(const LineStream&) = delete;
+  LineStream& operator=(const LineStream&) = delete;
+
+  template <typename T>
+  LineStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LineStream debug() { return detail::LineStream(Level::kDebug); }
+inline detail::LineStream info() { return detail::LineStream(Level::kInfo); }
+inline detail::LineStream warn() { return detail::LineStream(Level::kWarn); }
+inline detail::LineStream error() { return detail::LineStream(Level::kError); }
+
+}  // namespace ptycho::log

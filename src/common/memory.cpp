@@ -1,0 +1,42 @@
+#include "common/memory.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace ptycho {
+
+namespace {
+thread_local AllocHooks t_hooks{};
+std::atomic<std::size_t> g_live_bytes{0};
+}  // namespace
+
+AllocHooks set_thread_alloc_hooks(const AllocHooks& hooks) noexcept {
+  AllocHooks previous = t_hooks;
+  t_hooks = hooks;
+  return previous;
+}
+
+AllocHooks thread_alloc_hooks() noexcept { return t_hooks; }
+
+void* tracked_alloc(std::size_t bytes) {
+  // Round the size up to the alignment: std::aligned_alloc requires it and
+  // it keeps adjacent buffers from sharing a cache line.
+  std::size_t padded = (bytes + kBufferAlignment - 1) / kBufferAlignment * kBufferAlignment;
+  if (padded == 0) padded = kBufferAlignment;
+  void* p = std::aligned_alloc(kBufferAlignment, padded);
+  if (p == nullptr) throw std::bad_alloc();
+  g_live_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (t_hooks.on_alloc != nullptr) t_hooks.on_alloc(t_hooks.ctx, bytes);
+  return p;
+}
+
+void tracked_free(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  g_live_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  if (t_hooks.on_free != nullptr) t_hooks.on_free(t_hooks.ctx, bytes);
+  std::free(p);
+}
+
+std::size_t live_tracked_bytes() noexcept { return g_live_bytes.load(std::memory_order_relaxed); }
+
+}  // namespace ptycho

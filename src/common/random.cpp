@@ -1,0 +1,96 @@
+#include "common/random.hpp"
+
+#include <cmath>
+
+namespace ptycho {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 is kept away from zero to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = radius * std::sin(angle);
+  have_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction.
+  const double value = normal(mean, std::sqrt(mean));
+  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(value + 0.5);
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % n);
+  std::uint64_t value = next_u64();
+  while (value > limit) value = next_u64();
+  return value % n;
+}
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Mix the current state with the stream id through splitmix64.
+  std::uint64_t mix = state_[0] ^ (stream_id * 0xD2B74407B1CE6E93ULL + 0x8D26B2DCBA0F1B0BULL);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace ptycho

@@ -1,0 +1,7 @@
+#include "common/timer.hpp"
+
+// All members are defined inline in the header; this translation unit
+// exists so the module shows up as a distinct object in the archive and
+// gives the header a home for future out-of-line additions.
+
+namespace ptycho {}

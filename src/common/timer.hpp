@@ -1,0 +1,81 @@
+// Wall-clock timing utilities and a phase profiler.
+//
+// The phase profiler is what the runtime breakdown experiment (Fig. 7b in
+// the paper) is built on: each rank accounts its time into named phases
+// (compute / wait / communication) and the harness aggregates them.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace ptycho {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall time into named phases; one instance per rank.
+/// Not thread-safe by design — each rank owns its profiler.
+class PhaseProfiler {
+ public:
+  /// Add `seconds` to phase `name`.
+  void add(const std::string& name, double seconds) { phases_[name] += seconds; }
+
+  /// Total of one phase (0.0 if never recorded).
+  [[nodiscard]] double total(const std::string& name) const {
+    auto it = phases_.find(name);
+    return it == phases_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& phases() const { return phases_; }
+
+  /// Merge another profiler's phases into this one (for aggregation).
+  void merge(const PhaseProfiler& other) {
+    for (const auto& [name, secs] : other.phases_) phases_[name] += secs;
+  }
+
+  void clear() { phases_.clear(); }
+
+ private:
+  std::map<std::string, double> phases_;
+};
+
+/// RAII helper: times a scope into a profiler phase.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler& profiler, std::string name)
+      : profiler_(profiler), name_(std::move(name)) {}
+  ~ScopedPhase() { profiler_.add(name_, timer_.seconds()); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfiler& profiler_;
+  std::string name_;
+  WallTimer timer_;
+};
+
+/// Canonical phase names used by the solvers (keeps Fig. 7b keys consistent).
+namespace phase {
+inline constexpr const char* kCompute = "compute";
+inline constexpr const char* kWait = "wait";
+inline constexpr const char* kComm = "comm";
+inline constexpr const char* kUpdate = "update";
+}  // namespace phase
+
+}  // namespace ptycho

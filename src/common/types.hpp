@@ -1,0 +1,36 @@
+// Fundamental scalar types and constants used throughout the library.
+//
+// The reconstruction volume, probes and diffraction wavefields are all
+// single-precision complex, matching the GPU implementation in the paper
+// (V100 single-precision cuFFT path).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace ptycho {
+
+/// Real scalar used for all physics and image arithmetic.
+using real = float;
+
+/// Complex scalar for wavefields, transmittance and gradients.
+using cplx = std::complex<real>;
+
+/// Signed index type for image coordinates (allows negative halo offsets).
+using index_t = std::int64_t;
+
+/// Unsigned size type for container extents.
+using usize = std::size_t;
+
+inline constexpr real kPi = real(3.14159265358979323846);
+inline constexpr real kTwoPi = real(2) * kPi;
+
+/// Imaginary unit as a `cplx`.
+inline constexpr cplx kImag{real(0), real(1)};
+
+/// Bytes in one mebibyte / gibibyte, for memory reporting.
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * kMiB;
+
+}  // namespace ptycho

@@ -1,0 +1,22 @@
+#include "core/cost.hpp"
+
+namespace ptycho {
+
+double total_cost(const GradientEngine& engine, const FramedVolume& volume) {
+  MultisliceWorkspace ws = engine.make_workspace();
+  double acc = 0.0;
+  for (index_t i = 0; i < engine.dataset().probe_count(); ++i) {
+    acc += engine.probe_cost(i, volume, ws);
+  }
+  return acc;
+}
+
+double total_cost(const GradientEngine& engine, const FramedVolume& volume,
+                  std::span<const index_t> probe_ids) {
+  MultisliceWorkspace ws = engine.make_workspace();
+  double acc = 0.0;
+  for (index_t id : probe_ids) acc += engine.probe_cost(id, volume, ws);
+  return acc;
+}
+
+}  // namespace ptycho

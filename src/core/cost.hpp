@@ -1,0 +1,18 @@
+// Whole-dataset cost evaluation F(V) = sum_i f_i(V)   (Eqn. 1).
+#pragma once
+
+#include <span>
+
+#include "core/gradient_engine.hpp"
+
+namespace ptycho {
+
+/// F(V) over all probe locations (serial; used by tests and the seam /
+/// convergence analyses).
+[[nodiscard]] double total_cost(const GradientEngine& engine, const FramedVolume& volume);
+
+/// Partial cost over a subset of probe ids.
+[[nodiscard]] double total_cost(const GradientEngine& engine, const FramedVolume& volume,
+                                std::span<const index_t> probe_ids);
+
+}  // namespace ptycho

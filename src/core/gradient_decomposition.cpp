@@ -1,0 +1,214 @@
+#include "core/gradient_decomposition.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "common/timer.hpp"
+#include "core/accbuf.hpp"
+#include "core/stitcher.hpp"
+#include "data/synthetic.hpp"
+#include "common/log.hpp"
+#include "partition/assignment.hpp"
+#include "runtime/collectives.hpp"
+
+namespace ptycho {
+
+rt::BreakdownEntry ParallelResult::mean_breakdown() const {
+  rt::BreakdownEntry m;
+  if (breakdown.empty()) return m;
+  for (const auto& e : breakdown) {
+    m.compute += e.compute;
+    m.wait += e.wait;
+    m.comm += e.comm;
+  }
+  const double n = static_cast<double>(breakdown.size());
+  m.compute /= n;
+  m.wait /= n;
+  m.comm /= n;
+  return m;
+}
+
+namespace {
+
+rt::Mesh2D resolve_mesh(const Dataset& dataset, int nranks, int mesh_rows, int mesh_cols) {
+  if (mesh_rows > 0 && mesh_cols > 0) {
+    PTYCHO_REQUIRE(mesh_rows * mesh_cols == nranks,
+                   "mesh_rows*mesh_cols must equal nranks");
+    return rt::Mesh2D(mesh_rows, mesh_cols);
+  }
+  const Rect field = dataset.field();
+  const double aspect = static_cast<double>(field.h) / static_cast<double>(field.w);
+  return rt::choose_mesh(nranks, aspect);
+}
+
+rt::BreakdownEntry breakdown_from(const PhaseProfiler& prof) {
+  rt::BreakdownEntry e;
+  e.compute = prof.total(phase::kCompute) + prof.total(phase::kUpdate);
+  e.wait = prof.total(phase::kWait);
+  e.comm = prof.total(phase::kComm);
+  return e;
+}
+
+}  // namespace
+
+Partition make_gd_partition(const Dataset& dataset, const GdConfig& config) {
+  PartitionConfig pc;
+  pc.mesh = resolve_mesh(dataset, config.nranks, config.mesh_rows, config.mesh_cols);
+  pc.strategy = Strategy::kGradientDecomposition;
+  return Partition(dataset.scan, pc);
+}
+
+ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
+                              const FramedVolume* initial) {
+  PTYCHO_REQUIRE(config.nranks >= 1, "need at least one rank");
+  PTYCHO_REQUIRE(config.iterations >= 1, "need at least one iteration");
+  PTYCHO_REQUIRE(config.passes_per_iteration >= 1, "passes_per_iteration must be >= 1");
+  WallTimer timer;
+
+  const Partition partition = make_gd_partition(dataset, config);
+  validate_partition(partition, dataset.scan);
+  if (config.sync.appp && config.sync.scheme == PassScheme::kSweep &&
+      !all_tiles_own_probes(partition)) {
+    log::warn() << "gradient decomposition: some tiles own no probe locations; the sweep "
+                   "passes are inexact in this regime — use fewer ranks or sync.appp=false";
+  }
+
+  const index_t slices = dataset.spec.slices;
+  const auto n = static_cast<index_t>(dataset.spec.grid.probe_n);
+
+  rt::VirtualCluster cluster(partition.nranks());
+  ParallelResult result;
+  std::mutex result_mutex;  // guards result.volume/cost writes from rank 0
+
+  cluster.run([&](rt::RankContext& ctx) {
+    const TileSpec& tile = partition.tile(ctx.rank());
+
+    // --- per-rank state (all tracked as this rank's device memory) -------
+    // Rank-local copies of this tile's measurements (each GPU holds only
+    // its own probe locations' data — the memory-reduction core claim).
+    std::vector<RArray2D> local_meas;
+    local_meas.reserve(tile.own_probes.size());
+    for (index_t id : tile.own_probes) {
+      local_meas.push_back(dataset.measurements[static_cast<usize>(id)].clone());
+    }
+
+    FramedVolume volume(slices, tile.extended);
+    if (initial != nullptr) {
+      copy_region(*initial, volume, tile.extended);
+    } else {
+      volume.data.fill(cplx(1, 0));
+    }
+    AccumulationBuffer accbuf(slices, tile.extended);
+    FramedVolume probe_grad(slices, Rect{0, 0, n, n});
+
+    GradientEngine engine(dataset);
+    const real step = config.step * engine.step_scale();
+    MultisliceWorkspace ws = engine.make_workspace();
+    GradientSynchronizer sync(partition, ctx.rank(), config.sync);
+    Probe local_probe = dataset.probe.clone();
+    const double probe_energy = local_probe.total_intensity();
+    CArray2D probe_grad_field(local_probe.n(), local_probe.n());
+
+    const auto probe_count = static_cast<index_t>(tile.own_probes.size());
+    const int chunks = config.passes_per_iteration;
+
+    for (int iter = 0; iter < config.iterations; ++iter) {
+      double sweep_cost = 0.0;
+      for (int chunk = 0; chunk < chunks; ++chunk) {
+        const index_t begin = probe_count * chunk / chunks;
+        const index_t end = probe_count * (chunk + 1) / chunks;
+        {
+          ScopedPhase compute(ctx.profiler(), phase::kCompute);
+          for (index_t p = begin; p < end; ++p) {
+            const index_t id = tile.own_probes[static_cast<usize>(p)];
+            probe_grad.frame = engine.window(id);
+            probe_grad.data.fill(cplx{});
+            View2D<cplx> pg_view = probe_grad_field.view();
+            const bool refine_now =
+                config.refine_probe && iter >= config.probe_warmup_iterations;
+            sweep_cost += engine.probe_gradient_joint(
+                id, local_probe, local_meas[static_cast<usize>(p)].view(), volume, probe_grad,
+                ws, refine_now ? &pg_view : nullptr);
+            accbuf.accumulate(probe_grad, probe_grad.frame);
+            if (config.mode == UpdateMode::kSgd) {
+              apply_gradient(volume, probe_grad, probe_grad.frame, step);
+            }
+          }
+        }
+        // Reconcile the accumulated gradients across tiles (Alg. 1
+        // steps 10-13) and apply them (steps 14-16).
+        //
+        // Update semantics: a literal reading of Alg. 1 applies each local
+        // gradient twice (step 8 and again inside the accumulated buffer
+        // at step 15), which makes overlap copies of V diverge by
+        // alpha*(g_own - g_neighbor) every chunk — i.e. it would *create*
+        // the seam artifacts the paper's method eliminates. We therefore
+        // implement the consistency-preserving reading: in SGD mode the
+        // accumulated update applies only the *delta* (neighbour
+        // contributions the local steps have not seen), so each rank's net
+        // chunk update is exactly -alpha * (total gradient) and overlap
+        // copies of V remain identical across ranks — the property behind
+        // the paper's "no seams" claim (Sec. III) and Fig. 8.
+        if (config.mode == UpdateMode::kSgd) {
+          // Undo the chunk's local updates now, while AccBuf still holds
+          // exactly the own contributions (no extra buffer needed); the
+          // post-pass apply below then installs the full total once.
+          ScopedPhase update(ctx.profiler(), phase::kUpdate);
+          apply_gradient(volume, accbuf.volume(), tile.extended, -step);
+        }
+        sync.synchronize(ctx, accbuf.volume());
+        {
+          ScopedPhase update(ctx.profiler(), phase::kUpdate);
+          apply_gradient(volume, accbuf.volume(), tile.extended, step);
+          accbuf.reset();
+        }
+      }
+      if (config.refine_probe && iter >= config.probe_warmup_iterations) {
+        // The probe is global: sum gradient contributions across ranks and
+        // apply the identical update everywhere.
+        std::vector<cplx> flat(static_cast<usize>(probe_grad_field.size()));
+        std::copy_n(probe_grad_field.data(), probe_grad_field.size(), flat.data());
+        rt::allreduce_sum(ctx, flat, comm_phase::kProbe);
+        std::copy_n(flat.data(), probe_grad_field.size(), probe_grad_field.data());
+        const real probe_step =
+            config.probe_step /
+            static_cast<real>(std::max<index_t>(1, dataset.probe_count()));
+        axpy(cplx(-probe_step, 0), probe_grad_field.view(),
+             local_probe.mutable_field().view());
+        const double energy = local_probe.total_intensity();
+        if (energy > 0.0) {
+          scale(cplx(static_cast<real>(std::sqrt(probe_energy / energy)), 0),
+                local_probe.mutable_field().view());
+        }
+        probe_grad_field.fill(cplx{});
+      }
+      if (config.record_cost) {
+        const double global_cost =
+            rt::allreduce_sum_scalar(ctx, sweep_cost, comm_phase::kCost);
+        if (ctx.rank() == 0) {
+          std::lock_guard<std::mutex> lock(result_mutex);
+          result.cost.record(global_cost);
+        }
+      }
+    }
+
+    FramedVolume stitched = stitch_on_root(ctx, partition, volume);
+    if (ctx.rank() == 0) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.volume = std::move(stitched);
+      if (config.refine_probe) result.probe_field = local_probe.field().clone();
+    }
+  });
+
+  result.breakdown.reserve(static_cast<usize>(partition.nranks()));
+  for (int r = 0; r < partition.nranks(); ++r) {
+    result.breakdown.push_back(breakdown_from(cluster.profiler(r)));
+  }
+  result.mean_peak_bytes = cluster.mean_peak_bytes();
+  result.max_peak_bytes = cluster.max_peak_bytes();
+  result.fabric = cluster.fabric_stats();
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ptycho

@@ -1,0 +1,5 @@
+#include "core/gradient_engine.hpp"
+
+// Header-only (thin wrapper over MultisliceOperator); TU anchors the module.
+
+namespace ptycho {}

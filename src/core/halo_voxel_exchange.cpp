@@ -1,0 +1,159 @@
+#include "core/halo_voxel_exchange.hpp"
+
+#include <mutex>
+
+#include "common/timer.hpp"
+#include "core/stitcher.hpp"
+#include "partition/assignment.hpp"
+#include "partition/overlap.hpp"
+#include "runtime/collectives.hpp"
+
+namespace ptycho {
+
+namespace {
+
+rt::Mesh2D resolve_mesh(const Dataset& dataset, int nranks, int mesh_rows, int mesh_cols) {
+  if (mesh_rows > 0 && mesh_cols > 0) {
+    PTYCHO_REQUIRE(mesh_rows * mesh_cols == nranks,
+                   "mesh_rows*mesh_cols must equal nranks");
+    return rt::Mesh2D(mesh_rows, mesh_cols);
+  }
+  const Rect field = dataset.field();
+  const double aspect = static_cast<double>(field.h) / static_cast<double>(field.w);
+  return rt::choose_mesh(nranks, aspect);
+}
+
+rt::BreakdownEntry breakdown_from(const PhaseProfiler& prof) {
+  rt::BreakdownEntry e;
+  e.compute = prof.total(phase::kCompute) + prof.total(phase::kUpdate);
+  e.wait = prof.total(phase::kWait);
+  e.comm = prof.total(phase::kComm);
+  return e;
+}
+
+}  // namespace
+
+Partition make_hve_partition(const Dataset& dataset, const HveConfig& config) {
+  PartitionConfig pc;
+  pc.mesh = resolve_mesh(dataset, config.nranks, config.mesh_rows, config.mesh_cols);
+  pc.strategy = Strategy::kHaloVoxelExchange;
+  pc.hve_extra_rings = config.extra_rings;
+  return Partition(dataset.scan, pc);
+}
+
+bool hve_feasible(const Dataset& dataset, const HveConfig& config) {
+  return make_hve_partition(dataset, config).hve_paste_feasible();
+}
+
+ParallelResult reconstruct_hve(const Dataset& dataset, const HveConfig& config,
+                               const FramedVolume* initial) {
+  PTYCHO_REQUIRE(config.nranks >= 1, "need at least one rank");
+  PTYCHO_REQUIRE(config.iterations >= 1, "need at least one iteration");
+  PTYCHO_REQUIRE(config.local_epochs >= 1, "local_epochs must be >= 1");
+  WallTimer timer;
+
+  const Partition partition = make_hve_partition(dataset, config);
+  validate_partition(partition, dataset.scan);
+  PTYCHO_CHECK(partition.hve_paste_feasible(),
+               "Halo Voxel Exchange infeasible: tiles are smaller than their halos "
+               "(the paper's 'NA' regime) — use fewer ranks or Gradient Decomposition");
+
+  const index_t slices = dataset.spec.slices;
+  const auto n = static_cast<index_t>(dataset.spec.grid.probe_n);
+  const std::vector<PasteEdge> pastes = paste_schedule(partition);
+
+  rt::VirtualCluster cluster(partition.nranks());
+  ParallelResult result;
+  std::mutex result_mutex;
+
+  cluster.run([&](rt::RankContext& ctx) {
+    const TileSpec& tile = partition.tile(ctx.rank());
+
+    // Assigned probes: own + replicated, all with locally replicated
+    // measurements (the redundancy the paper criticizes).
+    std::vector<index_t> probes = tile.own_probes;
+    probes.insert(probes.end(), tile.replicated_probes.begin(), tile.replicated_probes.end());
+    std::vector<RArray2D> local_meas;
+    local_meas.reserve(probes.size());
+    for (index_t id : probes) {
+      local_meas.push_back(dataset.measurements[static_cast<usize>(id)].clone());
+    }
+
+    FramedVolume volume(slices, tile.extended);
+    if (initial != nullptr) {
+      copy_region(*initial, volume, tile.extended);
+    } else {
+      volume.data.fill(cplx(1, 0));
+    }
+    FramedVolume probe_grad(slices, Rect{0, 0, n, n});
+    GradientEngine engine(dataset);
+    const real step = config.step * engine.step_scale();
+    MultisliceWorkspace ws = engine.make_workspace();
+
+    std::int64_t paste_round = 0;
+    for (int iter = 0; iter < config.iterations; ++iter) {
+      double sweep_cost = 0.0;
+      // Embarrassingly parallel local reconstruction.
+      {
+        ScopedPhase compute(ctx.profiler(), phase::kCompute);
+        for (int epoch = 0; epoch < config.local_epochs; ++epoch) {
+          for (usize p = 0; p < probes.size(); ++p) {
+            const index_t id = probes[p];
+            probe_grad.frame = engine.window(id);
+            probe_grad.data.fill(cplx{});
+            const double f =
+                engine.probe_gradient_with(id, local_meas[p].view(), volume, probe_grad, ws);
+            // Count the cost of *owned* probes only so the recorded global
+            // cost sums each f_i exactly once.
+            if (p < tile.own_probes.size() && epoch == 0) sweep_cost += f;
+            apply_gradient(volume, probe_grad, probe_grad.frame, step);
+          }
+        }
+      }
+
+      // Synchronous halo pastes: owned voxels overwrite neighbour halos.
+      ctx.barrier();
+      const std::int64_t stage = paste_round++;
+      for (const PasteEdge& edge : pastes) {
+        if (edge.src == ctx.rank()) {
+          ctx.isend(edge.dst, rt::make_tag(comm_phase::kPaste, stage),
+                    pack_region(volume, edge.region));
+        }
+      }
+      for (const PasteEdge& edge : pastes) {
+        if (edge.dst == ctx.rank()) {
+          std::vector<cplx> payload =
+              ctx.recv(edge.src, rt::make_tag(comm_phase::kPaste, stage));
+          unpack_replace_region(payload, volume, edge.region);
+        }
+      }
+
+      if (config.record_cost) {
+        const double global_cost =
+            rt::allreduce_sum_scalar(ctx, sweep_cost, comm_phase::kCost);
+        if (ctx.rank() == 0) {
+          std::lock_guard<std::mutex> lock(result_mutex);
+          result.cost.record(global_cost);
+        }
+      }
+    }
+
+    FramedVolume stitched = stitch_on_root(ctx, partition, volume);
+    if (ctx.rank() == 0) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.volume = std::move(stitched);
+    }
+  });
+
+  result.breakdown.reserve(static_cast<usize>(partition.nranks()));
+  for (int r = 0; r < partition.nranks(); ++r) {
+    result.breakdown.push_back(breakdown_from(cluster.profiler(r)));
+  }
+  result.mean_peak_bytes = cluster.mean_peak_bytes();
+  result.max_peak_bytes = cluster.max_peak_bytes();
+  result.fabric = cluster.fabric_stats();
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ptycho

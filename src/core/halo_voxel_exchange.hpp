@@ -1,0 +1,39 @@
+// Halo Voxel Exchange baseline (paper Sec. II-C; refs [7,8,9]).
+//
+// Each rank's tile is extended with large halos covering its own probes
+// *plus* `extra_rings` rings of neighbouring probe locations, whose
+// measurements are replicated locally (redundant memory + compute). Tiles
+// update embarrassingly parallel; after each sweep every rank pastes its
+// *owned* voxels into the halos of every overlapping neighbour through
+// synchronous point-to-point copies. The pastes are what create the seam
+// artifacts measured in the Fig. 8 experiment.
+#pragma once
+
+#include "core/gradient_decomposition.hpp"
+
+namespace ptycho {
+
+struct HveConfig {
+  int nranks = 4;
+  int mesh_rows = 0;  ///< 0 = choose automatically
+  int mesh_cols = 0;
+  int iterations = 10;
+  real step = real(0.1);
+  /// Local SGD sweeps between paste rounds.
+  int local_epochs = 1;
+  /// Rings of replicated neighbour probes ("two extra rows", Sec. VI-A).
+  int extra_rings = 2;
+  bool record_cost = true;
+};
+
+/// Throws ptycho::Error if the partition violates the paste-feasibility
+/// constraint (tiles smaller than halos — the "NA" cells of Table II).
+[[nodiscard]] ParallelResult reconstruct_hve(const Dataset& dataset, const HveConfig& config,
+                                             const FramedVolume* initial = nullptr);
+
+[[nodiscard]] Partition make_hve_partition(const Dataset& dataset, const HveConfig& config);
+
+/// Check without running: can HVE run at this configuration?
+[[nodiscard]] bool hve_feasible(const Dataset& dataset, const HveConfig& config);
+
+}  // namespace ptycho

@@ -1,0 +1,67 @@
+#include "core/memory_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "runtime/topology.hpp"
+
+namespace ptycho {
+
+ScanPattern make_paper_scan(const PaperDataset& dataset, index_t eff_window_px) {
+  PTYCHO_REQUIRE(dataset.scan_rows >= 2 && dataset.scan_cols >= 2,
+                 "paper dataset scan grid too small");
+  ScanParams params;
+  params.rows = dataset.scan_rows;
+  params.cols = dataset.scan_cols;
+  params.probe_n = eff_window_px;
+  // Per-axis steps chosen so probe centers span the reconstruction field
+  // (full coverage; overlap stays in the paper's >70% regime).
+  params.step_y_px =
+      std::max<index_t>(1, (dataset.vol_y - eff_window_px) / (dataset.scan_rows - 1));
+  params.step_px =
+      std::max<index_t>(1, (dataset.vol_x - eff_window_px) / (dataset.scan_cols - 1));
+  params.margin_px = 0;
+  return ScanPattern(params);
+}
+
+Partition make_paper_partition(const ScanPattern& scan, int nranks, Strategy strategy,
+                               int hve_extra_rings) {
+  const Rect field = scan.field();
+  PartitionConfig pc;
+  pc.mesh = rt::choose_mesh(nranks,
+                            static_cast<double>(field.h) / static_cast<double>(field.w));
+  pc.strategy = strategy;
+  pc.hve_extra_rings = hve_extra_rings;
+  return Partition(scan, pc);
+}
+
+MemoryEstimate estimate_paper_memory(const Partition& partition, const PaperDataset& dataset,
+                                     const PaperMemoryConfig& config) {
+  MemoryEstimate estimate;
+  estimate.per_rank_bytes.reserve(static_cast<usize>(partition.nranks()));
+
+  const double w2 = static_cast<double>(config.eff_window_px) *
+                    static_cast<double>(config.eff_window_px);
+  const double slices = static_cast<double>(dataset.slices);
+  // Multislice workspace: psi_in + trans per slice, plus a handful of
+  // whole-window fields (psi, far, grad, scratch).
+  const double workspace_bytes = (2.0 * slices + 4.0) * w2 * sizeof(cplx);
+
+  for (const TileSpec& tile : partition.tiles()) {
+    const double tile_bytes = static_cast<double>(config.tile_buffers) *
+                              static_cast<double>(tile.extended.area()) * slices * sizeof(cplx);
+    const double probes =
+        static_cast<double>(tile.own_probes.size() + tile.replicated_probes.size());
+    const double meas_bytes = probes * w2 * sizeof(real);
+    estimate.per_rank_bytes.push_back(tile_bytes + meas_bytes + workspace_bytes);
+  }
+  double total = 0.0;
+  for (double b : estimate.per_rank_bytes) {
+    total += b;
+    estimate.max_bytes = std::max(estimate.max_bytes, b);
+  }
+  estimate.mean_bytes = total / static_cast<double>(estimate.per_rank_bytes.size());
+  return estimate;
+}
+
+}  // namespace ptycho

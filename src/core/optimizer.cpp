@@ -1,0 +1,21 @@
+#include "core/optimizer.hpp"
+
+namespace ptycho {
+
+const char* to_string(UpdateMode mode) {
+  switch (mode) {
+    case UpdateMode::kSgd: return "sgd";
+    case UpdateMode::kFullBatch: return "full-batch";
+  }
+  return "?";
+}
+
+void apply_gradient(FramedVolume& volume, const FramedVolume& grad, const Rect& region,
+                    real step) {
+  if (region.empty()) return;
+  for (index_t s = 0; s < volume.slices(); ++s) {
+    axpy(cplx(-step, 0), grad.window(s, region), volume.window(s, region));
+  }
+}
+
+}  // namespace ptycho

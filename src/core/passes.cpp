@@ -1,0 +1,125 @@
+#include "core/passes.hpp"
+
+#include "runtime/collectives.hpp"
+
+namespace ptycho {
+
+const char* to_string(PassScheme scheme) {
+  switch (scheme) {
+    case PassScheme::kSweep: return "sweep";
+    case PassScheme::kDirectNeighbors: return "direct-neighbors";
+  }
+  return "?";
+}
+
+PassEngine::PassEngine(const Partition& partition, int rank)
+    : partition_(partition), rank_(rank), card_(cardinal_overlaps(partition, rank)) {
+  for (int nb : partition.mesh().neighbors8(rank)) {
+    const Rect overlap = partition.overlap(rank, nb);
+    if (!overlap.empty()) neighbor8_.emplace_back(nb, overlap);
+  }
+}
+
+void PassEngine::run_sweep(rt::RankContext& ctx, FramedVolume& buf) {
+  const std::int64_t stage = sweep_counter_++;
+
+  // Vertical forward: receive-accumulate from north, then send south.
+  // The receive *must* precede the send so contributions chain down the
+  // whole column (Fig. 4(a)).
+  if (card_.north_rank >= 0 && !card_.north.empty()) {
+    std::vector<cplx> payload =
+        ctx.recv(card_.north_rank, rt::make_tag(comm_phase::kVerticalForward, stage));
+    unpack_add_region(payload, buf, card_.north);
+  }
+  if (card_.south_rank >= 0 && !card_.south.empty()) {
+    ctx.isend(card_.south_rank, rt::make_tag(comm_phase::kVerticalForward, stage),
+              pack_region(buf, card_.south));
+  }
+
+  // Vertical backward: the southern tile's accumulated buffer replaces
+  // ours over the overlap, then we forward our (now complete) buffer
+  // north (Fig. 4(b)).
+  if (card_.south_rank >= 0 && !card_.south.empty()) {
+    std::vector<cplx> payload =
+        ctx.recv(card_.south_rank, rt::make_tag(comm_phase::kVerticalBackward, stage));
+    unpack_replace_region(payload, buf, card_.south);
+  }
+  if (card_.north_rank >= 0 && !card_.north.empty()) {
+    ctx.isend(card_.north_rank, rt::make_tag(comm_phase::kVerticalBackward, stage),
+              pack_region(buf, card_.north));
+  }
+
+  // Horizontal forward (Fig. 4(c)). Note the cross-direction pipelining of
+  // Sec. V: once this rank has posted its vertical-backward send it enters
+  // the horizontal chain immediately — ranks in other rows may still be in
+  // the vertical passes.
+  if (card_.west_rank >= 0 && !card_.west.empty()) {
+    std::vector<cplx> payload =
+        ctx.recv(card_.west_rank, rt::make_tag(comm_phase::kHorizontalForward, stage));
+    unpack_add_region(payload, buf, card_.west);
+  }
+  if (card_.east_rank >= 0 && !card_.east.empty()) {
+    ctx.isend(card_.east_rank, rt::make_tag(comm_phase::kHorizontalForward, stage),
+              pack_region(buf, card_.east));
+  }
+
+  // Horizontal backward (Fig. 4(d)).
+  if (card_.east_rank >= 0 && !card_.east.empty()) {
+    std::vector<cplx> payload =
+        ctx.recv(card_.east_rank, rt::make_tag(comm_phase::kHorizontalBackward, stage));
+    unpack_replace_region(payload, buf, card_.east);
+  }
+  if (card_.west_rank >= 0 && !card_.west.empty()) {
+    ctx.isend(card_.west_rank, rt::make_tag(comm_phase::kHorizontalBackward, stage),
+              pack_region(buf, card_.west));
+  }
+}
+
+void PassEngine::run_direct(rt::RankContext& ctx, FramedVolume& buf) {
+  const std::int64_t stage = direct_counter_++;
+  // Post all sends first (eager fabric: cannot deadlock), then accumulate
+  // every neighbour's contribution.
+  for (const auto& [nb, overlap] : neighbor8_) {
+    ctx.isend(nb, rt::make_tag(comm_phase::kDirect, stage), pack_region(buf, overlap));
+  }
+  for (const auto& [nb, overlap] : neighbor8_) {
+    std::vector<cplx> payload = ctx.recv(nb, rt::make_tag(comm_phase::kDirect, stage));
+    unpack_add_region(payload, buf, overlap);
+  }
+}
+
+void PassEngine::run_allreduce(rt::RankContext& ctx, FramedVolume& buf) {
+  const std::int64_t stage = allreduce_counter_++;
+  const Rect field = partition_.field();
+  const index_t slices = buf.slices();
+
+  // Scatter the local buffer into a full-field dense vector.
+  std::vector<cplx> dense(
+      static_cast<usize>(field.area() * slices), cplx{});
+  const Rect ext = buf.frame;
+  for (index_t s = 0; s < slices; ++s) {
+    for (index_t y = 0; y < ext.h; ++y) {
+      const index_t gy = ext.y0 + y - field.y0;
+      const usize base = static_cast<usize>((s * field.h + gy) * field.w);
+      for (index_t x = 0; x < ext.w; ++x) {
+        const index_t gx = ext.x0 + x - field.x0;
+        dense[base + static_cast<usize>(gx)] = buf.data(s, y, x);
+      }
+    }
+  }
+  rt::allreduce_sum(ctx, dense,
+                    comm_phase::kAllreduce * 1000 + static_cast<int>(stage % 1000));
+  // Gather back: replace the local buffer with the exact global sum.
+  for (index_t s = 0; s < slices; ++s) {
+    for (index_t y = 0; y < ext.h; ++y) {
+      const index_t gy = ext.y0 + y - field.y0;
+      const usize base = static_cast<usize>((s * field.h + gy) * field.w);
+      for (index_t x = 0; x < ext.w; ++x) {
+        const index_t gx = ext.x0 + x - field.x0;
+        buf.data(s, y, x) = dense[base + static_cast<usize>(gx)];
+      }
+    }
+  }
+}
+
+}  // namespace ptycho

@@ -1,0 +1,78 @@
+// Forward/backward accumulated-gradient passes (paper Secs. III-V).
+//
+// Three gradient-synchronization schemes, selectable per run:
+//
+//  * kSweep (the paper's method, Sec. IV + V): four directional chain
+//    passes — vertical forward (each tile *adds* its buffer into the tile
+//    below over their overlap), vertical backward (the lower tile's buffer
+//    *replaces* the upper's over the overlap), then the same horizontally.
+//    Chains in different columns/rows proceed independently and a rank
+//    enters the next direction as soon as its own sends are posted — the
+//    Asynchronous Pipelining for Parallel Passes falls out of the
+//    per-rank dataflow order with eager non-blocking sends (Fig. 5).
+//
+//  * kDirectNeighbors (Sec. III): pairwise add with the 8-connected
+//    neighborhood only. Exact when probes overlap only adjacent tiles;
+//    insufficient for high overlap ratios (Fig. 3(d)) — kept as an
+//    ablation.
+//
+//  * run_allreduce: the "natural choice" the paper rejects — a global
+//    all-reduce of the full-field gradient. Exact but unscalable; it is
+//    the without-APPP baseline of Fig. 7b.
+#pragma once
+
+#include "partition/overlap.hpp"
+#include "runtime/cluster.hpp"
+#include "tensor/framed.hpp"
+#include "tensor/ops.hpp"
+
+namespace ptycho {
+
+enum class PassScheme {
+  kSweep,
+  kDirectNeighbors,
+};
+
+[[nodiscard]] const char* to_string(PassScheme scheme);
+
+class PassEngine {
+ public:
+  PassEngine(const Partition& partition, int rank);
+
+  /// One bi-directional sweep (vf, vb, hf, hb) over `buf`. All ranks must
+  /// call the same number of times (chains match by an internal counter).
+  void run_sweep(rt::RankContext& ctx, FramedVolume& buf);
+
+  /// Pairwise 8-neighbour accumulate (Sec. III base scheme).
+  void run_direct(rt::RankContext& ctx, FramedVolume& buf);
+
+  /// Global all-reduce of the full-field gradient; buf's extended window
+  /// is replaced with the exact global sum.
+  void run_allreduce(rt::RankContext& ctx, FramedVolume& buf);
+
+ private:
+  const Partition& partition_;
+  int rank_;
+  CardinalOverlaps card_;
+  std::vector<std::pair<int, Rect>> neighbor8_;  ///< (rank, overlap) pairs
+  std::int64_t sweep_counter_ = 0;
+  std::int64_t direct_counter_ = 0;
+  std::int64_t allreduce_counter_ = 0;
+};
+
+/// Tag phase ids used by the decomposition layer (shared so solvers never
+/// collide with pass traffic).
+namespace comm_phase {
+inline constexpr int kVerticalForward = 1;
+inline constexpr int kVerticalBackward = 2;
+inline constexpr int kHorizontalForward = 3;
+inline constexpr int kHorizontalBackward = 4;
+inline constexpr int kDirect = 5;
+inline constexpr int kAllreduce = 6;
+inline constexpr int kStitch = 7;
+inline constexpr int kPaste = 8;
+inline constexpr int kCost = 9;
+inline constexpr int kProbe = 10;
+}  // namespace comm_phase
+
+}  // namespace ptycho

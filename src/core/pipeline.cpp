@@ -1,0 +1,5 @@
+#include "core/pipeline.hpp"
+
+// Header-only; TU anchors the module.
+
+namespace ptycho {}

@@ -1,0 +1,48 @@
+// GradientSynchronizer: the policy object that decides *how* a rank's
+// accumulated gradients are reconciled with its neighbours each time
+// Alg. 1 reaches step 9 — the paper's APPP sweep, the Sec. III direct
+// scheme, or the rejected global all-reduce (the without-APPP baseline).
+#pragma once
+
+#include "core/passes.hpp"
+
+namespace ptycho {
+
+struct SyncPolicy {
+  PassScheme scheme = PassScheme::kSweep;
+  /// false = replace the pipelined passes with a barrier + global
+  /// all-reduce (the "w/o APPP" configuration of Fig. 7b).
+  bool appp = true;
+};
+
+class GradientSynchronizer {
+ public:
+  GradientSynchronizer(const Partition& partition, int rank, SyncPolicy policy)
+      : engine_(partition, rank), policy_(policy) {}
+
+  /// Reconcile `accbuf` across ranks according to the policy. Collective:
+  /// all ranks must call the same number of times.
+  void synchronize(rt::RankContext& ctx, FramedVolume& accbuf) {
+    if (!policy_.appp) {
+      ctx.barrier();
+      engine_.run_allreduce(ctx, accbuf);
+      return;
+    }
+    switch (policy_.scheme) {
+      case PassScheme::kSweep:
+        engine_.run_sweep(ctx, accbuf);
+        return;
+      case PassScheme::kDirectNeighbors:
+        engine_.run_direct(ctx, accbuf);
+        return;
+    }
+  }
+
+  [[nodiscard]] const SyncPolicy& policy() const { return policy_; }
+
+ private:
+  PassEngine engine_;
+  SyncPolicy policy_;
+};
+
+}  // namespace ptycho

@@ -1,0 +1,68 @@
+#include "core/reconstructor.hpp"
+
+namespace ptycho {
+
+const char* to_string(Method method) {
+  switch (method) {
+    case Method::kSerial: return "serial";
+    case Method::kGradientDecomposition: return "gradient-decomposition";
+    case Method::kHaloVoxelExchange: return "halo-voxel-exchange";
+  }
+  return "?";
+}
+
+ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
+                                         const FramedVolume* initial) const {
+  ReconstructionOutcome outcome;
+  switch (request.method) {
+    case Method::kSerial: {
+      SerialConfig config;
+      config.iterations = request.iterations;
+      config.step = request.step;
+      config.chunks_per_iteration = request.passes_per_iteration;
+      config.mode = request.mode;
+      config.record_cost = request.record_cost;
+      SerialResult result = reconstruct_serial(dataset_, config, initial);
+      outcome.volume = std::move(result.volume);
+      outcome.cost = std::move(result.cost);
+      outcome.wall_seconds = result.wall_seconds;
+      return outcome;
+    }
+    case Method::kGradientDecomposition: {
+      GdConfig config;
+      config.nranks = request.nranks;
+      config.iterations = request.iterations;
+      config.step = request.step;
+      config.passes_per_iteration = request.passes_per_iteration;
+      config.mode = request.mode;
+      config.sync = request.sync;
+      config.record_cost = request.record_cost;
+      ParallelResult result = reconstruct_gd(dataset_, config, initial);
+      outcome.volume = std::move(result.volume);
+      outcome.cost = std::move(result.cost);
+      outcome.wall_seconds = result.wall_seconds;
+      outcome.mean_peak_bytes = result.mean_peak_bytes;
+      outcome.breakdown = std::move(result.breakdown);
+      return outcome;
+    }
+    case Method::kHaloVoxelExchange: {
+      HveConfig config;
+      config.nranks = request.nranks;
+      config.iterations = request.iterations;
+      config.step = request.step;
+      config.local_epochs = request.hve_local_epochs;
+      config.extra_rings = request.hve_extra_rings;
+      config.record_cost = request.record_cost;
+      ParallelResult result = reconstruct_hve(dataset_, config, initial);
+      outcome.volume = std::move(result.volume);
+      outcome.cost = std::move(result.cost);
+      outcome.wall_seconds = result.wall_seconds;
+      outcome.mean_peak_bytes = result.mean_peak_bytes;
+      outcome.breakdown = std::move(result.breakdown);
+      return outcome;
+    }
+  }
+  PTYCHO_UNREACHABLE("unknown method");
+}
+
+}  // namespace ptycho

@@ -1,0 +1,54 @@
+// High-level facade: one entry point that dispatches to the serial,
+// Gradient Decomposition or Halo Voxel Exchange solver. This is the API
+// the examples and the quickstart use.
+#pragma once
+
+#include "core/halo_voxel_exchange.hpp"
+#include "core/serial_solver.hpp"
+
+namespace ptycho {
+
+enum class Method {
+  kSerial,
+  kGradientDecomposition,
+  kHaloVoxelExchange,
+};
+
+[[nodiscard]] const char* to_string(Method method);
+
+struct ReconstructionRequest {
+  Method method = Method::kGradientDecomposition;
+  int nranks = 4;                ///< ignored for kSerial
+  int iterations = 10;
+  real step = real(0.1);
+  int passes_per_iteration = 1;  ///< GD comm frequency / serial chunks
+  UpdateMode mode = UpdateMode::kSgd;
+  SyncPolicy sync;               ///< GD only
+  int hve_local_epochs = 1;      ///< HVE only
+  int hve_extra_rings = 2;       ///< HVE only
+  bool record_cost = true;
+};
+
+struct ReconstructionOutcome {
+  FramedVolume volume;
+  CostHistory cost;
+  double wall_seconds = 0.0;
+  double mean_peak_bytes = 0.0;  ///< 0 for serial (single address space)
+  std::vector<rt::BreakdownEntry> breakdown;  ///< empty for serial
+};
+
+class Reconstructor {
+ public:
+  explicit Reconstructor(const Dataset& dataset) : dataset_(dataset) {}
+
+  /// Run a reconstruction; optionally warm-start from `initial`.
+  [[nodiscard]] ReconstructionOutcome run(const ReconstructionRequest& request,
+                                          const FramedVolume* initial = nullptr) const;
+
+  [[nodiscard]] const Dataset& dataset() const { return dataset_; }
+
+ private:
+  const Dataset& dataset_;
+};
+
+}  // namespace ptycho

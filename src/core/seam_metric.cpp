@@ -1,0 +1,107 @@
+#include "core/seam_metric.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace ptycho {
+
+namespace {
+
+/// Mean squared difference between the pixel line at coordinate `line` and
+/// the line at `line - 1`, along the given axis, across all slices.
+double line_jump(const FramedVolume& v, index_t line, bool vertical_border) {
+  const Rect f = v.frame;
+  double acc = 0.0;
+  index_t count = 0;
+  for (index_t s = 0; s < v.slices(); ++s) {
+    if (vertical_border) {
+      // border between columns line-1 and line
+      for (index_t y = f.y0; y < f.y1(); ++y) {
+        const cplx d = v.at_global(s, y, line) - v.at_global(s, y, line - 1);
+        acc += static_cast<double>(std::norm(d));
+        ++count;
+      }
+    } else {
+      for (index_t x = f.x0; x < f.x1(); ++x) {
+        const cplx d = v.at_global(s, line, x) - v.at_global(s, line - 1, x);
+        acc += static_cast<double>(std::norm(d));
+        ++count;
+      }
+    }
+  }
+  return count == 0 ? 0.0 : acc / static_cast<double>(count);
+}
+
+}  // namespace
+
+SeamReport measure_seams(const FramedVolume& volume, const Partition& partition) {
+  PTYCHO_REQUIRE(volume.frame.contains(partition.field()),
+                 "volume does not cover the partition field");
+  const Rect field = partition.field();
+
+  // Internal border coordinates (deduplicated across tiles).
+  std::set<index_t> x_borders;
+  std::set<index_t> y_borders;
+  for (const TileSpec& tile : partition.tiles()) {
+    if (tile.owned.x0 > field.x0) x_borders.insert(tile.owned.x0);
+    if (tile.owned.y0 > field.y0) y_borders.insert(tile.owned.y0);
+  }
+
+  SeamReport report;
+  double border_acc = 0.0;
+  double background_acc = 0.0;
+  index_t background_count = 0;
+
+  const auto is_near_border = [&](index_t line, const std::set<index_t>& borders) {
+    for (index_t b : borders) {
+      if (std::llabs(line - b) <= 2) return true;
+    }
+    return false;
+  };
+
+  for (index_t b : x_borders) {
+    border_acc += line_jump(volume, b, true);
+    ++report.border_lines;
+  }
+  for (index_t b : y_borders) {
+    border_acc += line_jump(volume, b, false);
+    ++report.border_lines;
+  }
+  // Background statistic: every 7th line away from any border.
+  for (index_t x = field.x0 + 3; x < field.x1(); x += 7) {
+    if (is_near_border(x, x_borders)) continue;
+    background_acc += line_jump(volume, x, true);
+    ++background_count;
+  }
+  for (index_t y = field.y0 + 3; y < field.y1(); y += 7) {
+    if (is_near_border(y, y_borders)) continue;
+    background_acc += line_jump(volume, y, false);
+    ++background_count;
+  }
+
+  report.border_jump =
+      report.border_lines == 0 ? 0.0 : border_acc / static_cast<double>(report.border_lines);
+  report.background_jump =
+      background_count == 0 ? 0.0 : background_acc / static_cast<double>(background_count);
+  report.seam_ratio = report.background_jump > 0.0
+                          ? report.border_jump / report.background_jump
+                          : (report.border_jump > 0.0 ? 1e30 : 1.0);
+  return report;
+}
+
+double relative_rms_error(const FramedVolume& volume, const FramedVolume& reference) {
+  PTYCHO_REQUIRE(volume.frame == reference.frame, "frames must match");
+  PTYCHO_REQUIRE(volume.slices() == reference.slices(), "slice counts must match");
+  double err = 0.0;
+  double ref = 0.0;
+  for (index_t s = 0; s < volume.slices(); ++s) {
+    err += diff_norm_sq(volume.window(s, volume.frame), reference.window(s, reference.frame));
+    ref += norm_sq(reference.window(s, reference.frame));
+  }
+  return ref > 0.0 ? std::sqrt(err / ref) : std::sqrt(err);
+}
+
+}  // namespace ptycho

@@ -1,0 +1,32 @@
+// Seam-artifact quantification (the Fig. 8 experiment).
+//
+// The paper shows HVE produces visible artificial seams at tile borders
+// while GD does not. We quantify this: along every internal tile border
+// of a partition, compare the mean squared intensity jump *across* the
+// border line with the background jump between ordinary adjacent pixel
+// lines nearby. A ratio ~1 means the border is statistically
+// indistinguishable from the rest of the image (no seam); >> 1 means a
+// visible seam.
+#pragma once
+
+#include "partition/tilegrid.hpp"
+#include "tensor/framed.hpp"
+
+namespace ptycho {
+
+struct SeamReport {
+  double border_jump = 0.0;      ///< mean |V(b) - V(b-1)|^2 across border lines
+  double background_jump = 0.0;  ///< same statistic away from borders
+  double seam_ratio = 1.0;       ///< border / background (the headline number)
+  index_t border_lines = 0;      ///< internal borders measured
+};
+
+/// Measure seams of `volume` along the internal borders of `partition`.
+[[nodiscard]] SeamReport measure_seams(const FramedVolume& volume, const Partition& partition);
+
+/// RMS error against a reference reconstruction over the whole field
+/// (normalized by the reference RMS) — the quality companion metric.
+[[nodiscard]] double relative_rms_error(const FramedVolume& volume,
+                                        const FramedVolume& reference);
+
+}  // namespace ptycho

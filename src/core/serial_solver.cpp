@@ -1,0 +1,88 @@
+#include "core/serial_solver.hpp"
+
+#include <cmath>
+
+#include "common/timer.hpp"
+#include "core/accbuf.hpp"
+#include "data/synthetic.hpp"
+
+namespace ptycho {
+
+SerialResult reconstruct_serial(const Dataset& dataset, const SerialConfig& config,
+                                const FramedVolume* initial) {
+  PTYCHO_REQUIRE(config.iterations >= 1, "need at least one iteration");
+  PTYCHO_REQUIRE(config.chunks_per_iteration >= 1, "chunks_per_iteration must be >= 1");
+  WallTimer timer;
+
+  const Rect field = dataset.field();
+  const index_t slices = dataset.spec.slices;
+
+  SerialResult result;
+  result.volume = initial != nullptr ? initial->clone() : make_vacuum_volume(field, slices);
+  PTYCHO_REQUIRE(result.volume.frame.contains(field), "initial guess does not cover the field");
+
+  GradientEngine engine(dataset);
+  const real step = config.step * engine.step_scale();
+  MultisliceWorkspace ws = engine.make_workspace();
+  Probe probe = dataset.probe.clone();
+  const double probe_energy = probe.total_intensity();
+  CArray2D probe_grad_field(probe.n(), probe.n());
+  AccumulationBuffer accbuf(slices, result.volume.frame);
+  // Per-probe gradient scratch: one window-sized framed volume, re-aimed at
+  // each probe location.
+  const auto n = static_cast<index_t>(dataset.spec.grid.probe_n);
+  FramedVolume probe_grad(slices, Rect{0, 0, n, n});
+
+  const index_t probe_count = dataset.probe_count();
+  const int chunks = config.chunks_per_iteration;
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    double sweep_cost = 0.0;
+    for (int chunk = 0; chunk < chunks; ++chunk) {
+      const index_t begin = probe_count * chunk / chunks;
+      const index_t end = probe_count * (chunk + 1) / chunks;
+      for (index_t i = begin; i < end; ++i) {
+        probe_grad.frame = engine.window(i);
+        probe_grad.data.fill(cplx{});
+        View2D<cplx> probe_grad_view = probe_grad_field.view();
+        const bool refine_now = config.refine_probe && iter >= config.probe_warmup_iterations;
+        sweep_cost += engine.probe_gradient_joint(
+            i, probe, dataset.measurements[static_cast<usize>(i)].view(), result.volume,
+            probe_grad, ws, refine_now ? &probe_grad_view : nullptr);
+        accbuf.accumulate(probe_grad, probe_grad.frame);
+        if (config.mode == UpdateMode::kSgd) {
+          apply_gradient(result.volume, probe_grad, probe_grad.frame, step);
+        }
+      }
+      // Accumulated update (Alg. 1 steps 14-16). In SGD mode every local
+      // gradient has already been applied in step 8, and with a single
+      // rank there are no neighbour contributions, so the delta is zero —
+      // matching the decomposed solver's delta-update semantics (see
+      // gradient_decomposition.cpp for the consistency argument).
+      if (config.mode == UpdateMode::kFullBatch) {
+        apply_gradient(result.volume, accbuf.volume(), accbuf.frame(), step);
+      }
+      accbuf.reset();
+    }
+    if (config.refine_probe && iter >= config.probe_warmup_iterations) {
+      // Descend the probe along its accumulated sweep gradient, then
+      // restore the total intensity (the object absorbs the scale).
+      const real probe_step =
+          config.probe_step / static_cast<real>(std::max<index_t>(1, probe_count));
+      axpy(cplx(-probe_step, 0), probe_grad_field.view(), probe.mutable_field().view());
+      const double energy = probe.total_intensity();
+      if (energy > 0.0) {
+        scale(cplx(static_cast<real>(std::sqrt(probe_energy / energy)), 0),
+              probe.mutable_field().view());
+      }
+      probe_grad_field.fill(cplx{});
+    }
+    if (config.record_cost) result.cost.record(sweep_cost);
+  }
+
+  if (config.refine_probe) result.probe_field = probe.field().clone();
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ptycho

@@ -1,0 +1,40 @@
+#include "core/stitcher.hpp"
+
+#include "core/passes.hpp"
+#include "tensor/ops.hpp"
+
+namespace ptycho {
+
+FramedVolume stitch_on_root(rt::RankContext& ctx, const Partition& partition,
+                            const FramedVolume& tile_volume) {
+  const index_t slices = tile_volume.slices();
+  const Rect owned = partition.tile(ctx.rank()).owned;
+
+  if (ctx.rank() != 0) {
+    ctx.isend(0, rt::make_tag(comm_phase::kStitch, ctx.rank()),
+              pack_region(tile_volume, owned));
+    return FramedVolume{};
+  }
+
+  FramedVolume full(slices, partition.field());
+  copy_region(tile_volume, full, owned);
+  for (int r = 1; r < ctx.nranks(); ++r) {
+    std::vector<cplx> payload = ctx.recv(r, rt::make_tag(comm_phase::kStitch, r));
+    unpack_replace_region(payload, full, partition.tile(r).owned);
+  }
+  return full;
+}
+
+FramedVolume stitch_serial(const Partition& partition,
+                           const std::vector<FramedVolume>& tile_volumes) {
+  PTYCHO_REQUIRE(tile_volumes.size() == static_cast<usize>(partition.nranks()),
+                 "one tile volume per rank required");
+  const index_t slices = tile_volumes.front().slices();
+  FramedVolume full(slices, partition.field());
+  for (int r = 0; r < partition.nranks(); ++r) {
+    copy_region(tile_volumes[static_cast<usize>(r)], full, partition.tile(r).owned);
+  }
+  return full;
+}
+
+}  // namespace ptycho

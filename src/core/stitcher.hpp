@@ -1,0 +1,21 @@
+// Final assembly: "abandon halos and stitch together non-halo tiles into a
+// final reconstruction V" (Alg. 1 step 20).
+#pragma once
+
+#include "partition/tilegrid.hpp"
+#include "runtime/cluster.hpp"
+#include "tensor/framed.hpp"
+
+namespace ptycho {
+
+/// Collective: every rank sends its *owned* window of `tile_volume` to
+/// rank 0; rank 0 returns the assembled full-field volume, all other
+/// ranks return an empty FramedVolume.
+[[nodiscard]] FramedVolume stitch_on_root(rt::RankContext& ctx, const Partition& partition,
+                                          const FramedVolume& tile_volume);
+
+/// Serial helper for tests: assemble from a full set of tile volumes.
+[[nodiscard]] FramedVolume stitch_serial(const Partition& partition,
+                                         const std::vector<FramedVolume>& tile_volumes);
+
+}  // namespace ptycho

@@ -1,0 +1,203 @@
+#include "data/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ptycho::io {
+
+void write_pgm(const std::string& path, View2D<const real> image) {
+  double lo = 1e300;
+  double hi = -1e300;
+  for (index_t y = 0; y < image.rows(); ++y) {
+    for (index_t x = 0; x < image.cols(); ++x) {
+      const auto v = static_cast<double>(image(y, x));
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  std::ofstream out(path, std::ios::binary);
+  PTYCHO_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << "P5\n" << image.cols() << " " << image.rows() << "\n255\n";
+  for (index_t y = 0; y < image.rows(); ++y) {
+    for (index_t x = 0; x < image.cols(); ++x) {
+      const double v = (static_cast<double>(image(y, x)) - lo) / span;
+      const auto byte = static_cast<unsigned char>(std::clamp(v * 255.0, 0.0, 255.0));
+      out.put(static_cast<char>(byte));
+    }
+  }
+  PTYCHO_CHECK(out.good(), "write failed for '" << path << "'");
+}
+
+void write_phase_pgm(const std::string& path, View2D<const cplx> slice) {
+  RArray2D phase(slice.rows(), slice.cols());
+  for (index_t y = 0; y < slice.rows(); ++y) {
+    for (index_t x = 0; x < slice.cols(); ++x) {
+      phase(y, x) = std::arg(slice(y, x));
+    }
+  }
+  write_pgm(path, phase.view());
+}
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string& path) : impl_(new Impl) {
+  impl_->out.open(path);
+  PTYCHO_CHECK(impl_->out.good(), "cannot open '" << path << "' for writing");
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  for (usize i = 0; i < names.size(); ++i) {
+    if (i > 0) impl_->out << ',';
+    impl_->out << names[i];
+  }
+  impl_->out << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::ostringstream line;
+  for (usize i = 0; i < values.size(); ++i) {
+    if (i > 0) line << ',';
+    line << values[i];
+  }
+  impl_->out << line.str() << '\n';
+}
+
+void CsvWriter::raw_row(const std::string& line) { impl_->out << line << '\n'; }
+
+namespace {
+constexpr std::uint64_t kVolumeMagic = 0x50545943484F564CULL;  // "PTYCHOVL"
+}
+
+void save_volume(const std::string& path, const FramedVolume& volume) {
+  std::ofstream out(path, std::ios::binary);
+  PTYCHO_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  const std::uint64_t magic = kVolumeMagic;
+  const std::int64_t header[5] = {volume.frame.y0, volume.frame.x0, volume.frame.h,
+                                  volume.frame.w, volume.slices()};
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(volume.data.data()),
+            static_cast<std::streamsize>(volume.data.bytes()));
+  PTYCHO_CHECK(out.good(), "write failed for '" << path << "'");
+}
+
+FramedVolume load_volume(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PTYCHO_CHECK(in.good(), "cannot open '" << path << "' for reading");
+  std::uint64_t magic = 0;
+  std::int64_t header[5] = {};
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  PTYCHO_CHECK(in.good() && magic == kVolumeMagic, "'" << path << "' is not a volume file");
+  FramedVolume volume(header[4], Rect{header[0], header[1], header[2], header[3]});
+  in.read(reinterpret_cast<char*>(volume.data.data()),
+          static_cast<std::streamsize>(volume.data.bytes()));
+  PTYCHO_CHECK(in.good(), "truncated volume file '" << path << "'");
+  return volume;
+}
+
+namespace {
+constexpr std::uint64_t kDatasetMagic = 0x5054594348444154ULL;  // "PTYCHDAT"
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void write_f64(std::ofstream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+std::uint64_t read_u64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  return v;
+}
+double read_f64(std::ifstream& in) {
+  double v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  return v;
+}
+}  // namespace
+
+void save_dataset(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path, std::ios::binary);
+  PTYCHO_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  write_u64(out, kDatasetMagic);
+  const DatasetSpec& spec = dataset.spec;
+  write_u64(out, spec.name.size());
+  out.write(spec.name.data(), static_cast<std::streamsize>(spec.name.size()));
+  write_u64(out, static_cast<std::uint64_t>(spec.scan.rows));
+  write_u64(out, static_cast<std::uint64_t>(spec.scan.cols));
+  write_u64(out, static_cast<std::uint64_t>(spec.scan.step_px));
+  write_u64(out, static_cast<std::uint64_t>(spec.scan.step_y_px));
+  write_u64(out, static_cast<std::uint64_t>(spec.scan.margin_px));
+  write_u64(out, static_cast<std::uint64_t>(spec.scan.probe_n));
+  write_u64(out, spec.grid.probe_n);
+  write_f64(out, spec.grid.dx_pm);
+  write_f64(out, spec.grid.dz_pm);
+  write_f64(out, spec.grid.wavelength_pm);
+  write_f64(out, spec.probe.aperture_mrad);
+  write_f64(out, spec.probe.defocus_pm);
+  write_f64(out, spec.probe.cs_pm);
+  write_u64(out, static_cast<std::uint64_t>(spec.slices));
+  write_u64(out, static_cast<std::uint64_t>(spec.model.model));
+  write_f64(out, static_cast<double>(spec.model.sigma));
+  write_u64(out, dataset.measurements.size());
+  for (const RArray2D& m : dataset.measurements) {
+    out.write(reinterpret_cast<const char*>(m.data()),
+              static_cast<std::streamsize>(m.bytes()));
+  }
+  PTYCHO_CHECK(out.good(), "write failed for '" << path << "'");
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PTYCHO_CHECK(in.good(), "cannot open '" << path << "' for reading");
+  PTYCHO_CHECK(read_u64(in) == kDatasetMagic, "'" << path << "' is not a dataset file");
+  DatasetSpec spec;
+  const auto name_len = read_u64(in);
+  PTYCHO_CHECK(name_len < (1u << 20), "corrupt dataset name length");
+  spec.name.resize(name_len);
+  in.read(spec.name.data(), static_cast<std::streamsize>(name_len));
+  spec.scan.rows = static_cast<index_t>(read_u64(in));
+  spec.scan.cols = static_cast<index_t>(read_u64(in));
+  spec.scan.step_px = static_cast<index_t>(read_u64(in));
+  spec.scan.step_y_px = static_cast<index_t>(read_u64(in));
+  spec.scan.margin_px = static_cast<index_t>(read_u64(in));
+  spec.scan.probe_n = static_cast<index_t>(read_u64(in));
+  spec.grid.probe_n = read_u64(in);
+  spec.grid.dx_pm = read_f64(in);
+  spec.grid.dz_pm = read_f64(in);
+  spec.grid.wavelength_pm = read_f64(in);
+  spec.probe.aperture_mrad = read_f64(in);
+  spec.probe.defocus_pm = read_f64(in);
+  spec.probe.cs_pm = read_f64(in);
+  spec.slices = static_cast<index_t>(read_u64(in));
+  spec.model.model = static_cast<ObjectModel>(read_u64(in));
+  spec.model.sigma = static_cast<real>(read_f64(in));
+  PTYCHO_CHECK(in.good(), "truncated dataset header in '" << path << "'");
+
+  Dataset dataset(spec, ScanPattern(spec.scan), Probe(spec.grid, spec.probe));
+  const auto count = read_u64(in);
+  PTYCHO_CHECK(count == static_cast<std::uint64_t>(dataset.scan.count()),
+               "dataset '" << path << "' measurement count does not match its scan");
+  const auto n = static_cast<index_t>(spec.grid.probe_n);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RArray2D m(n, n);
+    in.read(reinterpret_cast<char*>(m.data()), static_cast<std::streamsize>(m.bytes()));
+    dataset.measurements.push_back(std::move(m));
+  }
+  PTYCHO_CHECK(in.good(), "truncated measurements in '" << path << "'");
+  return dataset;
+}
+
+}  // namespace ptycho::io

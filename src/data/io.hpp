@@ -1,0 +1,53 @@
+// Output helpers: PGM images (Fig. 8 artifact panels), CSV series
+// (Fig. 7/9 data), and raw binary volume snapshots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/framed.hpp"
+
+namespace ptycho::io {
+
+/// Write a grayscale 8-bit PGM of the view, linearly mapping
+/// [min, max] -> [0, 255]; if min == max the image is mid-gray.
+void write_pgm(const std::string& path, View2D<const real> image);
+
+/// Phase of a complex slice as a PGM (useful for atomic-lattice views).
+void write_phase_pgm(const std::string& path, View2D<const cplx> slice);
+
+/// CSV writer: header row then data rows.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void header(const std::vector<std::string>& names);
+  void row(const std::vector<double>& values);
+  void raw_row(const std::string& line);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Raw little-endian dump/load of a framed volume (frame + slices + data).
+void save_volume(const std::string& path, const FramedVolume& volume);
+[[nodiscard]] FramedVolume load_volume(const std::string& path);
+
+}  // namespace ptycho::io
+
+#include "data/dataset.hpp"
+
+namespace ptycho::io {
+
+/// Serialize a dataset (spec + measurement stack; the probe is rebuilt
+/// from the spec on load, the ground truth is not persisted). Enables
+/// simulate-once / reconstruct-many workflows and checkpoint-resume runs
+/// from the CLI tool.
+void save_dataset(const std::string& path, const Dataset& dataset);
+[[nodiscard]] Dataset load_dataset(const std::string& path);
+
+}  // namespace ptycho::io

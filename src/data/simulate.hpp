@@ -1,0 +1,35 @@
+// Forward data acquisition: turn a specimen into a measured dataset.
+//
+// Substitutes for the microscope: runs the multislice forward model at
+// every probe location and (optionally) applies Poisson shot noise at a
+// given electron dose, like the simulated acquisitions in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+
+namespace ptycho {
+
+struct AcquisitionParams {
+  /// Electrons per probe position; 0 disables noise (noiseless magnitudes).
+  double dose_electrons = 0.0;
+  std::uint64_t noise_seed = 1234;
+};
+
+/// Build a complete synthetic dataset: specimen + scan + probe +
+/// simulated measurements (with the ground truth retained).
+[[nodiscard]] Dataset make_synthetic_dataset(const DatasetSpec& spec,
+                                             const SpecimenParams& specimen = {},
+                                             const AcquisitionParams& acq = {});
+
+/// Simulate measurements for an existing volume/scan/probe (used by tests
+/// that need measurements consistent with a known object).
+[[nodiscard]] std::vector<RArray2D> simulate_measurements(const MultisliceOperator& op,
+                                                          const Probe& probe,
+                                                          const FramedVolume& specimen,
+                                                          const ScanPattern& scan,
+                                                          const AcquisitionParams& acq = {});
+
+}  // namespace ptycho

@@ -1,0 +1,118 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace ptycho {
+
+namespace {
+
+struct Column {
+  double y_pm = 0.0;
+  double x_pm = 0.0;
+  double phase = 0.0;
+  double absorption = 0.0;
+};
+
+// Atomic columns of one perovskite unit cell, in cell-fraction coordinates.
+// Corner (0,0): heavy A-site (Pb). Center (1/2,1/2): B-site (Ti). Edge
+// midpoints: oxygen.
+struct Site {
+  double fy, fx;
+  int kind;  // 0 heavy, 1 center, 2 oxygen
+};
+constexpr Site kSites[] = {
+    {0.0, 0.0, 0}, {0.5, 0.5, 1}, {0.5, 0.0, 2}, {0.0, 0.5, 2},
+};
+
+}  // namespace
+
+FramedVolume make_perovskite_specimen(const Rect& field, index_t slices,
+                                      const OpticsGrid& grid, const SpecimenParams& params) {
+  PTYCHO_REQUIRE(slices >= 1, "specimen needs at least one slice");
+  PTYCHO_REQUIRE(!field.empty(), "specimen field must be non-empty");
+  FramedVolume volume(slices, field);
+
+  const double dx = grid.dx_pm;
+  const double a = params.lattice_pm;
+  const double sigma = params.atom_sigma_pm;
+  const double two_sigma_sq = 2.0 * sigma * sigma;
+  const double cutoff = 4.0 * sigma;  // truncate Gaussians at 4 sigma
+
+  Rng rng(params.seed);
+
+  for (index_t s = 0; s < slices; ++s) {
+    // Build the column list for this slice (jittered lattice).
+    std::vector<Column> columns;
+    const double field_h_pm = static_cast<double>(field.h) * dx;
+    const double field_w_pm = static_cast<double>(field.w) * dx;
+    const auto cells_y = static_cast<index_t>(field_h_pm / a) + 2;
+    const auto cells_x = static_cast<index_t>(field_w_pm / a) + 2;
+    for (index_t cy = -1; cy < cells_y; ++cy) {
+      for (index_t cx = -1; cx < cells_x; ++cx) {
+        for (const Site& site : kSites) {
+          Column col;
+          col.y_pm = (static_cast<double>(cy) + site.fy) * a + rng.normal(0.0, params.jitter_pm);
+          col.x_pm = (static_cast<double>(cx) + site.fx) * a + rng.normal(0.0, params.jitter_pm);
+          switch (site.kind) {
+            case 0:
+              col.phase = params.heavy_phase;
+              col.absorption = params.absorption;
+              break;
+            case 1:
+              col.phase = params.center_phase;
+              col.absorption = params.absorption * 0.5;
+              break;
+            default:
+              col.phase = params.oxygen_phase;
+              col.absorption = params.absorption * 0.2;
+              break;
+          }
+          columns.push_back(col);
+        }
+      }
+    }
+
+    // Rasterize phase and absorption fields.
+    std::vector<double> phase(static_cast<usize>(field.h * field.w), 0.0);
+    std::vector<double> absorb(static_cast<usize>(field.h * field.w), 0.0);
+    for (const Column& col : columns) {
+      const auto y_lo = static_cast<index_t>((col.y_pm - cutoff) / dx);
+      const auto y_hi = static_cast<index_t>((col.y_pm + cutoff) / dx) + 1;
+      const auto x_lo = static_cast<index_t>((col.x_pm - cutoff) / dx);
+      const auto x_hi = static_cast<index_t>((col.x_pm + cutoff) / dx) + 1;
+      for (index_t y = std::max<index_t>(y_lo, 0); y < std::min(y_hi, field.h); ++y) {
+        const double dy = static_cast<double>(y) * dx - col.y_pm;
+        for (index_t x = std::max<index_t>(x_lo, 0); x < std::min(x_hi, field.w); ++x) {
+          const double dxx = static_cast<double>(x) * dx - col.x_pm;
+          const double g = std::exp(-(dy * dy + dxx * dxx) / two_sigma_sq);
+          const auto idx = static_cast<usize>(y * field.w + x);
+          phase[idx] += col.phase * g;
+          absorb[idx] += col.absorption * g;
+        }
+      }
+    }
+
+    // Convert to complex transmittance t = (1 - absorb) * exp(i * phase).
+    for (index_t y = 0; y < field.h; ++y) {
+      for (index_t x = 0; x < field.w; ++x) {
+        const auto idx = static_cast<usize>(y * field.w + x);
+        const double amp = std::max(0.0, 1.0 - absorb[idx]);
+        volume.data(s, y, x) = cplx(static_cast<real>(amp * std::cos(phase[idx])),
+                                    static_cast<real>(amp * std::sin(phase[idx])));
+      }
+    }
+  }
+  return volume;
+}
+
+FramedVolume make_vacuum_volume(const Rect& field, index_t slices) {
+  FramedVolume volume(slices, field);
+  volume.data.fill(cplx(1, 0));
+  return volume;
+}
+
+}  // namespace ptycho

@@ -1,0 +1,109 @@
+#include "fft/fft2d.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ptycho::fft {
+
+Fft2D::Fft2D(usize rows, usize cols)
+    : rows_(rows), cols_(cols), row_plan_(cols), col_plan_(rows) {
+  PTYCHO_REQUIRE(rows >= 1 && cols >= 1, "Fft2D extents must be >= 1");
+}
+
+namespace {
+thread_local std::vector<cplx> t_column;
+}
+
+void Fft2D::transform_rows(View2D<cplx> field, bool fwd) const {
+  for (index_t y = 0; y < field.rows(); ++y) {
+    cplx* row = field.row(y);
+    if (fwd) {
+      row_plan_.forward(row);
+    } else {
+      row_plan_.inverse(row);
+    }
+  }
+}
+
+void Fft2D::transform_cols(View2D<cplx> field, bool fwd) const {
+  t_column.resize(rows_);
+  for (index_t x = 0; x < field.cols(); ++x) {
+    for (index_t y = 0; y < field.rows(); ++y) t_column[static_cast<usize>(y)] = field(y, x);
+    if (fwd) {
+      col_plan_.forward(t_column.data());
+    } else {
+      col_plan_.inverse(t_column.data());
+    }
+    for (index_t y = 0; y < field.rows(); ++y) field(y, x) = t_column[static_cast<usize>(y)];
+  }
+}
+
+void Fft2D::forward(View2D<cplx> field) const {
+  PTYCHO_CHECK(field.rows() == static_cast<index_t>(rows_) &&
+                   field.cols() == static_cast<index_t>(cols_),
+               "field shape does not match plan");
+  transform_rows(field, true);
+  transform_cols(field, true);
+}
+
+void Fft2D::inverse(View2D<cplx> field) const {
+  PTYCHO_CHECK(field.rows() == static_cast<index_t>(rows_) &&
+                   field.cols() == static_cast<index_t>(cols_),
+               "field shape does not match plan");
+  transform_rows(field, false);
+  transform_cols(field, false);
+}
+
+void Fft2D::adjoint_forward(View2D<cplx> field) const {
+  inverse(field);
+  const real scale = static_cast<real>(size());
+  for (index_t y = 0; y < field.rows(); ++y) {
+    cplx* row = field.row(y);
+    for (index_t x = 0; x < field.cols(); ++x) row[x] *= scale;
+  }
+}
+
+void Fft2D::adjoint_inverse(View2D<cplx> field) const {
+  forward(field);
+  const real scale = real(1) / static_cast<real>(size());
+  for (index_t y = 0; y < field.rows(); ++y) {
+    cplx* row = field.row(y);
+    for (index_t x = 0; x < field.cols(); ++x) row[x] *= scale;
+  }
+}
+
+namespace {
+// Roll rows/cols by the given shifts (used by both shift directions).
+void roll(View2D<cplx> field, index_t shift_y, index_t shift_x) {
+  const index_t rows = field.rows();
+  const index_t cols = field.cols();
+  std::vector<cplx> buffer(static_cast<usize>(rows * cols));
+  for (index_t y = 0; y < rows; ++y) {
+    const index_t sy = (y + shift_y) % rows;
+    for (index_t x = 0; x < cols; ++x) {
+      const index_t sx = (x + shift_x) % cols;
+      buffer[static_cast<usize>(sy * cols + sx)] = field(y, x);
+    }
+  }
+  for (index_t y = 0; y < rows; ++y) {
+    for (index_t x = 0; x < cols; ++x) field(y, x) = buffer[static_cast<usize>(y * cols + x)];
+  }
+}
+}  // namespace
+
+void fftshift(View2D<cplx> field) { roll(field, field.rows() / 2, field.cols() / 2); }
+
+void ifftshift(View2D<cplx> field) {
+  roll(field, (field.rows() + 1) / 2, (field.cols() + 1) / 2);
+}
+
+double fft_freq(usize i, usize n) {
+  const auto signed_i = static_cast<long long>(i);
+  const auto signed_n = static_cast<long long>(n);
+  const long long half = (signed_n - 1) / 2;
+  const long long k = signed_i <= half ? signed_i : signed_i - signed_n;
+  return static_cast<double>(k) / static_cast<double>(signed_n);
+}
+
+}  // namespace ptycho::fft

@@ -1,0 +1,55 @@
+// Two-dimensional planned FFT over View2D<cplx>, plus fftshift helpers.
+//
+// The multislice operator transforms each probe-sized wavefield twice per
+// slice, so Fft2D is the hottest kernel in the library — columns are
+// processed through a contiguous gather/scatter buffer to keep the 1-D
+// kernel on unit-stride data.
+#pragma once
+
+#include "fft/plan.hpp"
+#include "tensor/array.hpp"
+
+namespace ptycho::fft {
+
+class Fft2D {
+ public:
+  /// Plan for `rows x cols` transforms.
+  Fft2D(usize rows, usize cols);
+
+  [[nodiscard]] usize rows() const { return row_plan_.size() == 0 ? 0 : rows_; }
+  [[nodiscard]] usize cols() const { return cols_; }
+  [[nodiscard]] usize size() const { return rows_ * cols_; }
+
+  /// In-place unnormalized forward transform.
+  void forward(View2D<cplx> field) const;
+
+  /// In-place inverse with 1/(rows*cols) normalization.
+  void inverse(View2D<cplx> field) const;
+
+  /// Adjoint of `forward` = size() * inverse (see plan.hpp conventions).
+  void adjoint_forward(View2D<cplx> field) const;
+
+  /// Adjoint of `inverse` = (1/size()) * forward.
+  void adjoint_inverse(View2D<cplx> field) const;
+
+ private:
+  void transform_rows(View2D<cplx> field, bool fwd) const;
+  void transform_cols(View2D<cplx> field, bool fwd) const;
+
+  usize rows_ = 0;
+  usize cols_ = 0;
+  Plan1D row_plan_;  // length cols_ (transforms along x)
+  Plan1D col_plan_;  // length rows_ (transforms along y)
+};
+
+/// Swap quadrants so the zero frequency moves to the array center.
+void fftshift(View2D<cplx> field);
+
+/// Inverse of fftshift (differs from it for odd extents).
+void ifftshift(View2D<cplx> field);
+
+/// Frequency coordinate of index i in an n-point DFT, in cycles/sample
+/// units of 1/n (i.e. the standard fftfreq ordering: 0, 1, ..., -1 scaled).
+[[nodiscard]] double fft_freq(usize i, usize n);
+
+}  // namespace ptycho::fft

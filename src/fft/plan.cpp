@@ -1,0 +1,99 @@
+#include "fft/plan.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptycho::fft {
+
+usize next_pow2(usize n) {
+  usize p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+struct Plan1D::Radix2Tables {
+  std::vector<usize> bitrev;
+  std::vector<cplx> twiddles;
+};
+
+struct Plan1D::BluesteinTables {
+  usize m = 0;                      // padded pow2 size >= 2n-1
+  std::vector<cplx> chirp;          // a_k = exp(-iπ k² / n), k in [0, n)
+  std::vector<cplx> filter_fft;     // forward FFT of b (conjugate chirp, wrapped)
+  std::vector<usize> bitrev;        // tables for size m
+  std::vector<cplx> twiddles;
+};
+
+namespace {
+// Chirp phase exp(-iπ k² / n) evaluated in double with k² reduced mod 2n
+// (k² / n mod 2 is what matters for the complex exponential) to preserve
+// accuracy for large k.
+cplx chirp_value(usize k, usize n, int sign) {
+  const usize k2mod = static_cast<usize>(
+      (static_cast<unsigned long long>(k) * k) % (2ULL * n));
+  const double angle = sign * 3.14159265358979323846 * static_cast<double>(k2mod) /
+                       static_cast<double>(n);
+  return cplx(static_cast<real>(std::cos(angle)), static_cast<real>(std::sin(angle)));
+}
+}  // namespace
+
+Plan1D::Plan1D(usize n) : n_(n) {
+  PTYCHO_REQUIRE(n >= 1, "FFT size must be >= 1");
+  if (is_pow2(n)) {
+    radix2_ = std::make_unique<Radix2Tables>();
+    radix2_->bitrev = detail::make_bitrev(n);
+    radix2_->twiddles = detail::make_twiddles(n);
+    return;
+  }
+  bluestein_ = std::make_unique<BluesteinTables>();
+  auto& bt = *bluestein_;
+  bt.m = next_pow2(2 * n - 1);
+  bt.bitrev = detail::make_bitrev(bt.m);
+  bt.twiddles = detail::make_twiddles(bt.m);
+  bt.chirp.resize(n);
+  for (usize k = 0; k < n; ++k) bt.chirp[k] = chirp_value(k, n, -1);
+  // Filter b[j] = conj(chirp)[|j|] wrapped onto [0, m).
+  std::vector<cplx> filter(bt.m, cplx{});
+  for (usize k = 0; k < n; ++k) {
+    const cplx b = chirp_value(k, n, +1);
+    filter[k] = b;
+    if (k != 0) filter[bt.m - k] = b;
+  }
+  detail::radix2_transform(filter.data(), bt.m, -1, bt.bitrev, bt.twiddles);
+  bt.filter_fft = std::move(filter);
+}
+
+Plan1D::~Plan1D() = default;
+Plan1D::Plan1D(Plan1D&&) noexcept = default;
+Plan1D& Plan1D::operator=(Plan1D&&) noexcept = default;
+
+namespace {
+thread_local std::vector<cplx> t_scratch;
+}
+
+void Plan1D::forward(cplx* data) const {
+  if (radix2_) {
+    detail::radix2_transform(data, n_, -1, radix2_->bitrev, radix2_->twiddles);
+    return;
+  }
+  const auto& bt = *bluestein_;
+  t_scratch.assign(bt.m, cplx{});
+  for (usize k = 0; k < n_; ++k) t_scratch[k] = data[k] * bt.chirp[k];
+  detail::radix2_transform(t_scratch.data(), bt.m, -1, bt.bitrev, bt.twiddles);
+  for (usize k = 0; k < bt.m; ++k) t_scratch[k] *= bt.filter_fft[k];
+  detail::radix2_transform(t_scratch.data(), bt.m, +1, bt.bitrev, bt.twiddles);
+  const real inv_m = real(1) / static_cast<real>(bt.m);
+  for (usize k = 0; k < n_; ++k) data[k] = t_scratch[k] * inv_m * bt.chirp[k];
+}
+
+void Plan1D::inverse(cplx* data) const {
+  // inverse(x) = conj(forward(conj(x))) / n — reuses the forward kernels so
+  // Bluestein sizes get the inverse for free.
+  for (usize k = 0; k < n_; ++k) data[k] = std::conj(data[k]);
+  forward(data);
+  const real inv_n = real(1) / static_cast<real>(n_);
+  for (usize k = 0; k < n_; ++k) data[k] = std::conj(data[k]) * inv_n;
+}
+
+}  // namespace ptycho::fft

@@ -1,0 +1,67 @@
+// Planned complex-to-complex FFTs (the cuFFT substitute).
+//
+// Conventions (used consistently by the physics layer and its adjoints):
+//   forward:  X[k] = sum_j x[j] exp(-2πi jk / n)      (unnormalized)
+//   inverse:  x[j] = (1/n) sum_k X[k] exp(+2πi jk/n)
+// so inverse(forward(x)) == x, and the adjoint of `forward` is
+// n * inverse (used by the gradient engine — see core/gradient_engine.cpp).
+//
+// Power-of-two sizes run the iterative radix-2 Cooley–Tukey kernel; any
+// other size runs Bluestein's chirp-z algorithm on a padded power-of-two
+// plan. Plans are immutable after construction and safe to share across
+// rank threads (scratch is per-thread).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ptycho::fft {
+
+[[nodiscard]] constexpr bool is_pow2(usize n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n.
+[[nodiscard]] usize next_pow2(usize n);
+
+/// One-dimensional plan for a fixed size n >= 1.
+class Plan1D {
+ public:
+  explicit Plan1D(usize n);
+  ~Plan1D();
+  Plan1D(Plan1D&&) noexcept;
+  Plan1D& operator=(Plan1D&&) noexcept;
+  Plan1D(const Plan1D&) = delete;
+  Plan1D& operator=(const Plan1D&) = delete;
+
+  [[nodiscard]] usize size() const { return n_; }
+
+  /// In-place transform of `n` contiguous elements.
+  void forward(cplx* data) const;
+  void inverse(cplx* data) const;
+
+ private:
+  struct Radix2Tables;
+  struct BluesteinTables;
+
+  usize n_ = 0;
+  std::unique_ptr<Radix2Tables> radix2_;        // set when n is a power of two
+  std::unique_ptr<BluesteinTables> bluestein_;  // set otherwise
+
+  friend struct PlanAccess;
+};
+
+namespace detail {
+/// Radix-2 kernel: in-place DIT FFT on pow2-sized data. `sign` is -1 for
+/// forward, +1 for inverse (no normalization applied here).
+void radix2_transform(cplx* data, usize n, int sign, const std::vector<usize>& bitrev,
+                      const std::vector<cplx>& twiddles_fwd);
+
+/// Build bit-reversal permutation for size n (pow2).
+[[nodiscard]] std::vector<usize> make_bitrev(usize n);
+
+/// Twiddle table: for each stage, the roots exp(-2πi k / len).
+[[nodiscard]] std::vector<cplx> make_twiddles(usize n);
+}  // namespace detail
+
+}  // namespace ptycho::fft

@@ -1,0 +1,14 @@
+// O(n²) reference DFT used to validate the fast transforms in tests.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ptycho::fft {
+
+/// Direct DFT. `sign = -1` matches Plan1D::forward (unnormalized);
+/// `sign = +1` is the unnormalized inverse kernel.
+[[nodiscard]] std::vector<cplx> reference_dft(const std::vector<cplx>& input, int sign);
+
+}  // namespace ptycho::fft

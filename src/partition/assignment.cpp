@@ -1,0 +1,92 @@
+#include "partition/assignment.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "partition/overlap.hpp"
+
+namespace ptycho {
+
+void validate_partition(const Partition& partition, const ScanPattern& scan) {
+  const Rect field = partition.field();
+
+  // Owned rects tile the field exactly: disjoint and area-complete.
+  index_t owned_area = 0;
+  for (const TileSpec& tile : partition.tiles()) {
+    PTYCHO_CHECK(field.contains(tile.owned), "tile " << tile.rank << " owned escapes field");
+    PTYCHO_CHECK(tile.extended.contains(tile.owned),
+                 "tile " << tile.rank << " extended does not contain owned");
+    owned_area += tile.owned.area();
+    for (const TileSpec& other : partition.tiles()) {
+      if (other.rank <= tile.rank) continue;
+      PTYCHO_CHECK(intersect(tile.owned, other.owned).empty(),
+                   "owned rects of tiles " << tile.rank << " and " << other.rank << " overlap");
+    }
+  }
+  PTYCHO_CHECK(owned_area == field.area(), "owned rects do not cover the field");
+
+  // Probe ownership: exactly once, and windows covered by extended rects.
+  std::vector<int> owner(static_cast<usize>(scan.count()), -1);
+  for (const TileSpec& tile : partition.tiles()) {
+    for (index_t id : tile.own_probes) {
+      PTYCHO_CHECK(id >= 0 && id < scan.count(), "probe id out of range");
+      PTYCHO_CHECK(owner[static_cast<usize>(id)] < 0,
+                   "probe " << id << " owned by two tiles");
+      owner[static_cast<usize>(id)] = tile.rank;
+      PTYCHO_CHECK(tile.extended.contains(clip(scan[id].window, field)),
+                   "tile " << tile.rank << " extended misses probe window " << id);
+    }
+    for (index_t id : tile.replicated_probes) {
+      PTYCHO_CHECK(tile.extended.contains(clip(scan[id].window, field)),
+                   "tile " << tile.rank << " extended misses replicated window " << id);
+    }
+  }
+  for (index_t id = 0; id < scan.count(); ++id) {
+    PTYCHO_CHECK(owner[static_cast<usize>(id)] >= 0, "probe " << id << " unowned");
+  }
+}
+
+PartitionStats partition_stats(const Partition& partition) {
+  PartitionStats stats;
+  bool first = true;
+  for (const TileSpec& tile : partition.tiles()) {
+    const auto own = static_cast<index_t>(tile.own_probes.size());
+    const auto rep = static_cast<index_t>(tile.replicated_probes.size());
+    if (first) {
+      stats.min_probes = stats.max_probes = own;
+      stats.min_replicated = stats.max_replicated = rep;
+      first = false;
+    } else {
+      stats.min_probes = std::min(stats.min_probes, own);
+      stats.max_probes = std::max(stats.max_probes, own);
+      stats.min_replicated = std::min(stats.min_replicated, rep);
+      stats.max_replicated = std::max(stats.max_replicated, rep);
+    }
+  }
+  stats.max_halo_px = partition.max_halo_px();
+  stats.extended_area_ratio = extended_area_ratio(partition);
+  stats.measurement_replication = partition.measurement_replication();
+  return stats;
+}
+
+bool all_tiles_own_probes(const Partition& partition) {
+  for (const TileSpec& tile : partition.tiles()) {
+    if (tile.own_probes.empty()) return false;
+  }
+  return true;
+}
+
+std::string describe(const Partition& partition) {
+  const PartitionStats stats = partition_stats(partition);
+  std::ostringstream os;
+  os << to_string(partition.strategy()) << " mesh " << partition.mesh().rows() << "x"
+     << partition.mesh().cols() << ", probes/tile [" << stats.min_probes << ", "
+     << stats.max_probes << "], replicated [" << stats.min_replicated << ", "
+     << stats.max_replicated << "], max halo " << stats.max_halo_px << " px, area ratio "
+     << stats.extended_area_ratio << ", meas replication " << stats.measurement_replication;
+  return os.str();
+}
+
+}  // namespace ptycho

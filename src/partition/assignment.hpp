@@ -1,0 +1,37 @@
+// Partition validation and balance statistics.
+#pragma once
+
+#include <string>
+
+#include "partition/tilegrid.hpp"
+
+namespace ptycho {
+
+/// Throws ptycho::Error with a description if the partition violates an
+/// invariant: owned rects must exactly tile the field; every probe must be
+/// owned by exactly one tile; every tile's extended rect must contain all
+/// of its probes' windows and its owned rect.
+void validate_partition(const Partition& partition, const ScanPattern& scan);
+
+struct PartitionStats {
+  index_t min_probes = 0;   ///< fewest own probes on any tile
+  index_t max_probes = 0;   ///< most own probes on any tile
+  index_t min_replicated = 0;
+  index_t max_replicated = 0;
+  index_t max_halo_px = 0;
+  double extended_area_ratio = 1.0;
+  double measurement_replication = 1.0;
+};
+
+[[nodiscard]] PartitionStats partition_stats(const Partition& partition);
+
+/// True when every tile owns at least one probe. The sweep passes are
+/// exact only in this regime (a probe-less tile has no halo and breaks the
+/// accumulation chain); solvers warn and users should shrink the mesh or
+/// fall back to the all-reduce synchronizer otherwise.
+[[nodiscard]] bool all_tiles_own_probes(const Partition& partition);
+
+/// One-line human-readable summary (harness logging).
+[[nodiscard]] std::string describe(const Partition& partition);
+
+}  // namespace ptycho

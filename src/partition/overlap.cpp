@@ -1,0 +1,42 @@
+#include "partition/overlap.hpp"
+
+namespace ptycho {
+
+CardinalOverlaps cardinal_overlaps(const Partition& partition, int rank) {
+  const rt::Mesh2D& mesh = partition.mesh();
+  const rt::Mesh2D::Cardinal card = mesh.cardinal(rank);
+  CardinalOverlaps out;
+  out.north_rank = card.north;
+  out.south_rank = card.south;
+  out.west_rank = card.west;
+  out.east_rank = card.east;
+  if (card.north >= 0) out.north = partition.overlap(rank, card.north);
+  if (card.south >= 0) out.south = partition.overlap(rank, card.south);
+  if (card.west >= 0) out.west = partition.overlap(rank, card.west);
+  if (card.east >= 0) out.east = partition.overlap(rank, card.east);
+  return out;
+}
+
+std::vector<PasteEdge> paste_schedule(const Partition& partition) {
+  std::vector<PasteEdge> edges;
+  const int nranks = partition.nranks();
+  for (int src = 0; src < nranks; ++src) {
+    const Rect& owned = partition.tile(src).owned;
+    for (int dst = 0; dst < nranks; ++dst) {
+      if (dst == src) continue;
+      const Rect strip = intersect(owned, partition.tile(dst).extended);
+      if (!strip.empty()) edges.push_back(PasteEdge{src, dst, strip});
+    }
+  }
+  return edges;
+}
+
+double extended_area_ratio(const Partition& partition) {
+  double extended = 0.0;
+  for (const TileSpec& tile : partition.tiles()) {
+    extended += static_cast<double>(tile.extended.area());
+  }
+  return extended / static_cast<double>(partition.field().area());
+}
+
+}  // namespace ptycho

@@ -1,0 +1,37 @@
+// Neighbor overlap geometry derived from a Partition.
+//
+// Gradient Decomposition exchanges gradients over the overlaps of
+// *extended* tiles (Sec. III/IV); Halo Voxel Exchange pastes owned voxels
+// into the strips of neighbours' halos that fall inside this rank's owned
+// region (Sec. II-C). Both schedules are precomputed here once per run.
+#pragma once
+
+#include "partition/tilegrid.hpp"
+
+namespace ptycho {
+
+/// Cardinal-neighbour overlap rects for one rank (empty Rect when absent
+/// or disjoint). Used by the forward/backward pass schedule.
+struct CardinalOverlaps {
+  int north_rank = -1, south_rank = -1, west_rank = -1, east_rank = -1;
+  Rect north, south, west, east;  ///< overlap of extended regions
+};
+
+[[nodiscard]] CardinalOverlaps cardinal_overlaps(const Partition& partition, int rank);
+
+/// HVE paste edge: `src` sends the part of its *owned* region that lies
+/// inside `dst`'s extended region (dst's halo strip).
+struct PasteEdge {
+  int src = 0;
+  int dst = 0;
+  Rect region;
+};
+
+/// All paste edges of the partition (every ordered overlapping pair).
+[[nodiscard]] std::vector<PasteEdge> paste_schedule(const Partition& partition);
+
+/// Diagnostic: total extended area / field area — the storage redundancy
+/// of a decomposition (1.0 = no halos at all).
+[[nodiscard]] double extended_area_ratio(const Partition& partition);
+
+}  // namespace ptycho

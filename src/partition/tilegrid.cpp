@@ -1,0 +1,167 @@
+#include "partition/tilegrid.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ptycho {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kGradientDecomposition: return "GradientDecomposition";
+    case Strategy::kHaloVoxelExchange: return "HaloVoxelExchange";
+  }
+  return "?";
+}
+
+index_t TileSpec::max_halo() const {
+  return std::max({halo_north(), halo_south(), halo_west(), halo_east()});
+}
+
+namespace {
+
+/// Even 1-D split: boundary i at round(i * extent / parts).
+index_t split_point(index_t extent, int parts, int i) {
+  return (extent * i + parts / 2) / parts;
+}
+
+}  // namespace
+
+Partition::Partition(const ScanPattern& scan, const PartitionConfig& config)
+    : config_(config), field_(scan.field()), probe_count_(scan.count()) {
+  const rt::Mesh2D& mesh = config_.mesh;
+  PTYCHO_REQUIRE(mesh.size() >= 1, "partition mesh must be non-empty");
+  PTYCHO_REQUIRE(mesh.rows() <= field_.h && mesh.cols() <= field_.w,
+                 "more mesh rows/cols than image pixels");
+
+  tiles_.resize(static_cast<usize>(mesh.size()));
+  for (int r = 0; r < mesh.rows(); ++r) {
+    const index_t y0 = field_.y0 + split_point(field_.h, mesh.rows(), r);
+    const index_t y1 = field_.y0 + split_point(field_.h, mesh.rows(), r + 1);
+    for (int c = 0; c < mesh.cols(); ++c) {
+      const index_t x0 = field_.x0 + split_point(field_.w, mesh.cols(), c);
+      const index_t x1 = field_.x0 + split_point(field_.w, mesh.cols(), c + 1);
+      const int rank = mesh.rank_of(r, c);
+      TileSpec& tile = tiles_[static_cast<usize>(rank)];
+      tile.rank = rank;
+      tile.grid_row = r;
+      tile.grid_col = c;
+      tile.owned = Rect{y0, x0, y1 - y0, x1 - x0};
+      tile.extended = tile.owned;
+    }
+  }
+
+  // Assign each probe to the tile containing its window center; extend the
+  // tile to cover the window (clipped to the field — windows never escape
+  // the field by ScanPattern construction).
+  for (const ProbeLocation& loc : scan.locations()) {
+    const index_t cy = loc.window.y0 + loc.window.h / 2;
+    const index_t cx = loc.window.x0 + loc.window.w / 2;
+    int owner = -1;
+    for (const TileSpec& tile : tiles_) {
+      if (tile.owned.contains(cy, cx)) {
+        owner = tile.rank;
+        break;
+      }
+    }
+    PTYCHO_CHECK(owner >= 0, "probe center outside the field");
+    TileSpec& tile = tiles_[static_cast<usize>(owner)];
+    tile.own_probes.push_back(loc.id);
+    tile.extended = bounding_union(tile.extended, clip(loc.window, field_));
+  }
+
+  if (config_.strategy == Strategy::kHaloVoxelExchange) {
+    // Replicate probes within `rings` scan steps (Chebyshev distance in the
+    // scan grid) of any owned probe; augment the halo to cover them.
+    const int rings = config_.hve_extra_rings;
+    PTYCHO_REQUIRE(rings >= 0, "hve_extra_rings must be >= 0");
+    const auto& locations = scan.locations();
+    for (TileSpec& tile : tiles_) {
+      if (tile.own_probes.empty()) continue;
+      // Bounding block of the tile's own probes in scan-grid coordinates.
+      index_t row_lo = locations[static_cast<usize>(tile.own_probes.front())].grid_row;
+      index_t row_hi = row_lo;
+      index_t col_lo = locations[static_cast<usize>(tile.own_probes.front())].grid_col;
+      index_t col_hi = col_lo;
+      for (index_t id : tile.own_probes) {
+        const ProbeLocation& loc = locations[static_cast<usize>(id)];
+        row_lo = std::min(row_lo, loc.grid_row);
+        row_hi = std::max(row_hi, loc.grid_row);
+        col_lo = std::min(col_lo, loc.grid_col);
+        col_hi = std::max(col_hi, loc.grid_col);
+      }
+      for (const ProbeLocation& loc : locations) {
+        const bool owned_here =
+            loc.grid_row >= row_lo && loc.grid_row <= row_hi && loc.grid_col >= col_lo &&
+            loc.grid_col <= col_hi;
+        if (owned_here) continue;
+        const index_t d_row = loc.grid_row < row_lo ? row_lo - loc.grid_row
+                                                    : std::max<index_t>(loc.grid_row - row_hi, 0);
+        const index_t d_col = loc.grid_col < col_lo ? col_lo - loc.grid_col
+                                                    : std::max<index_t>(loc.grid_col - col_hi, 0);
+        if (std::max(d_row, d_col) <= rings) {
+          tile.replicated_probes.push_back(loc.id);
+          tile.extended = bounding_union(tile.extended, clip(loc.window, field_));
+        }
+      }
+    }
+  }
+}
+
+const TileSpec& Partition::tile(int rank) const {
+  PTYCHO_CHECK(rank >= 0 && rank < nranks(), "invalid rank " << rank);
+  return tiles_[static_cast<usize>(rank)];
+}
+
+Rect Partition::overlap(int rank_a, int rank_b) const {
+  return intersect(tile(rank_a).extended, tile(rank_b).extended);
+}
+
+std::vector<Partition::OverlapEdge> Partition::overlap_graph() const {
+  std::vector<OverlapEdge> edges;
+  for (int a = 0; a < nranks(); ++a) {
+    for (int b = a + 1; b < nranks(); ++b) {
+      const Rect region = overlap(a, b);
+      if (!region.empty()) edges.push_back(OverlapEdge{a, b, region});
+    }
+  }
+  return edges;
+}
+
+bool Partition::hve_paste_feasible() const {
+  // Each halo strip must be covered by the owned region of the adjacent
+  // tile: the overhang on a side must not exceed that neighbour's owned
+  // extent, otherwise a paste would need voxels the neighbour does not own.
+  const rt::Mesh2D& mesh = config_.mesh;
+  for (const TileSpec& tile : tiles_) {
+    const auto neighbor_extent = [&](int dr, int dc) -> index_t {
+      const int nr = tile.grid_row + dr;
+      const int nc = tile.grid_col + dc;
+      if (!mesh.valid(nr, nc)) return 0;
+      const TileSpec& n = tiles_[static_cast<usize>(mesh.rank_of(nr, nc))];
+      return dr != 0 ? n.owned.h : n.owned.w;
+    };
+    if (tile.halo_north() > neighbor_extent(-1, 0)) return false;
+    if (tile.halo_south() > neighbor_extent(+1, 0)) return false;
+    if (tile.halo_west() > neighbor_extent(0, -1)) return false;
+    if (tile.halo_east() > neighbor_extent(0, +1)) return false;
+  }
+  return true;
+}
+
+index_t Partition::max_halo_px() const {
+  index_t best = 0;
+  for (const TileSpec& tile : tiles_) best = std::max(best, tile.max_halo());
+  return best;
+}
+
+double Partition::measurement_replication() const {
+  usize stored = 0;
+  for (const TileSpec& tile : tiles_) {
+    stored += tile.own_probes.size() + tile.replicated_probes.size();
+  }
+  return probe_count_ == 0 ? 1.0
+                           : static_cast<double>(stored) / static_cast<double>(probe_count_);
+}
+
+}  // namespace ptycho

@@ -1,0 +1,95 @@
+// Image-plane partitioning: tiles, halos and probe assignment.
+//
+// This module encodes the geometric difference between the two algorithms
+// of the paper (Figs. 2 and 3):
+//  * Gradient Decomposition: a tile's extended region is its owned rect
+//    unioned with the windows of *its own* probes only — small halos.
+//  * Halo Voxel Exchange: the tile additionally replicates neighbouring
+//    probe locations (the paper's configuration replicates two extra
+//    rings of scan rows/columns), so halos are much larger and probe
+//    measurements are stored redundantly.
+#pragma once
+
+#include <vector>
+
+#include "physics/scan.hpp"
+#include "runtime/topology.hpp"
+#include "tensor/region.hpp"
+
+namespace ptycho {
+
+enum class Strategy {
+  kGradientDecomposition,
+  kHaloVoxelExchange,
+};
+
+[[nodiscard]] const char* to_string(Strategy s);
+
+struct PartitionConfig {
+  rt::Mesh2D mesh;
+  Strategy strategy = Strategy::kGradientDecomposition;
+  /// HVE: rings of extra scan rows/cols replicated around each tile's own
+  /// block ("two extra rows of probe locations", paper Sec. VI-A).
+  int hve_extra_rings = 2;
+};
+
+/// One rank's share of the image and measurements.
+struct TileSpec {
+  int rank = 0;
+  int grid_row = 0;
+  int grid_col = 0;
+  Rect owned;     ///< disjoint cover of the field
+  Rect extended;  ///< owned + halo (covers all assigned probe windows)
+  std::vector<index_t> own_probes;         ///< probe ids whose center lies in `owned`
+  std::vector<index_t> replicated_probes;  ///< HVE: neighbouring probes replicated here
+
+  /// Halo overhang beyond the owned rect on each side (>= 0).
+  [[nodiscard]] index_t halo_north() const { return owned.y0 - extended.y0; }
+  [[nodiscard]] index_t halo_south() const { return extended.y1() - owned.y1(); }
+  [[nodiscard]] index_t halo_west() const { return owned.x0 - extended.x0; }
+  [[nodiscard]] index_t halo_east() const { return extended.x1() - owned.x1(); }
+  [[nodiscard]] index_t max_halo() const;
+};
+
+class Partition {
+ public:
+  Partition(const ScanPattern& scan, const PartitionConfig& config);
+
+  [[nodiscard]] const std::vector<TileSpec>& tiles() const { return tiles_; }
+  [[nodiscard]] const TileSpec& tile(int rank) const;
+  [[nodiscard]] const rt::Mesh2D& mesh() const { return config_.mesh; }
+  [[nodiscard]] Strategy strategy() const { return config_.strategy; }
+  [[nodiscard]] const Rect& field() const { return field_; }
+  [[nodiscard]] int nranks() const { return config_.mesh.size(); }
+
+  /// Overlap of the two ranks' extended regions (empty if disjoint).
+  [[nodiscard]] Rect overlap(int rank_a, int rank_b) const;
+
+  /// All overlapping extended-tile pairs (a < b) with their overlap rects.
+  struct OverlapEdge {
+    int rank_a = 0;
+    int rank_b = 0;
+    Rect region;
+  };
+  [[nodiscard]] std::vector<OverlapEdge> overlap_graph() const;
+
+  /// HVE paste constraint (paper Sec. VI-B): every halo must be covered by
+  /// the owned region of the adjacent tile, otherwise tiles cannot be kept
+  /// consistent and the method cannot run ("NA" entries in Table II).
+  [[nodiscard]] bool hve_paste_feasible() const;
+
+  /// Largest halo overhang across tiles (reporting; pm = px * dx).
+  [[nodiscard]] index_t max_halo_px() const;
+
+  /// Total probe instances stored across ranks / total probes — the
+  /// measurement replication factor (1.0 for GD, > 1 for HVE).
+  [[nodiscard]] double measurement_replication() const;
+
+ private:
+  PartitionConfig config_;
+  Rect field_;
+  std::vector<TileSpec> tiles_;
+  index_t probe_count_ = 0;
+};
+
+}  // namespace ptycho

@@ -1,0 +1,23 @@
+#include "physics/grid.hpp"
+
+#include <cmath>
+
+#include "fft/fft2d.hpp"
+
+namespace ptycho {
+
+double electron_wavelength_pm(double kilovolts) {
+  // λ = h / sqrt(2 m0 e U (1 + e U / (2 m0 c^2))), expressed in pm with U in volts.
+  const double volts = kilovolts * 1e3;
+  const double h = 6.62607015e-34;       // J s
+  const double m0 = 9.1093837015e-31;    // kg
+  const double e = 1.602176634e-19;      // C
+  const double c = 2.99792458e8;         // m/s
+  const double rel = 1.0 + e * volts / (2.0 * m0 * c * c);
+  const double lambda_m = h / std::sqrt(2.0 * m0 * e * volts * rel);
+  return lambda_m * 1e12;
+}
+
+double OpticsGrid::freq(usize i) const { return fft::fft_freq(i, probe_n) / dx_pm; }
+
+}  // namespace ptycho

@@ -1,0 +1,33 @@
+// Physical sampling grid and electron-optics constants.
+//
+// Length unit: picometers (pm) throughout, matching the paper's voxel
+// specification of 10 x 10 x 125 pm^3 and probe halo widths quoted in pm.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ptycho {
+
+/// Relativistic electron wavelength in pm for an accelerating voltage in
+/// kilovolts (200 kV -> ~2.508 pm, the paper's acquisition energy).
+[[nodiscard]] double electron_wavelength_pm(double kilovolts);
+
+/// Sampling of the probe window and the slice spacing.
+struct OpticsGrid {
+  usize probe_n = 64;          ///< probe/diffraction window is probe_n x probe_n
+  double dx_pm = 10.0;         ///< transverse pixel size (pm/px)
+  double dz_pm = 125.0;        ///< slice thickness (pm)
+  double wavelength_pm = 2.5079;  ///< beam wavelength (pm)
+
+  /// Spatial frequency (cycles/pm) of FFT bin i along an axis of length
+  /// probe_n; standard DFT ordering.
+  [[nodiscard]] double freq(usize i) const;
+
+  /// Nyquist frequency magnitude (cycles/pm).
+  [[nodiscard]] double nyquist() const { return 0.5 / dx_pm; }
+
+  /// Window side length in pm.
+  [[nodiscard]] double window_pm() const { return static_cast<double>(probe_n) * dx_pm; }
+};
+
+}  // namespace ptycho

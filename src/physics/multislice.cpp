@@ -1,0 +1,176 @@
+#include "physics/multislice.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptycho {
+
+MultisliceWorkspace::MultisliceWorkspace(index_t probe_n, index_t slices)
+    : psi(probe_n, probe_n),
+      far(probe_n, probe_n),
+      grad(probe_n, probe_n),
+      scratch(probe_n, probe_n) {
+  psi_in.reserve(static_cast<usize>(slices));
+  trans.reserve(static_cast<usize>(slices));
+  for (index_t s = 0; s < slices; ++s) {
+    psi_in.emplace_back(probe_n, probe_n);
+    trans.emplace_back(probe_n, probe_n);
+  }
+}
+
+MultisliceOperator::MultisliceOperator(const OpticsGrid& grid, MultisliceConfig config)
+    : grid_(grid), config_(config), propagator_(grid) {}
+
+void MultisliceOperator::compute_transmittance(const FramedVolume& volume, const Rect& window,
+                                               MultisliceWorkspace& ws) const {
+  const index_t slices = volume.slices();
+  PTYCHO_CHECK(ws.trans.size() == static_cast<usize>(slices),
+               "workspace slice count mismatch");
+  for (index_t s = 0; s < slices; ++s) {
+    View2D<const cplx> v = volume.window(s, window);
+    View2D<cplx> t = ws.trans[static_cast<usize>(s)].view();
+    if (config_.model == ObjectModel::kTransmittance) {
+      copy(v, t);
+      continue;
+    }
+    // t = exp(i * sigma * V): exp(i s (a+bi)) = exp(-s b) * (cos(sa) + i sin(sa))
+    const real sigma = config_.sigma;
+    for (index_t y = 0; y < v.rows(); ++y) {
+      const cplx* vr = v.row(y);
+      cplx* tr = t.row(y);
+      for (index_t x = 0; x < v.cols(); ++x) {
+        const real amp = std::exp(-sigma * vr[x].imag());
+        const real phase = sigma * vr[x].real();
+        tr[x] = cplx(amp * std::cos(phase), amp * std::sin(phase));
+      }
+    }
+  }
+}
+
+void MultisliceOperator::forward(const Probe& probe, const FramedVolume& volume,
+                                 const Rect& window, MultisliceWorkspace& ws) const {
+  const auto n = static_cast<index_t>(grid_.probe_n);
+  PTYCHO_REQUIRE(window.h == n && window.w == n, "probe window must be probe_n x probe_n");
+  PTYCHO_REQUIRE(volume.frame.contains(window), "probe window must lie inside the tile frame");
+  const index_t slices = volume.slices();
+
+  compute_transmittance(volume, window, ws);
+
+  copy(probe.field().view(), ws.psi.view());
+  for (index_t s = 0; s < slices; ++s) {
+    // Record the wavefield entering the slice (needed for the adjoint).
+    copy(ws.psi.view(), ws.psi_in[static_cast<usize>(s)].view());
+    multiply_inplace(ws.trans[static_cast<usize>(s)].view(), ws.psi.view());
+    propagator_.apply(ws.psi.view());
+  }
+  copy(ws.psi.view(), ws.far.view());
+  // Unitary far-field transform: |far|^2 integrates to the exit-wave
+  // energy (Parseval), so measurement magnitudes and gradients are
+  // independent of the window size.
+  propagator_.fft().forward(ws.far.view());
+  scale(cplx(real(1) / static_cast<real>(grid_.probe_n), 0), ws.far.view());
+}
+
+void MultisliceOperator::simulate_magnitude(const Probe& probe, const FramedVolume& volume,
+                                            const Rect& window, MultisliceWorkspace& ws,
+                                            View2D<real> out) const {
+  forward(probe, volume, window, ws);
+  for (index_t y = 0; y < out.rows(); ++y) {
+    real* o = out.row(y);
+    const cplx* f = ws.far.row(y);
+    for (index_t x = 0; x < out.cols(); ++x) o[x] = std::abs(f[x]);
+  }
+}
+
+double MultisliceOperator::cost_from_far(View2D<const real> y_mag,
+                                         const MultisliceWorkspace& ws) const {
+  double acc = 0.0;
+  for (index_t y = 0; y < y_mag.rows(); ++y) {
+    const real* ym = y_mag.row(y);
+    const cplx* f = ws.far.row(y);
+    for (index_t x = 0; x < y_mag.cols(); ++x) {
+      const double diff = static_cast<double>(std::abs(std::complex<double>(f[x]))) -
+                          static_cast<double>(ym[x]);
+      acc += diff * diff;
+    }
+  }
+  return acc;
+}
+
+double MultisliceOperator::cost(const Probe& probe, const FramedVolume& volume,
+                                const Rect& window, View2D<const real> y_mag,
+                                MultisliceWorkspace& ws) const {
+  forward(probe, volume, window, ws);
+  return cost_from_far(y_mag, ws);
+}
+
+double MultisliceOperator::cost_and_gradient(const Probe& probe, const FramedVolume& volume,
+                                             const Rect& window, View2D<const real> y_mag,
+                                             FramedVolume& grad_out, MultisliceWorkspace& ws,
+                                             View2D<cplx>* probe_grad_out) const {
+  PTYCHO_REQUIRE(grad_out.frame.contains(window), "gradient frame must contain the window");
+  PTYCHO_REQUIRE(grad_out.slices() == volume.slices(), "gradient slice count mismatch");
+
+  forward(probe, volume, window, ws);
+  const double cost_value = cost_from_far(y_mag, ws);
+
+  // Seed: g_far = 2 (|Psi| - |y|) * Psi / |Psi|  (Wirtinger gradient of f).
+  const auto n = static_cast<index_t>(grid_.probe_n);
+  for (index_t y = 0; y < n; ++y) {
+    const real* ym = y_mag.row(y);
+    const cplx* f = ws.far.row(y);
+    cplx* g = ws.grad.row(y);
+    for (index_t x = 0; x < n; ++x) {
+      const real mag = std::abs(f[x]);
+      if (mag > real(1e-20)) {
+        g[x] = real(2) * (mag - ym[x]) / mag * f[x];
+      } else {
+        // At a zero of Psi the cost is not differentiable; subgradient 0
+        // keeps the update bounded (same convention as PIE-family codes).
+        g[x] = cplx{};
+      }
+    }
+  }
+
+  // Back through the unitary far-field transform: the adjoint of (1/n)*F
+  // is (1/n)*F^H = n * inverse.
+  propagator_.fft().adjoint_forward(ws.grad.view());
+  scale(cplx(real(1) / static_cast<real>(grid_.probe_n), 0), ws.grad.view());
+
+  const index_t slices = volume.slices();
+  const real sigma = config_.sigma;
+  for (index_t s = slices - 1; s >= 0; --s) {
+    // Back through the propagator.
+    propagator_.apply_adjoint(ws.grad.view());
+    const auto us = static_cast<usize>(s);
+    View2D<const cplx> psi_in = ws.psi_in[us].view();
+    View2D<const cplx> trans = ws.trans[us].view();
+    View2D<cplx> g_slice = grad_out.window(s, window);
+    // gt = conj(psi_in) .* g ; gV = gt (transmittance) or conj(i sigma t) .* gt.
+    for (index_t y = 0; y < n; ++y) {
+      const cplx* pi_row = psi_in.row(y);
+      const cplx* t_row = trans.row(y);
+      cplx* g_row = ws.grad.row(y);
+      cplx* out_row = g_slice.row(y);
+      for (index_t x = 0; x < n; ++x) {
+        const cplx gt = std::conj(pi_row[x]) * g_row[x];
+        if (config_.model == ObjectModel::kTransmittance) {
+          out_row[x] += gt;
+        } else {
+          out_row[x] += std::conj(kImag * sigma * t_row[x]) * gt;
+        }
+        // Continue the chain: g_psi = conj(t) .* g.
+        g_row[x] *= std::conj(t_row[x]);
+      }
+    }
+  }
+  // After the loop ws.grad holds the gradient with respect to psi_0 — the
+  // probe wavefield itself.
+  if (probe_grad_out != nullptr) {
+    add(ws.grad.view(), *probe_grad_out);
+  }
+  return cost_value;
+}
+
+}  // namespace ptycho

@@ -1,0 +1,94 @@
+// The multi-slice forward operator G(p_i, V) of Eqn. (1) and its adjoint.
+//
+// Forward (Maiden/Humphry/Rodenburg 2012, ref [14] of the paper):
+//   psi_0 = probe;   for each slice s:  psi <- Prop( psi .* t_s )
+//   far field Psi = FFT(psi_S);  simulated magnitudes |Psi|.
+// The per-probe cost is f_i(V) = sum_k ( |y_i[k]| - |Psi[k]| )^2 and the
+// gradient dF/dV is obtained by reverse-mode differentiation through the
+// slice chain. The gradient has support only inside the probe window —
+// the "special property" (Sec. III) the whole decomposition rests on.
+#pragma once
+
+#include <vector>
+
+#include "physics/probe.hpp"
+#include "physics/propagator.hpp"
+#include "tensor/framed.hpp"
+#include "tensor/ops.hpp"
+
+namespace ptycho {
+
+/// How the complex volume V parameterizes the per-slice transmittance.
+enum class ObjectModel {
+  kTransmittance,  ///< t_s = V_s directly (V is the complex transmittance)
+  kPotential,      ///< t_s = exp(i * sigma * V_s) (V is the scattering potential)
+};
+
+/// Reusable per-thread buffers for one probe evaluation; sized for a given
+/// probe window and slice count. Keeping these out of the operator makes
+/// the operator shareable across ranks.
+struct MultisliceWorkspace {
+  CArray2D psi;                    ///< current wavefield (probe_n x probe_n)
+  std::vector<CArray2D> psi_in;    ///< wavefield entering each slice (pre-multiply)
+  std::vector<CArray2D> trans;     ///< transmittance of each slice over the window
+  CArray2D far;                    ///< far-field wavefield FFT(psi_S)
+  CArray2D grad;                   ///< backprop wavefield
+  CArray2D scratch;
+
+  MultisliceWorkspace() = default;
+  MultisliceWorkspace(index_t probe_n, index_t slices);
+};
+
+struct MultisliceConfig {
+  ObjectModel model = ObjectModel::kTransmittance;
+  real sigma = real(1);  ///< interaction constant for ObjectModel::kPotential
+};
+
+class MultisliceOperator {
+ public:
+  MultisliceOperator(const OpticsGrid& grid, MultisliceConfig config = {});
+
+  [[nodiscard]] const OpticsGrid& grid() const { return grid_; }
+  [[nodiscard]] const MultisliceConfig& config() const { return config_; }
+  [[nodiscard]] const Propagator& propagator() const { return propagator_; }
+
+  /// Run the forward model for the probe positioned at global rect
+  /// `window` (probe_n x probe_n, inside V.frame). Leaves the far-field
+  /// wavefield in ws.far and the stored intermediates for backprop.
+  void forward(const Probe& probe, const FramedVolume& volume, const Rect& window,
+               MultisliceWorkspace& ws) const;
+
+  /// Simulated magnitudes |G(p, V)| into `out` (probe_n x probe_n).
+  void simulate_magnitude(const Probe& probe, const FramedVolume& volume, const Rect& window,
+                          MultisliceWorkspace& ws, View2D<real> out) const;
+
+  /// Cost f_i for measured magnitudes `y_mag` (requires a prior forward()).
+  [[nodiscard]] double cost_from_far(View2D<const real> y_mag,
+                                     const MultisliceWorkspace& ws) const;
+
+  /// Full evaluation: forward + cost + gradient. The gradient of f_i with
+  /// respect to V is *added* into `grad_out` over `window` (same frame
+  /// semantics as `volume`). If `probe_grad_out` is non-null, the gradient
+  /// of f_i with respect to the probe wavefield is *added* into it (the
+  /// backpropagated wavefield entering slice 0 — joint object+probe
+  /// refinement comes for free from the adjoint chain). Returns f_i.
+  double cost_and_gradient(const Probe& probe, const FramedVolume& volume, const Rect& window,
+                           View2D<const real> y_mag, FramedVolume& grad_out,
+                           MultisliceWorkspace& ws,
+                           View2D<cplx>* probe_grad_out = nullptr) const;
+
+  /// Cost only (cheaper: no intermediates retained beyond the forward).
+  double cost(const Probe& probe, const FramedVolume& volume, const Rect& window,
+              View2D<const real> y_mag, MultisliceWorkspace& ws) const;
+
+ private:
+  /// Fill ws.trans[s] from the volume window.
+  void compute_transmittance(const FramedVolume& volume, const Rect& window,
+                             MultisliceWorkspace& ws) const;
+
+  OpticsGrid grid_;
+  MultisliceConfig config_;
+  Propagator propagator_;
+};
+
+}  // namespace ptycho

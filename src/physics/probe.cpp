@@ -1,0 +1,92 @@
+#include "physics/probe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fft/fft2d.hpp"
+#include "tensor/ops.hpp"
+
+namespace ptycho {
+
+Probe::Probe(const OpticsGrid& grid, const ProbeParams& params)
+    : field_(static_cast<index_t>(grid.probe_n), static_cast<index_t>(grid.probe_n)) {
+  const usize n = grid.probe_n;
+  PTYCHO_REQUIRE(n >= 4, "probe window too small");
+  const double lambda = grid.wavelength_pm;
+  // Aperture cutoff in spatial frequency: alpha = lambda * k  =>  k_max.
+  const double k_max = (params.aperture_mrad * 1e-3) / lambda;
+
+  // Aperture-plane field with aberration phase chi(k).
+  for (usize iy = 0; iy < n; ++iy) {
+    const double ky = grid.freq(iy);
+    for (usize ix = 0; ix < n; ++ix) {
+      const double kx = grid.freq(ix);
+      const double k2 = kx * kx + ky * ky;
+      const double k = std::sqrt(k2);
+      if (k > k_max) {
+        field_(static_cast<index_t>(iy), static_cast<index_t>(ix)) = cplx{};
+        continue;
+      }
+      // chi(k) = pi*lambda*df*k^2 + (pi/2)*Cs*lambda^3*k^4
+      const double chi = 3.14159265358979323846 *
+                             (lambda * params.defocus_pm * k2 +
+                              0.5 * params.cs_pm * lambda * lambda * lambda * k2 * k2);
+      field_(static_cast<index_t>(iy), static_cast<index_t>(ix)) =
+          cplx(static_cast<real>(std::cos(chi)), static_cast<real>(-std::sin(chi)));
+    }
+  }
+
+  // To the sample plane; center the probe in the window.
+  fft::Fft2D plan(n, n);
+  plan.inverse(field_.view());
+  fft::fftshift(field_.view());
+
+  // Normalize to unit total intensity.
+  const double total = norm_sq(field_.view());
+  PTYCHO_CHECK(total > 0.0, "probe field is identically zero — aperture too small for grid");
+  const real s = static_cast<real>(1.0 / std::sqrt(total));
+  scale(cplx(s, 0), field_.view());
+}
+
+Probe::Probe(CArray2D field) : field_(std::move(field)) {
+  PTYCHO_REQUIRE(field_.rows() == field_.cols() && field_.rows() >= 1,
+                 "probe wavefield must be square");
+}
+
+double Probe::total_intensity() const { return norm_sq(field_.view()); }
+
+double Probe::max_intensity() const {
+  const double peak = max_abs(field_.view());
+  return peak * peak;
+}
+
+index_t Probe::support_radius_px(double fraction) const {
+  // Radial cumulative intensity around the window center.
+  const index_t n = field_.rows();
+  const index_t cy = n / 2;
+  const index_t cx = n / 2;
+  const auto max_r = static_cast<usize>(n);  // radii past the window edge clamp here
+  std::vector<double> radial(max_r + 1, 0.0);
+  for (index_t y = 0; y < n; ++y) {
+    for (index_t x = 0; x < n; ++x) {
+      const double dy = static_cast<double>(y - cy);
+      const double dx = static_cast<double>(x - cx);
+      const auto r = static_cast<usize>(std::min<double>(std::sqrt(dy * dy + dx * dx),
+                                                         static_cast<double>(max_r)));
+      const double mag = std::abs(std::complex<double>(field_(y, x)));
+      radial[r] += mag * mag;
+    }
+  }
+  const double total = std::accumulate(radial.begin(), radial.end(), 0.0);
+  double acc = 0.0;
+  for (usize r = 0; r <= max_r; ++r) {
+    acc += radial[r];
+    if (acc >= fraction * total) return static_cast<index_t>(r);
+  }
+  return static_cast<index_t>(max_r);
+}
+
+}  // namespace ptycho

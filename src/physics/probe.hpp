@@ -1,0 +1,53 @@
+// Probe formation: the complex illumination wavefield p_i of Eqn. (1).
+//
+// The probe is built in the aperture (Fourier) plane — a hard circular
+// aperture of semi-angle alpha with defocus and spherical-aberration phase
+// (the paper's acquisition: 30 mrad aperture, 25 nm defocus, 200 kV) —
+// and inverse-transformed to the sample plane.
+#pragma once
+
+#include "physics/grid.hpp"
+#include "tensor/array.hpp"
+
+namespace ptycho {
+
+struct ProbeParams {
+  double aperture_mrad = 30.0;   ///< probe-forming aperture semi-angle
+  double defocus_pm = 25.0e3;    ///< defocus Δf (25 nm in the paper)
+  double cs_pm = 0.0;            ///< spherical aberration C_s (0 = aberration-corrected)
+};
+
+class Probe {
+ public:
+  /// Build the probe wavefield for the given optics/aberrations; the field
+  /// is normalized to unit total intensity.
+  Probe(const OpticsGrid& grid, const ProbeParams& params);
+
+  /// Adopt an explicit wavefield (square) — used by probe refinement and
+  /// by tests that need hand-built probes.
+  explicit Probe(CArray2D field);
+
+  [[nodiscard]] Probe clone() const { return Probe(field_.clone()); }
+
+  [[nodiscard]] const CArray2D& field() const { return field_; }
+  [[nodiscard]] CArray2D& mutable_field() { return field_; }
+  [[nodiscard]] index_t n() const { return field_.rows(); }
+
+  /// Radius (in pixels) of the disc containing `fraction` of the probe
+  /// intensity; the partitioner uses this as the probe-circle radius of
+  /// Fig. 1(b).
+  [[nodiscard]] index_t support_radius_px(double fraction = 0.99) const;
+
+  /// Total intensity (should be ~1 after normalization).
+  [[nodiscard]] double total_intensity() const;
+
+  /// Peak per-pixel intensity max |p|^2 — the ePIE-style step
+  /// preconditioner (solvers divide the step by this so that update
+  /// magnitudes are independent of grid and probe size).
+  [[nodiscard]] double max_intensity() const;
+
+ private:
+  CArray2D field_;
+};
+
+}  // namespace ptycho

@@ -1,0 +1,38 @@
+#include "physics/scan.hpp"
+
+#include "common/error.hpp"
+
+namespace ptycho {
+
+ScanPattern::ScanPattern(const ScanParams& params) : params_(params) {
+  PTYCHO_REQUIRE(params.rows >= 1 && params.cols >= 1, "scan grid must be at least 1x1");
+  PTYCHO_REQUIRE(params.step_px >= 1, "scan step must be >= 1 px");
+  PTYCHO_REQUIRE(params.probe_n >= 1, "probe window must be >= 1 px");
+  PTYCHO_REQUIRE(params.margin_px >= 0, "margin must be non-negative");
+
+  locations_.reserve(static_cast<usize>(params.rows * params.cols));
+  index_t id = 0;
+  for (index_t r = 0; r < params.rows; ++r) {
+    for (index_t c = 0; c < params.cols; ++c) {
+      ProbeLocation loc;
+      loc.id = id++;
+      loc.grid_row = r;
+      loc.grid_col = c;
+      loc.window = Rect{params.margin_px + r * params.step_y(),
+                        params.margin_px + c * params.step_px, params.probe_n, params.probe_n};
+      locations_.push_back(loc);
+    }
+  }
+  const index_t extent_y =
+      2 * params.margin_px + (params.rows - 1) * params.step_y() + params.probe_n;
+  const index_t extent_x =
+      2 * params.margin_px + (params.cols - 1) * params.step_px + params.probe_n;
+  field_ = Rect{0, 0, extent_y, extent_x};
+}
+
+double ScanPattern::overlap_ratio() const {
+  if (params_.step_px >= params_.probe_n) return 0.0;
+  return 1.0 - static_cast<double>(params_.step_px) / static_cast<double>(params_.probe_n);
+}
+
+}  // namespace ptycho

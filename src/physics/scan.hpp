@@ -1,0 +1,57 @@
+// Raster scan patterns: the time-ordered probe locations of Fig. 1(b).
+#pragma once
+
+#include <vector>
+
+#include "tensor/region.hpp"
+
+namespace ptycho {
+
+/// One probe location: acquisition order index and the global rect of the
+/// probe window in the image plane.
+struct ProbeLocation {
+  index_t id = 0;       ///< time order (0-based; the paper's circles 1..9)
+  Rect window;          ///< probe_n x probe_n window in global coordinates
+  index_t grid_row = 0; ///< row of this location in the scan grid
+  index_t grid_col = 0; ///< column in the scan grid
+};
+
+struct ScanParams {
+  index_t rows = 9;        ///< scan grid rows
+  index_t cols = 9;        ///< scan grid columns
+  index_t step_px = 16;    ///< raster step in pixels along x (and y unless step_y_px set)
+  index_t step_y_px = 0;   ///< raster step along y; 0 = same as step_px
+  index_t margin_px = 0;   ///< extra blank margin around the scanned field
+  index_t probe_n = 64;    ///< probe window size
+
+  [[nodiscard]] index_t step_y() const { return step_y_px > 0 ? step_y_px : step_px; }
+};
+
+/// A complete raster scan over a rectangular field.
+class ScanPattern {
+ public:
+  explicit ScanPattern(const ScanParams& params);
+
+  [[nodiscard]] const std::vector<ProbeLocation>& locations() const { return locations_; }
+  [[nodiscard]] index_t count() const { return static_cast<index_t>(locations_.size()); }
+  [[nodiscard]] const ScanParams& params() const { return params_; }
+
+  /// Global image rect that contains every probe window plus the margin —
+  /// the reconstruction volume's x-y extent.
+  [[nodiscard]] const Rect& field() const { return field_; }
+
+  /// Linear overlap ratio between adjacent probe windows:
+  /// 1 - step/probe_n (the paper quotes >70% for typical acquisitions).
+  [[nodiscard]] double overlap_ratio() const;
+
+  const ProbeLocation& operator[](index_t i) const {
+    return locations_[static_cast<usize>(i)];
+  }
+
+ private:
+  ScanParams params_;
+  std::vector<ProbeLocation> locations_;
+  Rect field_;
+};
+
+}  // namespace ptycho

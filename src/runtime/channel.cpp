@@ -1,0 +1,110 @@
+#include "runtime/channel.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace ptycho::rt {
+
+namespace {
+using Key = std::pair<int, Tag>;  // (src, tag)
+}
+
+struct Fabric::Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::map<Key, std::deque<std::vector<cplx>>> queues;
+};
+
+struct RecvRequest::State {
+  Fabric::Mailbox* box = nullptr;
+  Key key;
+  bool taken = false;
+};
+
+Fabric::~Fabric() = default;
+
+Fabric::Fabric(int nranks) : nranks_(nranks) {
+  PTYCHO_REQUIRE(nranks >= 1, "fabric needs at least one rank");
+  mailboxes_.reserve(static_cast<usize>(nranks));
+  for (int r = 0; r < nranks; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+  stats_.bytes_sent.assign(static_cast<usize>(nranks), 0);
+  stats_.messages_sent.assign(static_cast<usize>(nranks), 0);
+}
+
+Fabric::Mailbox& Fabric::mailbox(int dst) {
+  PTYCHO_CHECK(dst >= 0 && dst < nranks_, "invalid destination rank " << dst);
+  return *mailboxes_[static_cast<usize>(dst)];
+}
+
+void Fabric::isend(int src, int dst, Tag tag, std::vector<cplx> payload) {
+  PTYCHO_CHECK(src >= 0 && src < nranks_, "invalid source rank " << src);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.bytes_sent[static_cast<usize>(src)] += payload.size() * sizeof(cplx);
+    stats_.messages_sent[static_cast<usize>(src)] += 1;
+  }
+  Mailbox& box = mailbox(dst);
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queues[Key{src, tag}].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+RecvRequest Fabric::irecv(int dst, int src, Tag tag) {
+  PTYCHO_CHECK(src >= 0 && src < nranks_, "invalid source rank " << src);
+  RecvRequest req;
+  req.state_ = std::make_shared<RecvRequest::State>();
+  req.state_->box = &mailbox(dst);
+  req.state_->key = Key{src, tag};
+  return req;
+}
+
+std::vector<cplx> Fabric::recv(int dst, int src, Tag tag, double* wait_seconds) {
+  RecvRequest req = irecv(dst, src, tag);
+  const double waited = req.wait();
+  if (wait_seconds != nullptr) *wait_seconds = waited;
+  return req.take();
+}
+
+FabricStats Fabric::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+bool RecvRequest::test() {
+  PTYCHO_CHECK(state_ != nullptr, "RecvRequest not initialized");
+  std::lock_guard<std::mutex> lock(state_->box->mutex);
+  auto it = state_->box->queues.find(state_->key);
+  return it != state_->box->queues.end() && !it->second.empty();
+}
+
+double RecvRequest::wait() {
+  PTYCHO_CHECK(state_ != nullptr, "RecvRequest not initialized");
+  auto& box = *state_->box;
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(box.mutex);
+  box.cv.wait(lock, [&] {
+    auto it = box.queues.find(state_->key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::vector<cplx> RecvRequest::take() {
+  PTYCHO_CHECK(state_ != nullptr, "RecvRequest not initialized");
+  PTYCHO_CHECK(!state_->taken, "RecvRequest payload already taken");
+  wait();
+  auto& box = *state_->box;
+  std::lock_guard<std::mutex> lock(box.mutex);
+  auto it = box.queues.find(state_->key);
+  PTYCHO_CHECK(it != box.queues.end() && !it->second.empty(), "message vanished");
+  std::vector<cplx> payload = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) box.queues.erase(it);
+  state_->taken = true;
+  return payload;
+}
+
+}  // namespace ptycho::rt

@@ -1,0 +1,91 @@
+// Point-to-point message fabric for the virtual cluster.
+//
+// Models the MPI subset the paper's APPP technique needs: eager
+// non-blocking sends (isend), non-blocking receives with request handles
+// (irecv + test/wait), tag matching per (source, tag), and per-rank
+// traffic statistics. Payloads are moved, never copied, so a send is one
+// pointer handoff — the *modeled* wire cost lives in runtime/perfmodel.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ptycho::rt {
+
+/// Message tags: encode (phase, stage) so concurrent passes never match
+/// each other's traffic. Plain ints at the API surface, helpers below.
+using Tag = std::int64_t;
+
+struct FabricStats {
+  std::vector<std::uint64_t> bytes_sent;     ///< per source rank
+  std::vector<std::uint64_t> messages_sent;  ///< per source rank
+};
+
+class Fabric;
+
+/// Handle for a pending receive.
+class RecvRequest {
+ public:
+  RecvRequest() = default;
+
+  /// True once a matching message has arrived (non-blocking).
+  [[nodiscard]] bool test();
+
+  /// Block until the message arrives; returns seconds spent blocked.
+  double wait();
+
+  /// Take the payload (wait()s first if needed).
+  [[nodiscard]] std::vector<cplx> take();
+
+ private:
+  friend class Fabric;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(int nranks);
+  ~Fabric();
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+  /// Non-blocking eager send; the payload is enqueued at the destination
+  /// immediately (local completion). Matching is FIFO per (src, tag).
+  void isend(int src, int dst, Tag tag, std::vector<cplx> payload);
+
+  /// Post a receive for (src, tag) at rank dst.
+  [[nodiscard]] RecvRequest irecv(int dst, int src, Tag tag);
+
+  /// Blocking receive convenience; returns the payload.
+  [[nodiscard]] std::vector<cplx> recv(int dst, int src, Tag tag, double* wait_seconds = nullptr);
+
+  [[nodiscard]] FabricStats stats() const;
+
+ private:
+  friend class RecvRequest;
+  struct Mailbox;
+
+  Mailbox& mailbox(int dst);
+
+  int nranks_ = 0;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  mutable std::mutex stats_mutex_;
+  FabricStats stats_;
+};
+
+/// Compose a tag from an algorithm phase id and a sub-stage counter.
+[[nodiscard]] constexpr Tag make_tag(int phase, std::int64_t stage) {
+  return (static_cast<Tag>(phase) << 48) | (stage & ((Tag(1) << 48) - 1));
+}
+
+}  // namespace ptycho::rt

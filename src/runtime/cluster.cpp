@@ -1,0 +1,100 @@
+#include "runtime/cluster.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace ptycho::rt {
+
+void RankContext::isend(int dst, Tag tag, std::vector<cplx> payload) {
+  WallTimer timer;
+  fabric_.isend(rank_, dst, tag, std::move(payload));
+  prof_.add(phase::kComm, timer.seconds());
+}
+
+std::vector<cplx> RankContext::recv(int src, Tag tag) {
+  double waited = 0.0;
+  std::vector<cplx> payload = fabric_.recv(rank_, src, tag, &waited);
+  prof_.add(phase::kWait, waited);
+  return payload;
+}
+
+RecvRequest RankContext::irecv(int src, Tag tag) { return fabric_.irecv(rank_, src, tag); }
+
+void RankContext::barrier() { cluster_.barrier_wait(prof_); }
+
+VirtualCluster::VirtualCluster(int nranks, std::uint64_t seed)
+    : nranks_(nranks),
+      seed_(seed),
+      fabric_(nranks),
+      trackers_(static_cast<usize>(nranks)),
+      profilers_(static_cast<usize>(nranks)) {
+  PTYCHO_REQUIRE(nranks >= 1, "cluster needs at least one rank");
+}
+
+void VirtualCluster::run(const RankBody& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<usize>(nranks_));
+  std::vector<std::exception_ptr> errors(static_cast<usize>(nranks_));
+
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, r, &body, &errors] {
+      const auto ur = static_cast<usize>(r);
+      TrackerScope scope(trackers_[ur]);
+      RankContext ctx(r, nranks_, fabric_, trackers_[ur], profilers_[ur], *this, seed_);
+      try {
+        body(ctx);
+      } catch (...) {
+        errors[ur] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+const MemTracker& VirtualCluster::mem(int rank) const {
+  PTYCHO_CHECK(rank >= 0 && rank < nranks_, "invalid rank");
+  return trackers_[static_cast<usize>(rank)];
+}
+
+const PhaseProfiler& VirtualCluster::profiler(int rank) const {
+  PTYCHO_CHECK(rank >= 0 && rank < nranks_, "invalid rank");
+  return profilers_[static_cast<usize>(rank)];
+}
+
+double VirtualCluster::mean_peak_bytes() const {
+  double total = 0.0;
+  for (const auto& t : trackers_) total += static_cast<double>(t.peak());
+  return total / static_cast<double>(nranks_);
+}
+
+usize VirtualCluster::max_peak_bytes() const {
+  usize best = 0;
+  for (const auto& t : trackers_) best = std::max(best, t.peak());
+  return best;
+}
+
+void VirtualCluster::reset_instrumentation() {
+  for (auto& t : trackers_) t.reset();
+  for (auto& p : profilers_) p.clear();
+}
+
+void VirtualCluster::barrier_wait(PhaseProfiler& prof) {
+  WallTimer timer;
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_count_ == nranks_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+  }
+  prof.add(phase::kWait, timer.seconds());
+}
+
+}  // namespace ptycho::rt

@@ -1,0 +1,109 @@
+// The virtual GPU cluster: runs K ranks as preemptively-scheduled threads
+// with a shared message fabric, per-rank memory tracking and per-rank
+// phase profiling.
+//
+// This is the substitution for the paper's Summit allocation (DESIGN.md
+// Sec. 2): algorithmic behaviour — who communicates what, per-rank peak
+// memory, convergence, seam behaviour — is bit-faithful to a real
+// distributed run; wall-clock scaling at paper scale is handled by the
+// calibrated performance model instead (runtime/perfmodel.hpp).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/timer.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/memtrack.hpp"
+
+namespace ptycho::rt {
+
+class VirtualCluster;
+
+/// Everything a rank body needs; passed by reference into the body.
+class RankContext {
+ public:
+  RankContext(int rank, int nranks, Fabric& fabric, MemTracker& mem, PhaseProfiler& prof,
+              VirtualCluster& cluster, std::uint64_t seed)
+      : rank_(rank),
+        nranks_(nranks),
+        fabric_(fabric),
+        mem_(mem),
+        prof_(prof),
+        cluster_(cluster),
+        rng_(Rng(seed).split(static_cast<std::uint64_t>(rank))) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] MemTracker& mem() { return mem_; }
+  [[nodiscard]] PhaseProfiler& profiler() { return prof_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Non-blocking send from this rank (profiled as comm).
+  void isend(int dst, Tag tag, std::vector<cplx> payload);
+
+  /// Blocking receive (blocked time is profiled as wait).
+  [[nodiscard]] std::vector<cplx> recv(int src, Tag tag);
+
+  /// Post a non-blocking receive.
+  [[nodiscard]] RecvRequest irecv(int src, Tag tag);
+
+  /// Global barrier across all ranks (blocked time profiled as wait).
+  void barrier();
+
+ private:
+  int rank_;
+  int nranks_;
+  Fabric& fabric_;
+  MemTracker& mem_;
+  PhaseProfiler& prof_;
+  VirtualCluster& cluster_;
+  Rng rng_;
+};
+
+/// Spawns rank bodies on threads and joins them; owns the fabric and the
+/// per-rank trackers/profilers so results can be inspected after run().
+class VirtualCluster {
+ public:
+  explicit VirtualCluster(int nranks, std::uint64_t seed = 7);
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+  using RankBody = std::function<void(RankContext&)>;
+
+  /// Run `body` on every rank; blocks until all complete. Rethrows the
+  /// first rank exception (after joining everything).
+  void run(const RankBody& body);
+
+  [[nodiscard]] const MemTracker& mem(int rank) const;
+  [[nodiscard]] const PhaseProfiler& profiler(int rank) const;
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] FabricStats fabric_stats() const { return fabric_.stats(); }
+
+  /// Peak tracked bytes, averaged / maxed across ranks.
+  [[nodiscard]] double mean_peak_bytes() const;
+  [[nodiscard]] usize max_peak_bytes() const;
+
+  /// Reset trackers, profilers and barrier state for a fresh run.
+  void reset_instrumentation();
+
+ private:
+  friend class RankContext;
+  void barrier_wait(PhaseProfiler& prof);
+
+  int nranks_;
+  std::uint64_t seed_;
+  Fabric fabric_;
+  std::vector<MemTracker> trackers_;
+  std::vector<PhaseProfiler> profilers_;
+
+  // Central sense-reversing barrier.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace ptycho::rt

@@ -1,0 +1,74 @@
+#include "runtime/collectives.hpp"
+
+#include "common/error.hpp"
+
+namespace ptycho::rt {
+
+namespace {
+// Stage counters must be distinct per call site within a phase; we use a
+// per-(phase) monotonic stage derived from the reduction step so repeated
+// collectives with the same phase_tag still match correctly because the
+// fabric queues are FIFO per (src, tag).
+Tag stage_tag(int phase, int step, bool down) {
+  return make_tag(phase, (static_cast<std::int64_t>(step) << 1) | (down ? 1 : 0));
+}
+}  // namespace
+
+void allreduce_sum(RankContext& ctx, std::vector<cplx>& buffer, int phase_tag) {
+  const int nranks = ctx.nranks();
+  const int rank = ctx.rank();
+
+  // Reduce to rank 0 over a binomial tree.
+  for (int step = 1; step < nranks; step <<= 1) {
+    if ((rank & step) != 0) {
+      ctx.isend(rank - step, stage_tag(phase_tag, step, false), std::move(buffer));
+      buffer.clear();
+      break;
+    }
+    if (rank + step < nranks) {
+      std::vector<cplx> incoming = ctx.recv(rank + step, stage_tag(phase_tag, step, false));
+      PTYCHO_CHECK(incoming.size() == buffer.size(), "allreduce buffer size mismatch");
+      for (usize i = 0; i < buffer.size(); ++i) buffer[i] += incoming[i];
+    }
+  }
+
+  // Broadcast the result back down the same tree.
+  int highest = 1;
+  while (highest < nranks) highest <<= 1;
+  for (int step = highest >> 1; step >= 1; step >>= 1) {
+    if ((rank & (2 * step - 1)) == 0 && rank + step < nranks) {
+      ctx.isend(rank + step, stage_tag(phase_tag, step, true), std::vector<cplx>(buffer));
+    } else if ((rank & (2 * step - 1)) == step) {
+      buffer = ctx.recv(rank - step, stage_tag(phase_tag, step, true));
+    }
+  }
+}
+
+double allreduce_sum_scalar(RankContext& ctx, double value, int phase_tag) {
+  std::vector<cplx> packed(1);
+  // Split the double across real/imag of a cplx to keep full precision for
+  // moderate magnitudes; cost values fit float range in our workloads, but
+  // we sum in double at the reduce points via promotion below.
+  packed[0] = cplx(static_cast<real>(value), 0);
+  // For accuracy use a dedicated reduction (float is enough for the cost
+  // curves; sums are short). Reuse vector allreduce.
+  allreduce_sum(ctx, packed, phase_tag);
+  return static_cast<double>(packed[0].real());
+}
+
+void broadcast(RankContext& ctx, std::vector<cplx>& buffer, int root, int phase_tag) {
+  PTYCHO_CHECK(root == 0, "broadcast currently supports root 0");
+  const int nranks = ctx.nranks();
+  const int rank = ctx.rank();
+  int highest = 1;
+  while (highest < nranks) highest <<= 1;
+  for (int step = highest >> 1; step >= 1; step >>= 1) {
+    if ((rank & (2 * step - 1)) == 0 && rank + step < nranks) {
+      ctx.isend(rank + step, stage_tag(phase_tag, step, true), std::vector<cplx>(buffer));
+    } else if ((rank & (2 * step - 1)) == step) {
+      buffer = ctx.recv(rank - step, stage_tag(phase_tag, step, true));
+    }
+  }
+}
+
+}  // namespace ptycho::rt

@@ -1,0 +1,23 @@
+// Collective operations built on the point-to-point fabric.
+//
+// The paper rejects global all-reduce for gradient exchange ("all-reduce
+// has large communication overhead and significantly decreases
+// scalability", Sec. V) — we implement it anyway: it is the non-APPP
+// baseline for Fig. 7b and the reduction used for global cost values.
+#pragma once
+
+#include "runtime/cluster.hpp"
+
+namespace ptycho::rt {
+
+/// Binomial-tree allreduce (sum) of a complex vector; every rank ends with
+/// the elementwise sum. All ranks must call with equal-sized buffers.
+void allreduce_sum(RankContext& ctx, std::vector<cplx>& buffer, int phase_tag);
+
+/// Allreduce of one double (packed into a cplx payload).
+[[nodiscard]] double allreduce_sum_scalar(RankContext& ctx, double value, int phase_tag);
+
+/// Broadcast from root (tree).
+void broadcast(RankContext& ctx, std::vector<cplx>& buffer, int root, int phase_tag);
+
+}  // namespace ptycho::rt

@@ -1,0 +1,5 @@
+#include "runtime/memtrack.hpp"
+
+// Header-only implementation; the TU anchors the module in the archive.
+
+namespace ptycho::rt {}

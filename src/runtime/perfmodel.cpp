@@ -1,0 +1,325 @@
+#include "runtime/perfmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ptycho::rt {
+
+BreakdownEntry ScheduleResult::mean() const {
+  BreakdownEntry m;
+  if (per_rank.empty()) return m;
+  for (const BreakdownEntry& e : per_rank) {
+    m.compute += e.compute;
+    m.wait += e.wait;
+    m.comm += e.comm;
+  }
+  const double n = static_cast<double>(per_rank.size());
+  m.compute /= n;
+  m.wait /= n;
+  m.comm /= n;
+  return m;
+}
+
+PerfModel::PerfModel(MachineModel machine, const Partition& partition,
+                     const PaperDataset& dataset, std::vector<double> per_rank_bytes)
+    : machine_(machine), partition_(partition), dataset_(dataset),
+      per_rank_bytes_(std::move(per_rank_bytes)) {
+  PTYCHO_REQUIRE(per_rank_bytes_.size() == static_cast<usize>(partition.nranks()),
+                 "per_rank_bytes must have one entry per rank");
+}
+
+double PerfModel::probe_gradient_flops(index_t fft_n, index_t slices) {
+  // Per slice: one forward FFT pair for the propagator (2 x 2D FFT) plus
+  // pointwise transmission/propagation (~16 flops/px); doubled for the
+  // adjoint sweep; plus the far-field transform and residual.
+  const double n2 = static_cast<double>(fft_n) * static_cast<double>(fft_n);
+  const double fft2d = 5.0 * n2 * std::log2(n2);  // standard 5 N log2 N
+  const double per_slice = 2.0 * fft2d + 16.0 * n2;
+  const double far_field = 2.0 * fft2d + 10.0 * n2;
+  return 2.0 * (static_cast<double>(slices) * per_slice) + far_field;
+}
+
+double PerfModel::cache_factor(int rank) const {
+  const double ws = std::max(per_rank_bytes_[static_cast<usize>(rank)], machine_.cache_bytes);
+  if (ws >= machine_.ws_ref_bytes) return 1.0;
+  // Log-space interpolation between 1 (working set >= ws_ref) and
+  // cache_boost (working set fits the cache).
+  const double t = std::log(machine_.ws_ref_bytes / ws) /
+                   std::log(machine_.ws_ref_bytes / machine_.cache_bytes);
+  return 1.0 + (machine_.cache_boost - 1.0) * std::min(1.0, std::max(0.0, t));
+}
+
+double PerfModel::probe_seconds(int rank) const {
+  const double flops = probe_gradient_flops(dataset_.meas_n, dataset_.slices);
+  return flops / (machine_.effective_flops * cache_factor(rank)) + machine_.probe_overhead;
+}
+
+double PerfModel::message_seconds(double bytes) const {
+  return machine_.link_latency + machine_.msg_overhead + bytes / machine_.link_bandwidth;
+}
+
+namespace {
+
+double region_bytes(const Rect& r, index_t slices) {
+  return static_cast<double>(r.area()) * static_cast<double>(slices) *
+         static_cast<double>(sizeof(cplx));
+}
+
+/// Attribute a recv-side block: the portion explained by wire time counts
+/// as comm, the rest (peer hadn't even produced the data) as wait.
+void attribute_block(BreakdownEntry& e, double block, double wire) {
+  const double comm = std::min(block, wire);
+  e.comm += comm;
+  e.wait += block - comm;
+}
+
+}  // namespace
+
+ScheduleResult PerfModel::simulate_gd(const GdScheduleParams& params) const {
+  const rt::Mesh2D& mesh = partition_.mesh();
+  const int nranks = mesh.size();
+  const int rows = mesh.rows();
+  const int cols = mesh.cols();
+  const index_t slices = dataset_.slices;
+
+  // Precompute per-rank compute chunk and per-edge pass bytes.
+  std::vector<double> probe_sec(static_cast<usize>(nranks));
+  std::vector<double> update_sec(static_cast<usize>(nranks));
+  for (int k = 0; k < nranks; ++k) {
+    const TileSpec& tile = partition_.tile(k);
+    probe_sec[static_cast<usize>(k)] =
+        static_cast<double>(tile.own_probes.size()) * probe_seconds(k);
+    // Tile update: read+write of the extended tile (memory bound).
+    update_sec[static_cast<usize>(k)] =
+        2.0 * region_bytes(tile.extended, slices) / machine_.mem_bandwidth;
+  }
+  // Vertical edge (r,c)->(r+1,c) and horizontal (r,c)->(r,c+1) bytes.
+  std::vector<double> v_bytes(static_cast<usize>(std::max(0, (rows - 1)) * cols), 0.0);
+  std::vector<double> h_bytes(static_cast<usize>(rows * std::max(0, cols - 1)), 0.0);
+  for (int r = 0; r + 1 < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      v_bytes[static_cast<usize>(r * cols + c)] =
+          region_bytes(partition_.overlap(mesh.rank_of(r, c), mesh.rank_of(r + 1, c)), slices);
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c + 1 < cols; ++c) {
+      h_bytes[static_cast<usize>(r * (cols - 1) + c)] =
+          region_bytes(partition_.overlap(mesh.rank_of(r, c), mesh.rank_of(r, c + 1)), slices);
+    }
+  }
+  const double field_bytes = region_bytes(partition_.field(), slices);
+
+  ScheduleResult result;
+  result.per_rank.assign(static_cast<usize>(nranks), BreakdownEntry{});
+  std::vector<double> clock(static_cast<usize>(nranks), 0.0);
+  std::vector<double> stage_in(static_cast<usize>(nranks), 0.0);
+  std::vector<double> stage_out(static_cast<usize>(nranks), 0.0);
+
+  const int chunks = std::max(1, params.passes_per_iteration);
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    for (int chunk = 0; chunk < chunks; ++chunk) {
+      // Compute a slice of the probes, then one bi-directional pass.
+      for (int k = 0; k < nranks; ++k) {
+        const auto uk = static_cast<usize>(k);
+        const double dt = probe_sec[uk] / static_cast<double>(chunks);
+        clock[uk] += dt;
+        result.per_rank[uk].compute += dt;
+        stage_in[uk] = clock[uk];
+      }
+
+      if (!params.appp) {
+        // Without APPP: the same four directional passes, but with
+        // synchronous blocking transfers and a barrier between stages —
+        // no pipelining across lanes or directions, and strips move as
+        // per-row strided copies instead of packed buffers. Each stage
+        // serializes hop by hop down the deepest chain, so the pass cost
+        // grows with the mesh depth (~sqrt(P)) and dominates at scale —
+        // the Fig. 7b "w/o" bars.
+        const double t_sync = *std::max_element(stage_in.begin(), stage_in.end());
+        const double per_op = machine_.link_latency + machine_.msg_overhead;
+        double pass_seconds = 0.0;
+        for (const bool vertical : {true, false}) {
+          const int depth = vertical ? rows : cols;
+          if (depth < 2) continue;
+          // Mean per-hop cost over the direction's edges.
+          const auto& edge_bytes = vertical ? v_bytes : h_bytes;
+          double mean_bytes = 0.0;
+          double mean_rows = 0.0;
+          usize counted = 0;
+          for (double b : edge_bytes) {
+            if (b <= 0.0) continue;
+            mean_bytes += b;
+            // Rows in the strip: bytes / (strip width * slices * sizeof);
+            // approximate width with the mean tile width of the direction.
+            ++counted;
+          }
+          if (counted == 0) continue;
+          mean_bytes /= static_cast<double>(counted);
+          const double mean_width = static_cast<double>(
+              vertical ? partition_.field().w / cols : partition_.field().h / rows);
+          mean_rows = mean_bytes / (mean_width * static_cast<double>(slices) *
+                                    static_cast<double>(sizeof(cplx)));
+          const double hop = (mean_rows * static_cast<double>(slices)) * per_op +
+                             mean_bytes / machine_.link_bandwidth;
+          // Forward + backward sweeps of a depth-long blocking chain.
+          pass_seconds += 2.0 * static_cast<double>(depth - 1) * hop;
+        }
+        for (int k = 0; k < nranks; ++k) {
+          const auto uk = static_cast<usize>(k);
+          result.per_rank[uk].wait += t_sync - stage_in[uk];
+          result.per_rank[uk].comm += pass_seconds;
+          clock[uk] = t_sync + pass_seconds;
+        }
+        (void)field_bytes;
+      } else {
+        // APPP: pipelined directional chains; each stage's completion time
+        // feeds the next, columns/rows progress independently.
+        auto run_chain = [&](bool vertical, bool forward) {
+          const int lanes = vertical ? cols : rows;
+          const int depth = vertical ? rows : cols;
+          for (int lane = 0; lane < lanes; ++lane) {
+            for (int step = 0; step < depth; ++step) {
+              const int pos = forward ? step : depth - 1 - step;
+              const int k =
+                  vertical ? mesh.rank_of(pos, lane) : mesh.rank_of(lane, pos);
+              const auto uk = static_cast<usize>(k);
+              double t = stage_in[uk];
+              if (step > 0) {
+                const int prev_pos = forward ? pos - 1 : pos + 1;
+                const int pk = vertical ? mesh.rank_of(prev_pos, lane)
+                                        : mesh.rank_of(lane, prev_pos);
+                const int edge_idx = vertical ? (std::min(pos, prev_pos) * cols + lane)
+                                              : (lane * (cols - 1) + std::min(pos, prev_pos));
+                const double bytes =
+                    vertical ? v_bytes[static_cast<usize>(edge_idx)]
+                             : h_bytes[static_cast<usize>(edge_idx)];
+                const double wire = message_seconds(bytes);
+                const double arrival = stage_out[static_cast<usize>(pk)] + wire;
+                if (arrival > t) {
+                  attribute_block(result.per_rank[uk], arrival - t, wire);
+                  t = arrival;
+                }
+                // Buffer add/replace cost (memory bound).
+                const double add_cost = 2.0 * bytes / machine_.mem_bandwidth;
+                t += add_cost;
+                result.per_rank[uk].compute += add_cost;
+              }
+              stage_out[uk] = t;
+            }
+          }
+          stage_in = stage_out;
+        };
+        run_chain(true, true);    // vertical forward
+        run_chain(true, false);   // vertical backward
+        run_chain(false, true);   // horizontal forward
+        run_chain(false, false);  // horizontal backward
+        for (int k = 0; k < nranks; ++k) clock[static_cast<usize>(k)] = stage_in[static_cast<usize>(k)];
+      }
+
+      // Apply the accumulated gradients to the tile.
+      for (int k = 0; k < nranks; ++k) {
+        const auto uk = static_cast<usize>(k);
+        clock[uk] += update_sec[uk];
+        result.per_rank[uk].compute += update_sec[uk];
+      }
+    }
+  }
+
+  result.makespan_seconds = *std::max_element(clock.begin(), clock.end());
+  double cache_sum = 0.0;
+  for (int k = 0; k < nranks; ++k) cache_sum += cache_factor(k);
+  result.mean_cache_factor = cache_sum / static_cast<double>(nranks);
+  return result;
+}
+
+ScheduleResult PerfModel::simulate_hve(const HveScheduleParams& params) const {
+  const rt::Mesh2D& mesh = partition_.mesh();
+  const int nranks = mesh.size();
+  const index_t slices = dataset_.slices;
+
+  // Halo-refill depth: one paste round propagates *consistent* voxels
+  // inward from a tile's owned core by (tile - halo); filling a halo of
+  // width h therefore takes ~ h / (t - h) local-update + paste cycles
+  // (redundant compute AND traffic repeat). The depth diverges as h -> t,
+  // smoothly connecting to the hard paste-infeasibility ("NA") limit.
+  // This is what bends the HVE runtime back up at large GPU counts
+  // (Table III(b): 59.2 min at 198 GPUs -> 189.5 min at 462).
+  index_t min_tile_extent = std::numeric_limits<index_t>::max();
+  index_t max_halo = 0;
+  for (const TileSpec& tile : partition_.tiles()) {
+    min_tile_extent = std::min({min_tile_extent, tile.owned.h, tile.owned.w});
+    max_halo = std::max(max_halo, tile.max_halo());
+  }
+  const index_t core = std::max<index_t>(1, min_tile_extent - max_halo);
+  const int consistency_rounds = std::max<int>(1, static_cast<int>(max_halo / core));
+
+  std::vector<double> compute_sec(static_cast<usize>(nranks));
+  for (int k = 0; k < nranks; ++k) {
+    const TileSpec& tile = partition_.tile(k);
+    const double probes =
+        static_cast<double>(tile.own_probes.size() + tile.replicated_probes.size());
+    compute_sec[static_cast<usize>(k)] =
+        probes * probe_seconds(k) +
+        2.0 * region_bytes(tile.extended, slices) / machine_.mem_bandwidth;
+  }
+  // Paste traffic per rank: owned strips into each 8-neighbour's halo plus
+  // the symmetric receives. Pastes are strided sub-array remote copies
+  // (rows of a 2-D strip per slice), so each row costs a per-operation
+  // overhead on top of the wire bytes — unlike the packed GD messages.
+  const double strided_op_overhead = machine_.msg_overhead * 0.25;
+  std::vector<double> paste_sec(static_cast<usize>(nranks), 0.0);
+  for (int k = 0; k < nranks; ++k) {
+    double seconds = 0.0;
+    for (int nb : mesh.neighbors8(k)) {
+      const Rect out_strip = intersect(partition_.tile(k).owned, partition_.tile(nb).extended);
+      const Rect in_strip = intersect(partition_.tile(nb).owned, partition_.tile(k).extended);
+      for (const Rect& strip : {out_strip, in_strip}) {
+        if (strip.empty()) continue;
+        seconds += message_seconds(region_bytes(strip, slices)) +
+                   strided_op_overhead * static_cast<double>(strip.h * slices);
+      }
+    }
+    paste_sec[static_cast<usize>(k)] = seconds;
+  }
+
+  ScheduleResult result;
+  result.per_rank.assign(static_cast<usize>(nranks), BreakdownEntry{});
+  std::vector<double> clock(static_cast<usize>(nranks), 0.0);
+
+  // Each consistency round repeats the full local sweep (redundant compute)
+  // plus a paste; pastes_per_iteration only splits the sweep, it does not
+  // repeat it.
+  const int rounds = std::max(1, params.pastes_per_iteration) * consistency_rounds;
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    for (int round = 0; round < rounds; ++round) {
+      double t_sync = 0.0;
+      for (int k = 0; k < nranks; ++k) {
+        const auto uk = static_cast<usize>(k);
+        const double dt =
+            compute_sec[uk] / static_cast<double>(std::max(1, params.pastes_per_iteration));
+        clock[uk] += dt;
+        result.per_rank[uk].compute += dt;
+        t_sync = std::max(t_sync, clock[uk]);
+      }
+      // Synchronous pastes: barrier, then blocking exchanges.
+      for (int k = 0; k < nranks; ++k) {
+        const auto uk = static_cast<usize>(k);
+        result.per_rank[uk].wait += t_sync - clock[uk];
+        result.per_rank[uk].comm += paste_sec[uk];
+        clock[uk] = t_sync + paste_sec[uk];
+      }
+    }
+  }
+
+  result.makespan_seconds = *std::max_element(clock.begin(), clock.end());
+  double cache_sum = 0.0;
+  for (int k = 0; k < nranks; ++k) cache_sum += cache_factor(k);
+  result.mean_cache_factor = cache_sum / static_cast<double>(nranks);
+  return result;
+}
+
+}  // namespace ptycho::rt

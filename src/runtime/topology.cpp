@@ -1,0 +1,59 @@
+#include "runtime/topology.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ptycho::rt {
+
+Mesh2D::Mesh2D(int rows, int cols) : rows_(rows), cols_(cols) {
+  PTYCHO_REQUIRE(rows >= 1 && cols >= 1, "mesh extents must be >= 1");
+}
+
+std::vector<int> Mesh2D::neighbors8(int rank) const {
+  const int r = row_of(rank);
+  const int c = col_of(rank);
+  std::vector<int> out;
+  for (int dr = -1; dr <= 1; ++dr) {
+    for (int dc = -1; dc <= 1; ++dc) {
+      if (dr == 0 && dc == 0) continue;
+      if (valid(r + dr, c + dc)) out.push_back(rank_of(r + dr, c + dc));
+    }
+  }
+  return out;
+}
+
+Mesh2D::Cardinal Mesh2D::cardinal(int rank) const {
+  const int r = row_of(rank);
+  const int c = col_of(rank);
+  Cardinal card;
+  if (valid(r - 1, c)) card.north = rank_of(r - 1, c);
+  if (valid(r + 1, c)) card.south = rank_of(r + 1, c);
+  if (valid(r, c - 1)) card.west = rank_of(r, c - 1);
+  if (valid(r, c + 1)) card.east = rank_of(r, c + 1);
+  return card;
+}
+
+Mesh2D choose_mesh(int nranks, double aspect) {
+  PTYCHO_REQUIRE(nranks >= 1, "mesh needs at least one rank");
+  PTYCHO_REQUIRE(aspect > 0.0, "aspect must be positive");
+  int best_rows = 1;
+  double best_score = std::numeric_limits<double>::max();
+  for (int rows = 1; rows <= nranks; ++rows) {
+    if (nranks % rows != 0) continue;
+    const int cols = nranks / rows;
+    // Score: distance of rows/cols from the requested aspect, in log space
+    // so 2x-too-wide and 2x-too-tall are equally bad.
+    const double score =
+        std::abs(std::log(static_cast<double>(rows) / static_cast<double>(cols)) -
+                 std::log(aspect));
+    if (score < best_score) {
+      best_score = score;
+      best_rows = rows;
+    }
+  }
+  return Mesh2D(best_rows, nranks / best_rows);
+}
+
+}  // namespace ptycho::rt

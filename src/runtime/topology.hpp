@@ -1,0 +1,48 @@
+// Logical 2-D mesh of ranks (Fig. 5: "the 9 GPUs are in a logical 3x3
+// mesh"), plus the factorization helper that picks a near-square mesh for
+// a given GPU count and image aspect ratio.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ptycho::rt {
+
+class Mesh2D {
+ public:
+  Mesh2D() = default;
+  Mesh2D(int rows, int cols);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] int size() const { return rows_ * cols_; }
+
+  [[nodiscard]] int rank_of(int row, int col) const { return row * cols_ + col; }
+  [[nodiscard]] int row_of(int rank) const { return rank / cols_; }
+  [[nodiscard]] int col_of(int rank) const { return rank % cols_; }
+
+  [[nodiscard]] bool valid(int row, int col) const {
+    return row >= 0 && row < rows_ && col >= 0 && col < cols_;
+  }
+
+  /// Ranks of the 8-connected neighborhood (the paper exchanges with
+  /// diagonal neighbors too — Sec. III).
+  [[nodiscard]] std::vector<int> neighbors8(int rank) const;
+
+  /// 4-connected neighbors (N, S, W, E order, -1 when absent).
+  struct Cardinal {
+    int north = -1, south = -1, west = -1, east = -1;
+  };
+  [[nodiscard]] Cardinal cardinal(int rank) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+};
+
+/// Pick mesh_rows x mesh_cols = nranks with rows/cols ≈ aspect (field
+/// h/w); prefers balanced factorizations. Throws if nranks < 1.
+[[nodiscard]] Mesh2D choose_mesh(int nranks, double aspect = 1.0);
+
+}  // namespace ptycho::rt

@@ -1,0 +1,222 @@
+// Owning dense tensors (2-D and 3-D) and non-owning strided 2-D views.
+//
+// Storage is row-major, allocated through tracked_alloc so the virtual
+// cluster can account per-rank memory exactly. Arrays are movable but not
+// implicitly copyable (clone() is the explicit deep copy) — accidental
+// copies of multi-megabyte wavefields are a classic performance bug this
+// interface rules out (Core Guidelines C.21/C.67 spirit).
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/memory.hpp"
+#include "common/types.hpp"
+
+namespace ptycho {
+
+/// Non-owning view of a (possibly strided) 2-D block.
+template <typename T>
+class View2D {
+ public:
+  View2D() = default;
+  View2D(T* data, index_t rows, index_t cols, index_t row_stride)
+      : data_(data), rows_(rows), cols_(cols), row_stride_(row_stride) {}
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t row_stride() const { return row_stride_; }
+  [[nodiscard]] bool contiguous() const { return row_stride_ == cols_; }
+  [[nodiscard]] index_t size() const { return rows_ * cols_; }
+
+  T& operator()(index_t y, index_t x) const { return data_[y * row_stride_ + x]; }
+  [[nodiscard]] T* row(index_t y) const { return data_ + y * row_stride_; }
+  [[nodiscard]] T* data() const { return data_; }
+
+  /// Sub-view of local rectangle [y0, y0+h) x [x0, x0+w).
+  [[nodiscard]] View2D<T> sub(index_t y0, index_t x0, index_t h, index_t w) const {
+    PTYCHO_CHECK(y0 >= 0 && x0 >= 0 && y0 + h <= rows_ && x0 + w <= cols_,
+                 "sub-view out of bounds");
+    return View2D<T>(data_ + y0 * row_stride_ + x0, h, w, row_stride_);
+  }
+
+  /// Implicit const-qualification of the element type.
+  operator View2D<const T>() const { return View2D<const T>(data_, rows_, cols_, row_stride_); }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t row_stride_ = 0;
+};
+
+/// Owning, contiguous, row-major 2-D array.
+template <typename T>
+class Array2D {
+ public:
+  Array2D() = default;
+
+  Array2D(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+    PTYCHO_REQUIRE(rows >= 0 && cols >= 0, "Array2D extents must be non-negative");
+    bytes_ = static_cast<usize>(rows_) * static_cast<usize>(cols_) * sizeof(T);
+    data_ = static_cast<T*>(tracked_alloc(bytes_));
+    std::fill_n(data_, rows_ * cols_, T{});
+  }
+
+  ~Array2D() { tracked_free(data_, bytes_); }
+
+  Array2D(const Array2D&) = delete;
+  Array2D& operator=(const Array2D&) = delete;
+
+  Array2D(Array2D&& other) noexcept { swap(other); }
+  Array2D& operator=(Array2D&& other) noexcept {
+    if (this != &other) {
+      tracked_free(data_, bytes_);
+      data_ = nullptr;
+      rows_ = cols_ = 0;
+      bytes_ = 0;
+      swap(other);
+    }
+    return *this;
+  }
+
+  void swap(Array2D& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(rows_, other.rows_);
+    std::swap(cols_, other.cols_);
+    std::swap(bytes_, other.bytes_);
+  }
+
+  [[nodiscard]] Array2D clone() const {
+    Array2D out(rows_, cols_);
+    std::copy_n(data_, rows_ * cols_, out.data_);
+    return out;
+  }
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t size() const { return rows_ * cols_; }
+  [[nodiscard]] usize bytes() const { return bytes_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(index_t y, index_t x) { return data_[y * cols_ + x]; }
+  const T& operator()(index_t y, index_t x) const { return data_[y * cols_ + x]; }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+
+  [[nodiscard]] T* row(index_t y) { return data_ + y * cols_; }
+  [[nodiscard]] const T* row(index_t y) const { return data_ + y * cols_; }
+
+  [[nodiscard]] View2D<T> view() { return View2D<T>(data_, rows_, cols_, cols_); }
+  [[nodiscard]] View2D<const T> view() const { return View2D<const T>(data_, rows_, cols_, cols_); }
+
+  /// View of local rectangle.
+  [[nodiscard]] View2D<T> sub(index_t y0, index_t x0, index_t h, index_t w) {
+    return view().sub(y0, x0, h, w);
+  }
+  [[nodiscard]] View2D<const T> sub(index_t y0, index_t x0, index_t h, index_t w) const {
+    return view().sub(y0, x0, h, w);
+  }
+
+  void fill(const T& value) { std::fill_n(data_, rows_ * cols_, value); }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  usize bytes_ = 0;
+};
+
+/// Owning 3-D array: `slices` contiguous row-major 2-D planes.
+/// Models the reconstruction volume V — "a stack of 2-D image slices"
+/// (paper Sec. II-B, Fig. 1(c)).
+template <typename T>
+class Array3D {
+ public:
+  Array3D() = default;
+
+  Array3D(index_t slices, index_t rows, index_t cols)
+      : slices_(slices), rows_(rows), cols_(cols) {
+    PTYCHO_REQUIRE(slices >= 0 && rows >= 0 && cols >= 0,
+                   "Array3D extents must be non-negative");
+    bytes_ = static_cast<usize>(slices_) * static_cast<usize>(rows_) * static_cast<usize>(cols_) *
+             sizeof(T);
+    data_ = static_cast<T*>(tracked_alloc(bytes_));
+    std::fill_n(data_, slices_ * rows_ * cols_, T{});
+  }
+
+  ~Array3D() { tracked_free(data_, bytes_); }
+
+  Array3D(const Array3D&) = delete;
+  Array3D& operator=(const Array3D&) = delete;
+
+  Array3D(Array3D&& other) noexcept { swap(other); }
+  Array3D& operator=(Array3D&& other) noexcept {
+    if (this != &other) {
+      tracked_free(data_, bytes_);
+      data_ = nullptr;
+      slices_ = rows_ = cols_ = 0;
+      bytes_ = 0;
+      swap(other);
+    }
+    return *this;
+  }
+
+  void swap(Array3D& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(slices_, other.slices_);
+    std::swap(rows_, other.rows_);
+    std::swap(cols_, other.cols_);
+    std::swap(bytes_, other.bytes_);
+  }
+
+  [[nodiscard]] Array3D clone() const {
+    Array3D out(slices_, rows_, cols_);
+    std::copy_n(data_, slices_ * rows_ * cols_, out.data_);
+    return out;
+  }
+
+  [[nodiscard]] index_t slices() const { return slices_; }
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t size() const { return slices_ * rows_ * cols_; }
+  [[nodiscard]] usize bytes() const { return bytes_; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  T& operator()(index_t s, index_t y, index_t x) {
+    return data_[(s * rows_ + y) * cols_ + x];
+  }
+  const T& operator()(index_t s, index_t y, index_t x) const {
+    return data_[(s * rows_ + y) * cols_ + x];
+  }
+
+  [[nodiscard]] View2D<T> slice(index_t s) {
+    PTYCHO_CHECK(s >= 0 && s < slices_, "slice index out of range");
+    return View2D<T>(data_ + s * rows_ * cols_, rows_, cols_, cols_);
+  }
+  [[nodiscard]] View2D<const T> slice(index_t s) const {
+    PTYCHO_CHECK(s >= 0 && s < slices_, "slice index out of range");
+    return View2D<const T>(data_ + s * rows_ * cols_, rows_, cols_, cols_);
+  }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+
+  void fill(const T& value) { std::fill_n(data_, size(), value); }
+
+ private:
+  T* data_ = nullptr;
+  index_t slices_ = 0;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  usize bytes_ = 0;
+};
+
+using CArray2D = Array2D<cplx>;
+using CArray3D = Array3D<cplx>;
+using RArray2D = Array2D<real>;
+
+}  // namespace ptycho

@@ -1,0 +1,78 @@
+// Framed arrays: dense tensors positioned inside the global image plane.
+//
+// A tile (extended with its halo) is stored as a FramedVolume: the Rect
+// `frame` gives its position in global coordinates; the data array is its
+// local storage. All decomposition-layer operations (gradient accumulation
+// in overlap regions, halo pastes, stitching) address framed arrays by
+// *global* rects, which keeps the coordinate arithmetic in one place.
+#pragma once
+
+#include "tensor/array.hpp"
+#include "tensor/region.hpp"
+
+namespace ptycho {
+
+/// 2-D complex image positioned at `frame` in the global plane.
+struct FramedImage {
+  Rect frame;
+  CArray2D data;
+
+  FramedImage() = default;
+  explicit FramedImage(const Rect& r) : frame(r), data(r.h, r.w) {}
+
+  [[nodiscard]] cplx& at_global(index_t y, index_t x) {
+    return data(y - frame.y0, x - frame.x0);
+  }
+  [[nodiscard]] const cplx& at_global(index_t y, index_t x) const {
+    return data(y - frame.y0, x - frame.x0);
+  }
+
+  /// View of the intersection of `r` with this frame (local coordinates
+  /// resolved internally). `r` must be fully inside the frame.
+  [[nodiscard]] View2D<cplx> window(const Rect& r) {
+    PTYCHO_CHECK(frame.contains(r), "window " << "outside frame");
+    return data.sub(r.y0 - frame.y0, r.x0 - frame.x0, r.h, r.w);
+  }
+  [[nodiscard]] View2D<const cplx> window(const Rect& r) const {
+    PTYCHO_CHECK(frame.contains(r), "window outside frame");
+    return data.sub(r.y0 - frame.y0, r.x0 - frame.x0, r.h, r.w);
+  }
+};
+
+/// 3-D complex volume whose x-y extent sits at `frame` in the global plane;
+/// all slices share the frame (slices are along the beam axis z).
+struct FramedVolume {
+  Rect frame;
+  CArray3D data;
+
+  FramedVolume() = default;
+  FramedVolume(index_t slices, const Rect& r) : frame(r), data(slices, r.h, r.w) {}
+
+  [[nodiscard]] index_t slices() const { return data.slices(); }
+
+  [[nodiscard]] cplx& at_global(index_t s, index_t y, index_t x) {
+    return data(s, y - frame.y0, x - frame.x0);
+  }
+  [[nodiscard]] const cplx& at_global(index_t s, index_t y, index_t x) const {
+    return data(s, y - frame.y0, x - frame.x0);
+  }
+
+  /// Per-slice view of global rect `r` (must lie inside the frame).
+  [[nodiscard]] View2D<cplx> window(index_t s, const Rect& r) {
+    PTYCHO_CHECK(frame.contains(r), "window outside frame");
+    return data.slice(s).sub(r.y0 - frame.y0, r.x0 - frame.x0, r.h, r.w);
+  }
+  [[nodiscard]] View2D<const cplx> window(index_t s, const Rect& r) const {
+    PTYCHO_CHECK(frame.contains(r), "window outside frame");
+    return data.slice(s).sub(r.y0 - frame.y0, r.x0 - frame.x0, r.h, r.w);
+  }
+
+  [[nodiscard]] FramedVolume clone() const {
+    FramedVolume out;
+    out.frame = frame;
+    out.data = data.clone();
+    return out;
+  }
+};
+
+}  // namespace ptycho

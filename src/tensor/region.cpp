@@ -1,0 +1,39 @@
+#include "tensor/region.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ptycho {
+
+Rect intersect(const Rect& a, const Rect& b) {
+  const index_t y0 = std::max(a.y0, b.y0);
+  const index_t x0 = std::max(a.x0, b.x0);
+  const index_t y1 = std::min(a.y1(), b.y1());
+  const index_t x1 = std::min(a.x1(), b.x1());
+  if (y1 <= y0 || x1 <= x0) return Rect{};
+  return Rect{y0, x0, y1 - y0, x1 - x0};
+}
+
+Rect bounding_union(const Rect& a, const Rect& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  const index_t y0 = std::min(a.y0, b.y0);
+  const index_t x0 = std::min(a.x0, b.x0);
+  const index_t y1 = std::max(a.y1(), b.y1());
+  const index_t x1 = std::max(a.x1(), b.x1());
+  return Rect{y0, x0, y1 - y0, x1 - x0};
+}
+
+Rect dilate(const Rect& r, index_t margin) {
+  return Rect{r.y0 - margin, r.x0 - margin, r.h + 2 * margin, r.w + 2 * margin};
+}
+
+Rect clip(const Rect& r, const Rect& bounds) { return intersect(r, bounds); }
+
+bool overlaps(const Rect& a, const Rect& b) { return !intersect(a, b).empty(); }
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "Rect{y0=" << r.y0 << ", x0=" << r.x0 << ", h=" << r.h << ", w=" << r.w << "}";
+}
+
+}  // namespace ptycho

@@ -1,0 +1,58 @@
+// Axis-aligned rectangles in image coordinates.
+//
+// Rect is the vocabulary type of the whole decomposition layer: tile owned
+// regions, extended (halo) regions, probe windows and pairwise overlap
+// regions are all Rects in *global* image coordinates (row-major, y down,
+// x right — the Fig. 1(b) convention of the paper).
+#pragma once
+
+#include <iosfwd>
+
+#include "common/types.hpp"
+
+namespace ptycho {
+
+struct Rect {
+  index_t y0 = 0;  ///< top row (inclusive)
+  index_t x0 = 0;  ///< left column (inclusive)
+  index_t h = 0;   ///< height in rows
+  index_t w = 0;   ///< width in columns
+
+  [[nodiscard]] constexpr index_t y1() const { return y0 + h; }  ///< exclusive bottom
+  [[nodiscard]] constexpr index_t x1() const { return x0 + w; }  ///< exclusive right
+  [[nodiscard]] constexpr bool empty() const { return h <= 0 || w <= 0; }
+  [[nodiscard]] constexpr index_t area() const { return empty() ? 0 : h * w; }
+
+  [[nodiscard]] constexpr bool contains(index_t y, index_t x) const {
+    return y >= y0 && y < y1() && x >= x0 && x < x1();
+  }
+  [[nodiscard]] constexpr bool contains(const Rect& other) const {
+    return other.empty() ||
+           (other.y0 >= y0 && other.x0 >= x0 && other.y1() <= y1() && other.x1() <= x1());
+  }
+
+  [[nodiscard]] constexpr Rect shifted(index_t dy, index_t dx) const {
+    return Rect{y0 + dy, x0 + dx, h, w};
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Intersection of two rects (empty Rect if disjoint).
+[[nodiscard]] Rect intersect(const Rect& a, const Rect& b);
+
+/// Smallest rect containing both (treats empty rects as identity).
+[[nodiscard]] Rect bounding_union(const Rect& a, const Rect& b);
+
+/// Grow a rect by `margin` on every side.
+[[nodiscard]] Rect dilate(const Rect& r, index_t margin);
+
+/// Clip `r` to the bounds rect.
+[[nodiscard]] Rect clip(const Rect& r, const Rect& bounds);
+
+/// True if the rects share at least one cell.
+[[nodiscard]] bool overlaps(const Rect& a, const Rect& b);
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace ptycho

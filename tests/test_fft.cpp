@@ -1,0 +1,219 @@
+// Unit/property tests for src/fft: fast transforms vs the O(n^2)
+// reference, roundtrips, adjoint identities, shifts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.hpp"
+#include "fft/fft2d.hpp"
+#include "fft/plan.hpp"
+#include "fft/reference.hpp"
+#include "tensor/ops.hpp"
+
+namespace ptycho::fft {
+namespace {
+
+std::vector<cplx> random_signal(usize n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cplx> x(n);
+  for (auto& v : x) {
+    v = cplx(static_cast<real>(rng.normal()), static_cast<real>(rng.normal()));
+  }
+  return x;
+}
+
+double rel_error(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  double num = 0.0;
+  double den = 0.0;
+  for (usize i = 0; i < a.size(); ++i) {
+    num += std::norm(std::complex<double>(a[i]) - std::complex<double>(b[i]));
+    den += std::norm(std::complex<double>(b[i]));
+  }
+  return den > 0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+TEST(FftHelpers, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(63), 64u);
+  EXPECT_EQ(next_pow2(64), 64u);
+  EXPECT_EQ(next_pow2(65), 128u);
+}
+
+TEST(FftHelpers, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(12));
+}
+
+TEST(FftHelpers, FftFreqOrdering) {
+  EXPECT_DOUBLE_EQ(fft_freq(0, 8), 0.0);
+  EXPECT_DOUBLE_EQ(fft_freq(1, 8), 0.125);
+  EXPECT_DOUBLE_EQ(fft_freq(4, 8), -0.5);
+  EXPECT_DOUBLE_EQ(fft_freq(7, 8), -0.125);
+  EXPECT_DOUBLE_EQ(fft_freq(2, 5), 0.4);
+  EXPECT_DOUBLE_EQ(fft_freq(3, 5), -0.4);
+}
+
+// Property sweep: forward transform matches the direct DFT for power-of-
+// two (radix-2 path) and composite/prime (Bluestein path) sizes.
+class Plan1DMatchesReference : public ::testing::TestWithParam<usize> {};
+
+TEST_P(Plan1DMatchesReference, Forward) {
+  const usize n = GetParam();
+  Plan1D plan(n);
+  std::vector<cplx> x = random_signal(n, 100 + n);
+  const std::vector<cplx> expected = reference_dft(x, -1);
+  plan.forward(x.data());
+  EXPECT_LT(rel_error(x, expected), 2e-5) << "n=" << n;
+}
+
+TEST_P(Plan1DMatchesReference, InverseRoundtrip) {
+  const usize n = GetParam();
+  Plan1D plan(n);
+  const std::vector<cplx> original = random_signal(n, 200 + n);
+  std::vector<cplx> x = original;
+  plan.forward(x.data());
+  plan.inverse(x.data());
+  EXPECT_LT(rel_error(x, original), 2e-5) << "n=" << n;
+}
+
+TEST_P(Plan1DMatchesReference, ParsevalEnergy) {
+  const usize n = GetParam();
+  Plan1D plan(n);
+  std::vector<cplx> x = random_signal(n, 300 + n);
+  double time_energy = 0.0;
+  for (const cplx& v : x) time_energy += std::norm(std::complex<double>(v));
+  plan.forward(x.data());
+  double freq_energy = 0.0;
+  for (const cplx& v : x) freq_energy += std::norm(std::complex<double>(v));
+  EXPECT_NEAR(freq_energy / static_cast<double>(n) / time_energy, 1.0, 1e-4) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Plan1DMatchesReference,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 13, 16, 27, 32, 45, 64, 97,
+                                           128, 100, 256));
+
+TEST(Plan1D, ImpulseGivesFlatSpectrum) {
+  Plan1D plan(16);
+  std::vector<cplx> x(16, cplx{});
+  x[0] = cplx(1, 0);
+  plan.forward(x.data());
+  for (const cplx& v : x) {
+    EXPECT_NEAR(v.real(), 1.0f, 1e-5f);
+    EXPECT_NEAR(v.imag(), 0.0f, 1e-5f);
+  }
+}
+
+TEST(Plan1D, LinearityProperty) {
+  const usize n = 24;  // Bluestein path
+  Plan1D plan(n);
+  std::vector<cplx> a = random_signal(n, 1);
+  std::vector<cplx> b = random_signal(n, 2);
+  const cplx alpha(0.7f, -0.3f);
+  std::vector<cplx> combo(n);
+  for (usize i = 0; i < n; ++i) combo[i] = alpha * a[i] + b[i];
+  plan.forward(a.data());
+  plan.forward(b.data());
+  plan.forward(combo.data());
+  std::vector<cplx> expected(n);
+  for (usize i = 0; i < n; ++i) expected[i] = alpha * a[i] + b[i];
+  EXPECT_LT(rel_error(combo, expected), 2e-5);
+}
+
+TEST(Fft2D, MatchesSeparableReference) {
+  const usize rows = 6;
+  const usize cols = 8;
+  Fft2D plan(rows, cols);
+  CArray2D field(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  Rng rng(42);
+  for (index_t y = 0; y < field.rows(); ++y) {
+    for (index_t x = 0; x < field.cols(); ++x) {
+      field(y, x) = cplx(static_cast<real>(rng.normal()), static_cast<real>(rng.normal()));
+    }
+  }
+  // Reference: rows then columns with the direct DFT.
+  std::vector<std::vector<cplx>> ref(rows, std::vector<cplx>(cols));
+  for (usize y = 0; y < rows; ++y) {
+    std::vector<cplx> row(cols);
+    for (usize x = 0; x < cols; ++x) row[x] = field(static_cast<index_t>(y), static_cast<index_t>(x));
+    ref[y] = reference_dft(row, -1);
+  }
+  for (usize x = 0; x < cols; ++x) {
+    std::vector<cplx> col(rows);
+    for (usize y = 0; y < rows; ++y) col[y] = ref[y][x];
+    col = reference_dft(col, -1);
+    for (usize y = 0; y < rows; ++y) ref[y][x] = col[y];
+  }
+  plan.forward(field.view());
+  double err = 0.0;
+  double den = 0.0;
+  for (usize y = 0; y < rows; ++y) {
+    for (usize x = 0; x < cols; ++x) {
+      err += std::norm(std::complex<double>(field(static_cast<index_t>(y), static_cast<index_t>(x))) -
+                       std::complex<double>(ref[y][x]));
+      den += std::norm(std::complex<double>(ref[y][x]));
+    }
+  }
+  EXPECT_LT(std::sqrt(err / den), 2e-5);
+}
+
+TEST(Fft2D, RoundtripAndAdjointIdentities) {
+  const usize n = 16;
+  Fft2D plan(n, n);
+  CArray2D a(static_cast<index_t>(n), static_cast<index_t>(n));
+  CArray2D b(static_cast<index_t>(n), static_cast<index_t>(n));
+  Rng rng(7);
+  for (index_t y = 0; y < a.rows(); ++y) {
+    for (index_t x = 0; x < a.cols(); ++x) {
+      a(y, x) = cplx(static_cast<real>(rng.normal()), static_cast<real>(rng.normal()));
+      b(y, x) = cplx(static_cast<real>(rng.normal()), static_cast<real>(rng.normal()));
+    }
+  }
+  // Roundtrip.
+  CArray2D ra = a.clone();
+  plan.forward(ra.view());
+  plan.inverse(ra.view());
+  EXPECT_LT(std::sqrt(diff_norm_sq(ra.view(), a.view()) / norm_sq(a.view())), 2e-5);
+
+  // Adjoint (dot) test: <F a, b> == <a, F^H b>.
+  CArray2D fa = a.clone();
+  plan.forward(fa.view());
+  CArray2D fhb = b.clone();
+  plan.adjoint_forward(fhb.view());
+  const auto lhs = dot(fa.view(), b.view());
+  const auto rhs = dot(a.view(), fhb.view());
+  EXPECT_NEAR(lhs.real(), rhs.real(), 2e-2);
+  EXPECT_NEAR(lhs.imag(), rhs.imag(), 2e-2);
+}
+
+TEST(Fft2D, ShiftRoundtripEvenAndOdd) {
+  for (const index_t n : {8, 9}) {
+    CArray2D a(n, n);
+    Rng rng(static_cast<std::uint64_t>(n));
+    for (index_t y = 0; y < n; ++y) {
+      for (index_t x = 0; x < n; ++x) {
+        a(y, x) = cplx(static_cast<real>(rng.normal()), 0);
+      }
+    }
+    CArray2D shifted = a.clone();
+    fftshift(shifted.view());
+    ifftshift(shifted.view());
+    EXPECT_DOUBLE_EQ(diff_norm_sq(shifted.view(), a.view()), 0.0) << "n=" << n;
+  }
+}
+
+TEST(Fft2D, FftshiftMovesZeroFrequencyToCenter) {
+  const index_t n = 8;
+  CArray2D a(n, n);
+  a(0, 0) = cplx(1, 0);  // DC bin
+  fftshift(a.view());
+  EXPECT_EQ(a(4, 4), cplx(1, 0));
+}
+
+}  // namespace
+}  // namespace ptycho::fft

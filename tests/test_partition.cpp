@@ -1,0 +1,209 @@
+// Tests for src/partition: tiling invariants across many mesh/overlap
+// configurations, GD vs HVE halo behaviour, paste feasibility.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "partition/assignment.hpp"
+#include "partition/overlap.hpp"
+#include "partition/tilegrid.hpp"
+
+namespace ptycho {
+namespace {
+
+ScanPattern make_scan(index_t rows, index_t cols, index_t step, index_t probe_n,
+                      index_t margin = 0) {
+  ScanParams params;
+  params.rows = rows;
+  params.cols = cols;
+  params.step_px = step;
+  params.probe_n = probe_n;
+  params.margin_px = margin;
+  return ScanPattern(params);
+}
+
+Partition make_partition(const ScanPattern& scan, int mesh_rows, int mesh_cols,
+                         Strategy strategy, int rings = 2) {
+  PartitionConfig config;
+  config.mesh = rt::Mesh2D(mesh_rows, mesh_cols);
+  config.strategy = strategy;
+  config.hve_extra_rings = rings;
+  return Partition(scan, config);
+}
+
+// Parameterized invariant sweep: (scan_rows, scan_cols, step, probe_n,
+// mesh_rows, mesh_cols, strategy).
+struct PartitionCase {
+  index_t scan_rows, scan_cols, step, probe_n;
+  int mesh_rows, mesh_cols;
+  Strategy strategy;
+};
+
+class PartitionInvariants : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(PartitionInvariants, ValidatesAndCovers) {
+  const PartitionCase& c = GetParam();
+  const ScanPattern scan = make_scan(c.scan_rows, c.scan_cols, c.step, c.probe_n);
+  const Partition partition = make_partition(scan, c.mesh_rows, c.mesh_cols, c.strategy);
+  // validate_partition throws on any violated invariant.
+  EXPECT_NO_THROW(validate_partition(partition, scan));
+
+  // Every tile's extended rect stays inside the field.
+  for (const TileSpec& tile : partition.tiles()) {
+    EXPECT_TRUE(partition.field().contains(tile.extended));
+  }
+
+  // Probe conservation.
+  usize owned = 0;
+  for (const TileSpec& tile : partition.tiles()) owned += tile.own_probes.size();
+  EXPECT_EQ(owned, static_cast<usize>(scan.count()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionInvariants,
+    ::testing::Values(
+        PartitionCase{9, 9, 8, 16, 3, 3, Strategy::kGradientDecomposition},
+        PartitionCase{9, 9, 8, 16, 3, 3, Strategy::kHaloVoxelExchange},
+        PartitionCase{9, 9, 4, 16, 3, 3, Strategy::kGradientDecomposition},  // high overlap
+        PartitionCase{6, 8, 6, 12, 2, 4, Strategy::kGradientDecomposition},
+        PartitionCase{6, 8, 6, 12, 2, 4, Strategy::kHaloVoxelExchange},
+        PartitionCase{5, 5, 10, 20, 1, 5, Strategy::kGradientDecomposition},  // 1-row mesh
+        PartitionCase{5, 5, 10, 20, 5, 1, Strategy::kGradientDecomposition},  // 1-col mesh
+        PartitionCase{12, 12, 5, 16, 4, 4, Strategy::kGradientDecomposition},
+        PartitionCase{12, 12, 5, 16, 2, 2, Strategy::kHaloVoxelExchange},
+        PartitionCase{3, 3, 16, 16, 1, 1, Strategy::kGradientDecomposition}));  // single rank
+
+TEST(Partition, GdHaloSmallerThanHve) {
+  // The paper's central geometric claim (Fig. 3(b) vs Fig. 2(d-e)).
+  const ScanPattern scan = make_scan(9, 9, 8, 16);
+  const Partition gd = make_partition(scan, 3, 3, Strategy::kGradientDecomposition);
+  const Partition hve = make_partition(scan, 3, 3, Strategy::kHaloVoxelExchange);
+  EXPECT_LT(gd.max_halo_px(), hve.max_halo_px());
+  EXPECT_LT(extended_area_ratio(gd), extended_area_ratio(hve));
+  EXPECT_DOUBLE_EQ(gd.measurement_replication(), 1.0);
+  EXPECT_GT(hve.measurement_replication(), 1.0);
+}
+
+TEST(Partition, HveReplicationGrowsWithRings) {
+  const ScanPattern scan = make_scan(12, 12, 6, 16);
+  const Partition r1 = make_partition(scan, 3, 3, Strategy::kHaloVoxelExchange, 1);
+  const Partition r2 = make_partition(scan, 3, 3, Strategy::kHaloVoxelExchange, 2);
+  EXPECT_GT(r2.measurement_replication(), r1.measurement_replication());
+  const Partition r0 = make_partition(scan, 3, 3, Strategy::kHaloVoxelExchange, 0);
+  EXPECT_DOUBLE_EQ(r0.measurement_replication(), 1.0);
+}
+
+TEST(Partition, CenterTileCanHoldAllProbes) {
+  // Fig. 2(e): with few probes and many rings, the center tile replicates
+  // everything.
+  const ScanPattern scan = make_scan(3, 3, 8, 16);
+  const Partition hve = make_partition(scan, 3, 3, Strategy::kHaloVoxelExchange, 2);
+  const TileSpec& center = hve.tile(4);
+  EXPECT_EQ(center.own_probes.size() + center.replicated_probes.size(),
+            static_cast<usize>(scan.count()));
+}
+
+TEST(Partition, OverlapSymmetricAndConsistent) {
+  const ScanPattern scan = make_scan(9, 9, 6, 16);
+  const Partition partition = make_partition(scan, 3, 3, Strategy::kGradientDecomposition);
+  for (int a = 0; a < partition.nranks(); ++a) {
+    for (int b = 0; b < partition.nranks(); ++b) {
+      EXPECT_EQ(partition.overlap(a, b), partition.overlap(b, a));
+    }
+    EXPECT_EQ(partition.overlap(a, a), partition.tile(a).extended);
+  }
+  // Overlap graph edges match pairwise queries.
+  for (const auto& edge : partition.overlap_graph()) {
+    EXPECT_EQ(edge.region, partition.overlap(edge.rank_a, edge.rank_b));
+    EXPECT_FALSE(edge.region.empty());
+    EXPECT_LT(edge.rank_a, edge.rank_b);
+  }
+}
+
+TEST(Partition, AdjacentExtendedTilesOverlap) {
+  // With >50% probe overlap the extended tiles of mesh neighbors must
+  // share gradient regions (otherwise passes would be no-ops).
+  const ScanPattern scan = make_scan(9, 9, 6, 16);
+  const Partition partition = make_partition(scan, 3, 3, Strategy::kGradientDecomposition);
+  const rt::Mesh2D& mesh = partition.mesh();
+  for (int r = 0; r < mesh.rows(); ++r) {
+    for (int c = 0; c + 1 < mesh.cols(); ++c) {
+      EXPECT_FALSE(partition.overlap(mesh.rank_of(r, c), mesh.rank_of(r, c + 1)).empty());
+    }
+  }
+}
+
+TEST(Partition, CardinalOverlapsMatchPartition) {
+  const ScanPattern scan = make_scan(9, 9, 6, 16);
+  const Partition partition = make_partition(scan, 3, 3, Strategy::kGradientDecomposition);
+  const CardinalOverlaps center = cardinal_overlaps(partition, 4);
+  EXPECT_EQ(center.north_rank, 1);
+  EXPECT_EQ(center.south_rank, 7);
+  EXPECT_EQ(center.north, partition.overlap(4, 1));
+  EXPECT_EQ(center.south, partition.overlap(4, 7));
+  const CardinalOverlaps corner = cardinal_overlaps(partition, 0);
+  EXPECT_EQ(corner.north_rank, -1);
+  EXPECT_EQ(corner.west_rank, -1);
+}
+
+TEST(Partition, PasteScheduleCoversHalos) {
+  const ScanPattern scan = make_scan(9, 9, 8, 16);
+  const Partition partition = make_partition(scan, 3, 3, Strategy::kHaloVoxelExchange);
+  const std::vector<PasteEdge> edges = paste_schedule(partition);
+  EXPECT_FALSE(edges.empty());
+  for (const PasteEdge& e : edges) {
+    EXPECT_NE(e.src, e.dst);
+    // A paste strip is owned by the source and inside the destination halo.
+    EXPECT_TRUE(partition.tile(e.src).owned.contains(e.region));
+    EXPECT_TRUE(partition.tile(e.dst).extended.contains(e.region));
+  }
+  // Each ordered pair appears at most once.
+  for (usize i = 0; i < edges.size(); ++i) {
+    for (usize j = i + 1; j < edges.size(); ++j) {
+      EXPECT_FALSE(edges[i].src == edges[j].src && edges[i].dst == edges[j].dst);
+    }
+  }
+}
+
+TEST(Partition, HvePasteFeasibilityBreaksAtScale) {
+  // The Table II "NA" effect: growing the mesh shrinks tiles below the
+  // halo width and HVE becomes infeasible, while GD stays valid.
+  const ScanPattern scan = make_scan(12, 12, 6, 24);
+  const Partition hve_small = make_partition(scan, 2, 2, Strategy::kHaloVoxelExchange);
+  EXPECT_TRUE(hve_small.hve_paste_feasible());
+  const Partition hve_large = make_partition(scan, 6, 6, Strategy::kHaloVoxelExchange);
+  EXPECT_FALSE(hve_large.hve_paste_feasible());
+  const Partition gd_large = make_partition(scan, 6, 6, Strategy::kGradientDecomposition);
+  EXPECT_NO_THROW(validate_partition(gd_large, scan));
+}
+
+TEST(Partition, StatsReportReasonableNumbers) {
+  const ScanPattern scan = make_scan(9, 9, 8, 16);
+  const Partition partition = make_partition(scan, 3, 3, Strategy::kHaloVoxelExchange);
+  const PartitionStats stats = partition_stats(partition);
+  EXPECT_GE(stats.min_probes, 1);
+  EXPECT_LE(stats.min_probes, stats.max_probes);
+  EXPECT_GT(stats.max_replicated, 0);
+  EXPECT_GT(stats.extended_area_ratio, 1.0);
+  EXPECT_GT(stats.measurement_replication, 1.0);
+  EXPECT_FALSE(describe(partition).empty());
+}
+
+TEST(Partition, ProbeAssignedToCenterTile) {
+  const ScanPattern scan = make_scan(3, 3, 8, 16);
+  const Partition partition = make_partition(scan, 3, 3, Strategy::kGradientDecomposition);
+  // The middle probe of a 3x3 scan lands in the middle tile of a 3x3 mesh.
+  const TileSpec& center = partition.tile(4);
+  bool found = false;
+  for (index_t id : center.own_probes) found |= (id == 4);
+  EXPECT_TRUE(found);
+}
+
+TEST(Partition, MoreRanksThanPixelsThrows) {
+  const ScanPattern scan = make_scan(2, 2, 4, 8);
+  PartitionConfig config;
+  config.mesh = rt::Mesh2D(64, 64);
+  EXPECT_THROW(Partition(scan, config), Error);
+}
+
+}  // namespace
+}  // namespace ptycho

@@ -1,0 +1,205 @@
+// Stress and fuzz tests: concurrency on the fabric, larger virtual
+// clusters, and randomized partition/pass property sweeps.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "common/random.hpp"
+#include "core/passes.hpp"
+#include "core/serial_solver.hpp"
+#include "core/gradient_decomposition.hpp"
+#include "partition/assignment.hpp"
+#include "runtime/cluster.hpp"
+#include "test_util.hpp"
+
+namespace ptycho {
+namespace {
+
+TEST(FabricStress, ManyProducersOneConsumer) {
+  constexpr int kProducers = 8;
+  constexpr int kMessages = 200;
+  rt::Fabric fabric(kProducers + 1);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&fabric, p] {
+      for (int m = 0; m < kMessages; ++m) {
+        fabric.isend(p, kProducers, rt::make_tag(1, m),
+                     {cplx(static_cast<real>(p), static_cast<real>(m))});
+      }
+    });
+  }
+  // Consume everything, in per-producer order.
+  int bad = 0;
+  for (int m = 0; m < kMessages; ++m) {
+    for (int p = 0; p < kProducers; ++p) {
+      const std::vector<cplx> got = fabric.recv(kProducers, p, rt::make_tag(1, m));
+      if (got.size() != 1 || got[0] != cplx(static_cast<real>(p), static_cast<real>(m))) ++bad;
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(bad, 0);
+  const rt::FabricStats stats = fabric.stats();
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(stats.messages_sent[static_cast<usize>(p)], static_cast<usize>(kMessages));
+  }
+}
+
+TEST(ClusterStress, SixtyFourRankRing) {
+  constexpr int kRanks = 64;
+  rt::VirtualCluster cluster(kRanks);
+  std::atomic<long long> sum{0};
+  cluster.run([&](rt::RankContext& ctx) {
+    const int next = (ctx.rank() + 1) % kRanks;
+    const int prev = (ctx.rank() + kRanks - 1) % kRanks;
+    // Two laps around the ring.
+    for (int lap = 0; lap < 2; ++lap) {
+      ctx.isend(next, rt::make_tag(2, lap), {cplx(static_cast<real>(ctx.rank()), 0)});
+      const std::vector<cplx> got = ctx.recv(prev, rt::make_tag(2, lap));
+      sum += static_cast<long long>(got[0].real());
+    }
+    ctx.barrier();
+  });
+  EXPECT_EQ(sum.load(), 2LL * (kRanks - 1) * kRanks / 2);
+}
+
+TEST(ClusterStress, RepeatedRunsOnSameCluster) {
+  rt::VirtualCluster cluster(6);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> count{0};
+    cluster.run([&](rt::RankContext& ctx) {
+      ctx.barrier();
+      count.fetch_add(1);
+    });
+    EXPECT_EQ(count.load(), 6);
+  }
+}
+
+TEST(PartitionFuzz, RandomConfigurationsSatisfyInvariants) {
+  Rng rng(20260612);
+  for (int trial = 0; trial < 40; ++trial) {
+    ScanParams params;
+    params.rows = 3 + static_cast<index_t>(rng.uniform_index(10));
+    params.cols = 3 + static_cast<index_t>(rng.uniform_index(10));
+    params.probe_n = 8 + 2 * static_cast<index_t>(rng.uniform_index(10));
+    params.step_px = 1 + static_cast<index_t>(
+                             rng.uniform_index(static_cast<std::uint64_t>(params.probe_n)));
+    params.margin_px = static_cast<index_t>(rng.uniform_index(4));
+    const ScanPattern scan(params);
+
+    PartitionConfig config;
+    const int mesh_rows = 1 + static_cast<int>(rng.uniform_index(4));
+    const int mesh_cols = 1 + static_cast<int>(rng.uniform_index(4));
+    if (mesh_rows > scan.field().h || mesh_cols > scan.field().w) continue;
+    config.mesh = rt::Mesh2D(mesh_rows, mesh_cols);
+    config.strategy =
+        (trial % 2 == 0) ? Strategy::kGradientDecomposition : Strategy::kHaloVoxelExchange;
+    config.hve_extra_rings = static_cast<int>(rng.uniform_index(3));
+    const Partition partition(scan, config);
+
+    ASSERT_NO_THROW(validate_partition(partition, scan))
+        << "trial " << trial << ": " << describe(partition);
+    // Overlap symmetry spot check.
+    const int a = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(partition.nranks())));
+    const int b = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(partition.nranks())));
+    EXPECT_EQ(partition.overlap(a, b), partition.overlap(b, a));
+  }
+}
+
+// Randomized sweep-exactness: any configuration where every tile owns a
+// probe must assemble the exact total gradient. (Mirrors the fixed cases
+// in test_passes.cpp with fuzzed geometry.)
+TEST(PassFuzz, SweepExactOnRandomValidConfigs) {
+  Rng rng(987654321);
+  int tested = 0;
+  for (int trial = 0; trial < 30 && tested < 8; ++trial) {
+    ScanParams params;
+    params.rows = 6 + static_cast<index_t>(rng.uniform_index(6));
+    params.cols = 6 + static_cast<index_t>(rng.uniform_index(6));
+    params.probe_n = 12 + 2 * static_cast<index_t>(rng.uniform_index(6));
+    params.step_px = 2 + static_cast<index_t>(rng.uniform_index(6));
+    const ScanPattern scan(params);
+
+    PartitionConfig config;
+    config.mesh = rt::Mesh2D(2 + static_cast<int>(rng.uniform_index(3)),
+                             2 + static_cast<int>(rng.uniform_index(3)));
+    const Partition partition(scan, config);
+    if (!all_tiles_own_probes(partition)) continue;
+    ++tested;
+
+    // Deterministic per-probe "gradients"; serial reference vs sweep.
+    const index_t slices = 1;
+    const auto value = [](index_t id, index_t y, index_t x) {
+      return cplx(static_cast<real>(std::sin(static_cast<double>(id * 131 + y * 17 + x))),
+                  static_cast<real>(std::cos(static_cast<double>(id * 37 + y + x * 13))));
+    };
+    FramedVolume ref(slices, scan.field());
+    for (const ProbeLocation& loc : scan.locations()) {
+      for (index_t y = loc.window.y0; y < loc.window.y1(); ++y) {
+        for (index_t x = loc.window.x0; x < loc.window.x1(); ++x) {
+          ref.at_global(0, y, x) += value(loc.id, y, x);
+        }
+      }
+    }
+
+    rt::VirtualCluster cluster(partition.nranks());
+    std::mutex mutex;
+    double worst = 0.0;
+    cluster.run([&](rt::RankContext& ctx) {
+      const TileSpec& tile = partition.tile(ctx.rank());
+      FramedVolume acc(slices, tile.extended);
+      for (index_t id : tile.own_probes) {
+        const Rect w = scan[id].window;
+        for (index_t y = w.y0; y < w.y1(); ++y) {
+          for (index_t x = w.x0; x < w.x1(); ++x) acc.at_global(0, y, x) += value(id, y, x);
+        }
+      }
+      PassEngine engine(partition, ctx.rank());
+      engine.run_sweep(ctx, acc);
+      double err_sq = 0.0;
+      double ref_sq = 0.0;
+      for (index_t y = tile.extended.y0; y < tile.extended.y1(); ++y) {
+        for (index_t x = tile.extended.x0; x < tile.extended.x1(); ++x) {
+          err_sq += std::norm(std::complex<double>(acc.at_global(0, y, x) -
+                                                   ref.at_global(0, y, x)));
+          ref_sq += std::norm(std::complex<double>(ref.at_global(0, y, x)));
+        }
+      }
+      const double err = ref_sq > 0 ? std::sqrt(err_sq / ref_sq) : 0.0;
+      std::lock_guard<std::mutex> lock(mutex);
+      worst = std::max(worst, err);
+    });
+    EXPECT_LT(worst, 1e-4) << "trial " << trial << ": " << describe(partition);
+  }
+  EXPECT_GE(tested, 4);  // the fuzz must actually exercise several configs
+}
+
+TEST(SolverStress, SixteenRankFullBatchMatchesSerial) {
+  const Dataset& dataset = testing::tiny_dataset();
+  SerialConfig serial_config;
+  serial_config.iterations = 2;
+  serial_config.mode = UpdateMode::kFullBatch;
+  const SerialResult serial = reconstruct_serial(dataset, serial_config);
+
+  GdConfig config;
+  config.nranks = 16;
+  config.mesh_rows = 4;
+  config.mesh_cols = 4;
+  config.iterations = 2;
+  config.mode = UpdateMode::kFullBatch;
+  const ParallelResult gd = reconstruct_gd(dataset, config);
+
+  double err = 0.0;
+  double den = 0.0;
+  for (index_t s = 0; s < serial.volume.slices(); ++s) {
+    err += diff_norm_sq(gd.volume.window(s, gd.volume.frame),
+                        serial.volume.window(s, serial.volume.frame));
+    den += norm_sq(serial.volume.window(s, serial.volume.frame));
+  }
+  EXPECT_LT(std::sqrt(err / den), 5e-4);
+}
+
+}  // namespace
+}  // namespace ptycho

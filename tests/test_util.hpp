@@ -1,0 +1,28 @@
+// Shared fixtures: cached tiny datasets so each test binary builds its
+// synthetic data once.
+#pragma once
+
+#include "data/simulate.hpp"
+
+namespace ptycho::testing {
+
+/// Tiny noiseless dataset (32-px probe, 6x6 scan, 3 slices) — seconds to
+/// reconstruct, used by solver/integration tests.
+inline const Dataset& tiny_dataset() {
+  static const Dataset dataset = [] {
+    return make_synthetic_dataset(repro_tiny_spec());
+  }();
+  return dataset;
+}
+
+/// Same geometry but with Poisson shot noise at a moderate dose.
+inline const Dataset& tiny_noisy_dataset() {
+  static const Dataset dataset = [] {
+    AcquisitionParams acq;
+    acq.dose_electrons = 1.0e6;
+    return make_synthetic_dataset(repro_tiny_spec(), SpecimenParams{}, acq);
+  }();
+  return dataset;
+}
+
+}  // namespace ptycho::testing

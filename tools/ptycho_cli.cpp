@@ -1,0 +1,154 @@
+// ptycho — command-line driver for the library.
+//
+// Subcommands:
+//   simulate     build a synthetic dataset and save it
+//   info         describe a dataset file
+//   reconstruct  run a solver over a dataset (fresh or resumed)
+//
+// Examples:
+//   ptycho simulate --spec small --dose 1e6 --out acquisition.ptyd
+//   ptycho info acquisition.ptyd
+//   ptycho reconstruct acquisition.ptyd --method gd --ranks 6
+//          --iterations 12 --save-volume recon.bin --image recon.pgm
+//   # resume from a previous volume:
+//   ptycho reconstruct acquisition.ptyd --resume recon.bin --iterations 6
+#include <cstdio>
+#include <string>
+
+#include "ptycho.hpp"
+
+using namespace ptycho;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ptycho <simulate|info|reconstruct> [options]\n"
+               "  simulate   --spec tiny|small|large [--dose E] [--seed N] --out FILE\n"
+               "  info       FILE\n"
+               "  reconstruct FILE [--method serial|gd|hve] [--ranks N]\n"
+               "             [--iterations N] [--step A] [--passes T]\n"
+               "             [--mode sgd|full-batch] [--no-appp] [--refine-probe]\n"
+               "             [--resume VOLUME] [--save-volume FILE] [--image FILE]\n");
+  return 2;
+}
+
+DatasetSpec spec_by_name(const std::string& name) {
+  if (name == "tiny") return repro_tiny_spec();
+  if (name == "large") return repro_large_spec();
+  PTYCHO_CHECK(name == "small", "unknown spec '" << name << "' (tiny|small|large)");
+  return repro_small_spec();
+}
+
+int cmd_simulate(const Options& opts) {
+  const DatasetSpec spec = spec_by_name(opts.get_string("spec", "small"));
+  SpecimenParams specimen;
+  specimen.seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  AcquisitionParams acq;
+  acq.dose_electrons = opts.get_double("dose", 0.0);
+  const std::string out = opts.get_string("out", "dataset.ptyd");
+
+  std::printf("simulating %s (%lldx%lld scan, dose %s)...\n", spec.name.c_str(),
+              static_cast<long long>(spec.scan.rows), static_cast<long long>(spec.scan.cols),
+              acq.dose_electrons > 0 ? "finite" : "none");
+  const Dataset dataset = make_synthetic_dataset(spec, specimen, acq);
+  io::save_dataset(out, dataset);
+  std::printf("wrote %s (%lld measurements, %.1f MiB)\n", out.c_str(),
+              static_cast<long long>(dataset.probe_count()),
+              static_cast<double>(dataset.measurement_bytes()) / kMiB);
+  return 0;
+}
+
+int cmd_info(const Options& opts) {
+  PTYCHO_CHECK(!opts.positional().empty(), "info needs a dataset file");
+  const Dataset dataset = io::load_dataset(opts.positional().front());
+  const Rect field = dataset.field();
+  std::printf("name:          %s\n", dataset.spec.name.c_str());
+  std::printf("probes:        %lld (%lldx%lld raster, %.0f%% overlap)\n",
+              static_cast<long long>(dataset.probe_count()),
+              static_cast<long long>(dataset.spec.scan.rows),
+              static_cast<long long>(dataset.spec.scan.cols),
+              dataset.scan.overlap_ratio() * 100.0);
+  std::printf("diffraction:   %llu x %llu\n",
+              static_cast<unsigned long long>(dataset.spec.grid.probe_n),
+              static_cast<unsigned long long>(dataset.spec.grid.probe_n));
+  std::printf("field:         %lld x %lld px, %lld slices (%.1f x %.1f x %.1f pm voxels)\n",
+              static_cast<long long>(field.h), static_cast<long long>(field.w),
+              static_cast<long long>(dataset.spec.slices), dataset.spec.grid.dx_pm,
+              dataset.spec.grid.dx_pm, dataset.spec.grid.dz_pm);
+  std::printf("optics:        %.1f mrad aperture, %.0f pm defocus, lambda %.4f pm\n",
+              dataset.spec.probe.aperture_mrad, dataset.spec.probe.defocus_pm,
+              dataset.spec.grid.wavelength_pm);
+  std::printf("measurements:  %.1f MiB; full volume %.1f MiB\n",
+              static_cast<double>(dataset.measurement_bytes()) / kMiB,
+              static_cast<double>(dataset.volume_bytes()) / kMiB);
+  return 0;
+}
+
+int cmd_reconstruct(const Options& opts) {
+  PTYCHO_CHECK(!opts.positional().empty(), "reconstruct needs a dataset file");
+  const Dataset dataset = io::load_dataset(opts.positional().front());
+
+  ReconstructionRequest request;
+  const std::string method = opts.get_string("method", "gd");
+  request.method = method == "serial" ? Method::kSerial
+                   : method == "hve"  ? Method::kHaloVoxelExchange
+                                      : Method::kGradientDecomposition;
+  request.nranks = static_cast<int>(opts.get_int("ranks", 4));
+  request.iterations = static_cast<int>(opts.get_int("iterations", 10));
+  request.step = static_cast<real>(opts.get_double("step", 0.1));
+  request.passes_per_iteration = static_cast<int>(opts.get_int("passes", 1));
+  request.mode = opts.get_string("mode", "sgd") == "full-batch" ? UpdateMode::kFullBatch
+                                                                : UpdateMode::kSgd;
+  request.sync.appp = !opts.get_bool("no-appp", false);
+
+  FramedVolume resume;
+  const std::string resume_path = opts.get_string("resume", "");
+  if (!resume_path.empty()) {
+    resume = io::load_volume(resume_path);
+    std::printf("resuming from %s\n", resume_path.c_str());
+  }
+
+  std::printf("reconstructing with %s on %d rank(s), %d iterations...\n",
+              to_string(request.method), request.nranks, request.iterations);
+  Reconstructor reconstructor(dataset);
+  const ReconstructionOutcome outcome =
+      reconstructor.run(request, resume_path.empty() ? nullptr : &resume);
+
+  std::printf("cost %.6g -> %.6g (%.1f%%), wall %.2f s", outcome.cost.first(),
+              outcome.cost.last(), outcome.cost.reduction() * 100.0, outcome.wall_seconds);
+  if (outcome.mean_peak_bytes > 0) {
+    std::printf(", mean peak mem/rank %.2f MiB", outcome.mean_peak_bytes / kMiB);
+  }
+  std::printf("\n");
+
+  const std::string volume_path = opts.get_string("save-volume", "");
+  if (!volume_path.empty()) {
+    io::save_volume(volume_path, outcome.volume);
+    std::printf("volume saved to %s\n", volume_path.c_str());
+  }
+  const std::string image_path = opts.get_string("image", "");
+  if (!image_path.empty()) {
+    io::write_phase_pgm(image_path, outcome.volume.window(dataset.spec.slices / 2,
+                                                          outcome.volume.frame));
+    std::printf("phase image saved to %s\n", image_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Options opts = Options::parse(argc - 1, argv + 1);
+  try {
+    if (command == "simulate") return cmd_simulate(opts);
+    if (command == "info") return cmd_info(opts);
+    if (command == "reconstruct") return cmd_reconstruct(opts);
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
