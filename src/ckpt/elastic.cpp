@@ -1,0 +1,116 @@
+// Elastic restore: resume a K-rank snapshot on K' ranks.
+//
+// At a chunk boundary every overlap copy of V is identical across ranks
+// (the Alg. 1 consistency invariant), so the shards' disjoint *owned*
+// regions form an exact, seam-free cover of the field. Re-tiling is then
+// pure geometry: each new rank's extended tile is the union of its
+// intersections with the old owned rects. Rank 0 plays the role of the
+// restore coordinator a real job would have — it reads the old shards and
+// scatters the pieces through the fabric — so recovery exercises the same
+// communication machinery as a production restart, not a shared-memory
+// shortcut.
+#include <algorithm>
+
+#include "ckpt/snapshot.hpp"
+#include "core/passes.hpp"
+#include "runtime/collectives.hpp"
+#include "tensor/ops.hpp"
+
+namespace ptycho::ckpt {
+
+namespace {
+
+/// One piece of a new rank's extended tile, sourced from an old shard.
+struct Transfer {
+  int old_rank = 0;
+  Rect region;
+};
+
+/// Deterministic transfer list for a new extended rect — computed
+/// identically by the coordinator and the receiving rank, so messages can
+/// be matched by (phase, index) tags without a handshake.
+std::vector<Transfer> plan_transfers(const Manifest& manifest, const Rect& extended) {
+  std::vector<Transfer> plan;
+  index_t covered = 0;
+  for (const TileInfo& tile : manifest.tiles) {
+    const Rect region = intersect(tile.owned, extended);
+    if (region.empty()) continue;
+    plan.push_back(Transfer{tile.rank, region});
+    covered += region.area();
+  }
+  PTYCHO_CHECK(covered == extended.area(),
+               "snapshot owned regions do not cover the new tile " << extended
+                                                                   << " — incompatible field");
+  return plan;
+}
+
+}  // namespace
+
+FramedVolume assemble_volume(const Snapshot& snapshot) {
+  Rect field;
+  for (const TileInfo& tile : snapshot.manifest.tiles) {
+    field = bounding_union(field, tile.owned);
+  }
+  FramedVolume full(snapshot.manifest.slices, field);
+  for (const TileInfo& tile : snapshot.manifest.tiles) {
+    copy_region(snapshot.shards[static_cast<usize>(tile.rank)].volume, full, tile.owned);
+  }
+  return full;
+}
+
+bool layout_matches(const Manifest& manifest, const Partition& partition) {
+  if (manifest.nranks != partition.nranks()) return false;
+  for (int rank = 0; rank < partition.nranks(); ++rank) {
+    const TileInfo& old_tile = manifest.tiles[static_cast<usize>(rank)];
+    const TileSpec& new_tile = partition.tile(rank);
+    if (old_tile.owned != new_tile.owned || old_tile.extended != new_tile.extended ||
+        old_tile.own_probes != new_tile.own_probes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void scatter_restore(rt::RankContext& ctx, const Snapshot& snapshot,
+                     const Partition& partition, FramedVolume& tile_volume, CArray2D& probe) {
+  PTYCHO_CHECK(partition.nranks() == ctx.nranks(),
+               "restore partition rank count does not match the cluster");
+  PTYCHO_CHECK(tile_volume.frame == partition.tile(ctx.rank()).extended,
+               "tile volume frame does not match the new partition");
+
+  // Coordinator: scatter every new rank's pieces. Self-transfers go
+  // through the fabric too — one code path, and the traffic shows up in
+  // the fabric stats like any real redistribution would.
+  if (ctx.rank() == 0) {
+    for (int dst = 0; dst < partition.nranks(); ++dst) {
+      const std::vector<Transfer> plan =
+          plan_transfers(snapshot.manifest, partition.tile(dst).extended);
+      for (usize i = 0; i < plan.size(); ++i) {
+        const Shard& shard = snapshot.shards[static_cast<usize>(plan[i].old_rank)];
+        ctx.isend(dst, rt::make_tag(comm_phase::kRestore, static_cast<std::int64_t>(i)),
+                  pack_region(shard.volume, plan[i].region));
+      }
+    }
+  }
+
+  const std::vector<Transfer> plan = plan_transfers(snapshot.manifest, tile_volume.frame);
+  for (usize i = 0; i < plan.size(); ++i) {
+    const std::vector<cplx> payload =
+        ctx.recv(0, rt::make_tag(comm_phase::kRestore, static_cast<std::int64_t>(i)));
+    unpack_replace_region(payload, tile_volume, plan[i].region);
+  }
+
+  // The probe is global and identical across the old ranks at a chunk
+  // boundary; broadcast shard 0's copy so every new rank starts aligned.
+  const CArray2D& saved_probe = snapshot.shards[0].probe;
+  PTYCHO_CHECK(probe.rows() == saved_probe.rows() && probe.cols() == saved_probe.cols(),
+               "snapshot probe size does not match the dataset probe");
+  std::vector<cplx> flat(static_cast<usize>(saved_probe.size()));
+  if (ctx.rank() == 0) {
+    std::copy_n(saved_probe.data(), saved_probe.size(), flat.data());
+  }
+  rt::broadcast(ctx, flat, 0, comm_phase::kRestoreProbe);
+  std::copy_n(flat.data(), probe.size(), probe.data());
+}
+
+}  // namespace ptycho::ckpt

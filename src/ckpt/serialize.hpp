@@ -1,0 +1,82 @@
+// Endian-stable binary (de)serialization for the checkpoint subsystem.
+//
+// Every scalar is encoded explicitly little-endian byte-by-byte, so a
+// snapshot written on any host restores bit-identically on any other —
+// the format is defined by this file, not by the writer's memory layout.
+// Files carry a leading magic + version and a trailing footer magic; the
+// reader validates both, so a shard truncated by a dying rank is rejected
+// instead of being half-loaded.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tensor/framed.hpp"
+
+namespace ptycho::ckpt {
+
+/// Trailing marker every checkpoint file ends with ("PTYCEND!").
+inline constexpr std::uint64_t kFooterMagic = 0x50545943454E4421ULL;
+
+class Writer {
+ public:
+  /// Opens `path` for binary writing and emits the file magic + version.
+  Writer(const std::string& path, std::uint64_t file_magic, std::uint32_t version);
+  ~Writer();
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s);
+  void rect(const Rect& r);
+
+  /// Complex array as interleaved f32 (re, im) pairs — the wire layout of
+  /// the snapshot format regardless of the host's `real` width.
+  void cplx_array(const cplx* data, usize count);
+
+  /// Write the footer magic and flush; throws on any I/O failure.
+  void finish();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  bool finished_ = false;
+};
+
+class Reader {
+ public:
+  /// Opens `path`, validates the file magic and the trailing footer magic.
+  /// The format version is available via version() for migration logic.
+  Reader(const std::string& path, std::uint64_t file_magic);
+
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] float f32() { return std::bit_cast<float>(u32()); }
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+  [[nodiscard]] std::string str();
+  [[nodiscard]] Rect rect();
+
+  void cplx_array(cplx* data, usize count);
+
+ private:
+  void fill(unsigned char* dst, usize count);
+
+  std::ifstream in_;
+  std::string path_;
+  std::uint32_t version_ = 0;
+};
+
+}  // namespace ptycho::ckpt

@@ -1,6 +1,7 @@
 #include "common/random.hpp"
 
 #include <cmath>
+#include <cstring>
 
 namespace ptycho {
 
@@ -85,6 +86,20 @@ std::uint64_t Rng::uniform_index(std::uint64_t n) {
   std::uint64_t value = next_u64();
   while (value > limit) value = next_u64();
   return value % n;
+}
+
+RngState Rng::state() const {
+  RngState out;
+  for (int i = 0; i < 4; ++i) out.s[i] = state_[i];
+  std::memcpy(&out.cached_normal_bits, &cached_normal_, sizeof cached_normal_);
+  out.have_cached_normal = have_cached_normal_;
+  return out;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  std::memcpy(&cached_normal_, &state.cached_normal_bits, sizeof cached_normal_);
+  have_cached_normal_ = state.have_cached_normal;
 }
 
 Rng Rng::split(std::uint64_t stream_id) const {

@@ -11,6 +11,15 @@
 
 namespace ptycho {
 
+/// Complete serializable Rng state (checkpoint/restore): the xoshiro256**
+/// words plus the Box–Muller cache, so a restored stream continues exactly
+/// where the checkpointed one stopped.
+struct RngState {
+  std::uint64_t s[4] = {};
+  std::uint64_t cached_normal_bits = 0;  ///< bit pattern of the cached normal
+  bool have_cached_normal = false;
+};
+
 /// SplitMix64-seeded xoshiro256** generator. Small, fast, reproducible
 /// across platforms (unlike std::normal_distribution, whose output is
 /// implementation-defined — we implement our own transforms).
@@ -42,6 +51,10 @@ class Rng {
 
   /// Derive an independent stream (for per-rank reproducibility).
   Rng split(std::uint64_t stream_id) const;
+
+  /// Snapshot / restore the full generator state (checkpointing).
+  [[nodiscard]] RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t state_[4];

@@ -76,6 +76,7 @@ inline constexpr const char* kCompute = "compute";
 inline constexpr const char* kWait = "wait";
 inline constexpr const char* kComm = "comm";
 inline constexpr const char* kUpdate = "update";
+inline constexpr const char* kCheckpoint = "checkpoint";
 }  // namespace phase
 
 }  // namespace ptycho

@@ -10,6 +10,11 @@ class CostHistory {
  public:
   void record(double cost) { values_.push_back(cost); }
 
+  /// Replace the history wholesale (checkpoint restore: the completed
+  /// iterations' costs carry over so a resumed run reports one continuous
+  /// trajectory).
+  void assign(std::vector<double> values) { values_ = std::move(values); }
+
   [[nodiscard]] const std::vector<double>& values() const { return values_; }
   [[nodiscard]] bool empty() const { return values_.empty(); }
   [[nodiscard]] double first() const { return values_.front(); }

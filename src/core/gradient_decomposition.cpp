@@ -1,6 +1,7 @@
 #include "core/gradient_decomposition.hpp"
 
 #include <cmath>
+#include <filesystem>
 #include <mutex>
 
 #include "common/timer.hpp"
@@ -75,9 +76,44 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
 
   const index_t slices = dataset.spec.slices;
   const auto n = static_cast<index_t>(dataset.spec.grid.probe_n);
+  const int chunks = config.passes_per_iteration;
+
+  // --- restore validation (once, before the ranks spin up) -------------------
+  int start_iteration = 0;
+  int start_chunk = 0;
+  bool exact_resume = false;
+  if (config.restore != nullptr) {
+    PTYCHO_REQUIRE(initial == nullptr,
+                   "cannot combine a checkpoint restore with an initial guess");
+    ckpt::check_compatible(*config.restore, dataset);
+    const ckpt::Manifest& m = config.restore->manifest;
+    ckpt::check_same_solver_flags(m, static_cast<int>(config.mode), config.refine_probe);
+    exact_resume =
+        ckpt::layout_matches(m, partition) && m.chunks_per_iteration == chunks;
+    if (!exact_resume) ckpt::require_iteration_boundary(m);
+    start_iteration = m.iteration;
+    start_chunk = exact_resume ? m.chunk : 0;
+  }
+
+  // Run-constant manifest fields, shared by every snapshot this run takes.
+  ckpt::RunInfo run_info;
+  if (config.checkpoint.enabled()) {
+    run_info.dataset_name = dataset.spec.name;
+    run_info.probe_count = dataset.probe_count();
+    run_info.slices = slices;
+    run_info.chunks_per_iteration = chunks;
+    run_info.nranks = partition.nranks();
+    run_info.refine_probe = config.refine_probe;
+    run_info.update_mode = static_cast<int>(config.mode);
+    for (const TileSpec& t : partition.tiles()) {
+      run_info.tiles.push_back(ckpt::TileInfo{t.rank, t.owned, t.extended, t.own_probes});
+    }
+  }
 
   rt::VirtualCluster cluster(partition.nranks());
+  cluster.inject_fault(config.fault);
   ParallelResult result;
+  if (config.restore != nullptr) result.cost.assign(config.restore->manifest.cost_values);
   std::mutex result_mutex;  // guards result.volume/cost writes from rank 0
 
   cluster.run([&](rt::RankContext& ctx) {
@@ -93,11 +129,6 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
     }
 
     FramedVolume volume(slices, tile.extended);
-    if (initial != nullptr) {
-      copy_region(*initial, volume, tile.extended);
-    } else {
-      volume.data.fill(cplx(1, 0));
-    }
     AccumulationBuffer accbuf(slices, tile.extended);
     FramedVolume probe_grad(slices, Rect{0, 0, n, n});
 
@@ -108,13 +139,61 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
     Probe local_probe = dataset.probe.clone();
     const double probe_energy = local_probe.total_intensity();
     CArray2D probe_grad_field(local_probe.n(), local_probe.n());
+    double restored_partial_cost = 0.0;
+
+    if (config.restore != nullptr) {
+      const ckpt::Snapshot& snap = *config.restore;
+      if (exact_resume) {
+        // Same tiling: this rank's shard restores its state verbatim.
+        const ckpt::Shard& shard = snap.shards[static_cast<usize>(ctx.rank())];
+        copy_region(shard.volume, volume, tile.extended);
+        copy_region(shard.accbuf, accbuf.volume(), tile.extended);
+        local_probe = Probe(shard.probe.clone());
+        if (shard.probe_grad.rows() == probe_grad_field.rows()) {
+          probe_grad_field = shard.probe_grad.clone();
+        }
+        ctx.rng().set_state(shard.rng);
+        restored_partial_cost = shard.partial_cost;
+      } else {
+        // Elastic: re-tile the old owned regions onto this partition,
+        // redistributed from the coordinator through the fabric.
+        ckpt::scatter_restore(ctx, snap, partition, volume, local_probe.mutable_field());
+      }
+    } else if (initial != nullptr) {
+      copy_region(*initial, volume, tile.extended);
+    } else {
+      volume.data.fill(cplx(1, 0));
+    }
 
     const auto probe_count = static_cast<index_t>(tile.own_probes.size());
-    const int chunks = config.passes_per_iteration;
 
-    for (int iter = 0; iter < config.iterations; ++iter) {
-      double sweep_cost = 0.0;
-      for (int chunk = 0; chunk < chunks; ++chunk) {
+    // Periodic snapshot: shards in parallel, manifest last (rank 0) so a
+    // snapshot is complete iff its manifest exists and parses.
+    const auto maybe_checkpoint = [&](int next_iter, int next_chunk, double partial_cost) {
+      const std::uint64_t step_count = ckpt::chunk_step(next_iter, next_chunk, chunks);
+      if (!ckpt::snapshot_due(config.checkpoint, step_count)) return;
+      ScopedPhase ckpt_phase(ctx.profiler(), phase::kCheckpoint);
+      const std::string dir = ckpt::step_dir(config.checkpoint.directory, step_count);
+      if (ctx.rank() == 0) std::filesystem::create_directories(dir);
+      ctx.barrier();
+      ckpt::write_shard(dir, ckpt::ShardView{ctx.rank(), partial_cost, ctx.rng().state(),
+                                             &volume, &accbuf.volume(), &local_probe.field(),
+                                             &probe_grad_field});
+      ctx.barrier();
+      if (ctx.rank() != 0) return;
+      std::vector<double> cost_values;
+      {
+        std::lock_guard<std::mutex> lock(result_mutex);
+        cost_values = result.cost.values();
+      }
+      ckpt::write_manifest(
+          dir, ckpt::make_manifest(run_info, next_iter, next_chunk, std::move(cost_values)));
+    };
+
+    for (int iter = start_iteration; iter < config.iterations; ++iter) {
+      double sweep_cost = iter == start_iteration ? restored_partial_cost : 0.0;
+      const int first_chunk = iter == start_iteration ? start_chunk : 0;
+      for (int chunk = first_chunk; chunk < chunks; ++chunk) {
         const index_t begin = probe_count * chunk / chunks;
         const index_t end = probe_count * (chunk + 1) / chunks;
         {
@@ -162,6 +241,12 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
           apply_gradient(volume, accbuf.volume(), tile.extended, step);
           accbuf.reset();
         }
+        // Chunk boundary: overlap copies of V are consistent again — the
+        // only states a snapshot may capture, and the natural place to
+        // lose a rank recoverably.
+        ctx.fault_point(static_cast<std::uint64_t>(iter) * static_cast<std::uint64_t>(chunks) +
+                        static_cast<std::uint64_t>(chunk) + 1);
+        if (chunk + 1 < chunks) maybe_checkpoint(iter, chunk + 1, sweep_cost);
       }
       if (config.refine_probe && iter >= config.probe_warmup_iterations) {
         // The probe is global: sum gradient contributions across ranks and
@@ -190,6 +275,9 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
           result.cost.record(global_cost);
         }
       }
+      // Iteration boundary (after the cost record, so the manifest carries
+      // the full completed-iteration history).
+      maybe_checkpoint(iter + 1, 0, 0.0);
     }
 
     FramedVolume stitched = stitch_on_root(ctx, partition, volume);

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "core/convergence.hpp"
 #include "core/gradient_engine.hpp"
 #include "core/optimizer.hpp"
@@ -40,6 +41,18 @@ struct GdConfig {
   bool refine_probe = false;
   real probe_step = real(0.3);
   int probe_warmup_iterations = 1;
+  /// Periodic checkpointing: every N chunks each rank writes its shard and
+  /// rank 0 completes the snapshot with the manifest.
+  ckpt::Policy checkpoint;
+  /// Resume from this snapshot; `iterations` then counts the run's TOTAL
+  /// iterations. A snapshot whose tiling matches this config resumes
+  /// exactly (including mid-iteration states); any other snapshot is
+  /// restored elastically — re-tiled through partition/assignment and
+  /// redistributed through the fabric — and must sit at an iteration
+  /// boundary.
+  const ckpt::Snapshot* restore = nullptr;
+  /// Fault injection (testing): kill a rank at a configured step.
+  rt::FaultPlan fault;
 };
 
 /// Result common to both decomposed solvers.

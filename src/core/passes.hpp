@@ -73,6 +73,8 @@ inline constexpr int kStitch = 7;
 inline constexpr int kPaste = 8;
 inline constexpr int kCost = 9;
 inline constexpr int kProbe = 10;
+inline constexpr int kRestore = 11;       ///< elastic checkpoint redistribution
+inline constexpr int kRestoreProbe = 12;  ///< probe broadcast on restore
 }  // namespace comm_phase
 
 }  // namespace ptycho

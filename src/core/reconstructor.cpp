@@ -22,6 +22,8 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.chunks_per_iteration = request.passes_per_iteration;
       config.mode = request.mode;
       config.record_cost = request.record_cost;
+      config.checkpoint = request.checkpoint;
+      config.restore = request.restore;
       SerialResult result = reconstruct_serial(dataset_, config, initial);
       outcome.volume = std::move(result.volume);
       outcome.cost = std::move(result.cost);
@@ -37,6 +39,9 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.mode = request.mode;
       config.sync = request.sync;
       config.record_cost = request.record_cost;
+      config.checkpoint = request.checkpoint;
+      config.restore = request.restore;
+      config.fault = request.fault;
       ParallelResult result = reconstruct_gd(dataset_, config, initial);
       outcome.volume = std::move(result.volume);
       outcome.cost = std::move(result.cost);
@@ -46,6 +51,8 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       return outcome;
     }
     case Method::kHaloVoxelExchange: {
+      PTYCHO_REQUIRE(!request.checkpoint.enabled() && request.restore == nullptr,
+                     "checkpoint/restore is not supported for the HVE solver");
       HveConfig config;
       config.nranks = request.nranks;
       config.iterations = request.iterations;

@@ -19,7 +19,7 @@ enum class Method {
 struct ReconstructionRequest {
   Method method = Method::kGradientDecomposition;
   int nranks = 4;                ///< ignored for kSerial
-  int iterations = 10;
+  int iterations = 10;           ///< TOTAL iterations (a restore continues toward this)
   real step = real(0.1);
   int passes_per_iteration = 1;  ///< GD comm frequency / serial chunks
   UpdateMode mode = UpdateMode::kSgd;
@@ -27,6 +27,13 @@ struct ReconstructionRequest {
   int hve_local_epochs = 1;      ///< HVE only
   int hve_extra_rings = 2;       ///< HVE only
   bool record_cost = true;
+  /// Periodic checkpointing (serial and GD; not supported for HVE).
+  ckpt::Policy checkpoint;
+  /// Resume from a loaded snapshot — any rank count: the solvers re-tile
+  /// elastically when the snapshot's layout differs from this request.
+  const ckpt::Snapshot* restore = nullptr;
+  /// Fault injection for recovery testing (GD only).
+  rt::FaultPlan fault;
 };
 
 struct ReconstructionOutcome {

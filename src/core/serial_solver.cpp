@@ -1,6 +1,8 @@
 #include "core/serial_solver.hpp"
 
 #include <cmath>
+#include <filesystem>
+#include <numeric>
 
 #include "common/timer.hpp"
 #include "core/accbuf.hpp"
@@ -12,33 +14,98 @@ SerialResult reconstruct_serial(const Dataset& dataset, const SerialConfig& conf
                                 const FramedVolume* initial) {
   PTYCHO_REQUIRE(config.iterations >= 1, "need at least one iteration");
   PTYCHO_REQUIRE(config.chunks_per_iteration >= 1, "chunks_per_iteration must be >= 1");
+  PTYCHO_REQUIRE(initial == nullptr || config.restore == nullptr,
+                 "cannot combine a checkpoint restore with an initial guess");
   WallTimer timer;
 
   const Rect field = dataset.field();
   const index_t slices = dataset.spec.slices;
+  const index_t probe_count = dataset.probe_count();
+  const int chunks = config.chunks_per_iteration;
 
   SerialResult result;
-  result.volume = initial != nullptr ? initial->clone() : make_vacuum_volume(field, slices);
+  Probe probe = dataset.probe.clone();
+  CArray2D probe_grad_field(probe.n(), probe.n());
+
+  // --- restore ---------------------------------------------------------------
+  int start_iteration = 0;
+  int start_chunk = 0;
+  double restored_partial_cost = 0.0;
+  if (config.restore != nullptr) {
+    const ckpt::Snapshot& snap = *config.restore;
+    ckpt::check_compatible(snap, dataset);
+    const ckpt::Manifest& m = snap.manifest;
+    ckpt::check_same_solver_flags(m, static_cast<int>(config.mode), config.refine_probe);
+    start_iteration = m.iteration;
+    if (m.nranks == 1 && m.chunks_per_iteration == chunks) {
+      // Exact resume: single-rank snapshot with matching chunking restores
+      // the full mid-iteration state (volume, probe gradient, sweep cost).
+      result.volume = snap.shards[0].volume.clone();
+      start_chunk = m.chunk;
+      restored_partial_cost = snap.shards[0].partial_cost;
+      if (snap.shards[0].probe_grad.rows() == probe_grad_field.rows()) {
+        probe_grad_field = snap.shards[0].probe_grad.clone();
+      }
+    } else {
+      ckpt::require_iteration_boundary(m);
+      result.volume = ckpt::assemble_volume(snap);
+    }
+    PTYCHO_CHECK(snap.shards[0].probe.rows() == probe.n(),
+                 "snapshot probe size does not match the dataset probe");
+    probe = Probe(snap.shards[0].probe.clone());
+    result.cost.assign(m.cost_values);
+  } else {
+    result.volume = initial != nullptr ? initial->clone() : make_vacuum_volume(field, slices);
+  }
   PTYCHO_REQUIRE(result.volume.frame.contains(field), "initial guess does not cover the field");
 
   GradientEngine engine(dataset);
   const real step = config.step * engine.step_scale();
   MultisliceWorkspace ws = engine.make_workspace();
-  Probe probe = dataset.probe.clone();
   const double probe_energy = probe.total_intensity();
-  CArray2D probe_grad_field(probe.n(), probe.n());
   AccumulationBuffer accbuf(slices, result.volume.frame);
   // Per-probe gradient scratch: one window-sized framed volume, re-aimed at
   // each probe location.
   const auto n = static_cast<index_t>(dataset.spec.grid.probe_n);
   FramedVolume probe_grad(slices, Rect{0, 0, n, n});
 
-  const index_t probe_count = dataset.probe_count();
-  const int chunks = config.chunks_per_iteration;
+  // --- periodic checkpointing ------------------------------------------------
+  ckpt::RunInfo run;
+  run.dataset_name = dataset.spec.name;
+  run.probe_count = probe_count;
+  run.slices = slices;
+  run.chunks_per_iteration = chunks;
+  run.nranks = 1;
+  run.refine_probe = config.refine_probe;
+  run.update_mode = static_cast<int>(config.mode);
+  {
+    ckpt::TileInfo tile;
+    tile.rank = 0;
+    tile.owned = field;
+    tile.extended = result.volume.frame;
+    tile.own_probes.resize(static_cast<usize>(probe_count));
+    std::iota(tile.own_probes.begin(), tile.own_probes.end(), index_t{0});
+    run.tiles.push_back(std::move(tile));
+  }
+  // `next_iter`/`next_chunk` name the position a restored run would resume
+  // at; the global step counter (completed chunks) keys the snapshot dir.
+  const auto maybe_checkpoint = [&](int next_iter, int next_chunk, double partial_cost) {
+    const std::uint64_t step_count = ckpt::chunk_step(next_iter, next_chunk, chunks);
+    if (!ckpt::snapshot_due(config.checkpoint, step_count)) return;
+    const std::string dir = ckpt::step_dir(config.checkpoint.directory, step_count);
+    std::filesystem::create_directories(dir);
+    ckpt::write_shard(dir, ckpt::ShardView{0, partial_cost, RngState{}, &result.volume,
+                                           &accbuf.volume(), &probe.field(),
+                                           &probe_grad_field});
+    // Written last: marks the snapshot complete.
+    ckpt::write_manifest(dir,
+                         ckpt::make_manifest(run, next_iter, next_chunk, result.cost.values()));
+  };
 
-  for (int iter = 0; iter < config.iterations; ++iter) {
-    double sweep_cost = 0.0;
-    for (int chunk = 0; chunk < chunks; ++chunk) {
+  for (int iter = start_iteration; iter < config.iterations; ++iter) {
+    double sweep_cost = iter == start_iteration ? restored_partial_cost : 0.0;
+    const int first_chunk = iter == start_iteration ? start_chunk : 0;
+    for (int chunk = first_chunk; chunk < chunks; ++chunk) {
       const index_t begin = probe_count * chunk / chunks;
       const index_t end = probe_count * (chunk + 1) / chunks;
       for (index_t i = begin; i < end; ++i) {
@@ -63,6 +130,7 @@ SerialResult reconstruct_serial(const Dataset& dataset, const SerialConfig& conf
         apply_gradient(result.volume, accbuf.volume(), accbuf.frame(), step);
       }
       accbuf.reset();
+      if (chunk + 1 < chunks) maybe_checkpoint(iter, chunk + 1, sweep_cost);
     }
     if (config.refine_probe && iter >= config.probe_warmup_iterations) {
       // Descend the probe along its accumulated sweep gradient, then
@@ -78,6 +146,7 @@ SerialResult reconstruct_serial(const Dataset& dataset, const SerialConfig& conf
       probe_grad_field.fill(cplx{});
     }
     if (config.record_cost) result.cost.record(sweep_cost);
+    maybe_checkpoint(iter + 1, 0, 0.0);
   }
 
   if (config.refine_probe) result.probe_field = probe.field().clone();

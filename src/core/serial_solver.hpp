@@ -7,6 +7,7 @@
 // mesh (the central invariant, DESIGN.md Sec. 5).
 #pragma once
 
+#include "ckpt/snapshot.hpp"
 #include "core/convergence.hpp"
 #include "core/gradient_engine.hpp"
 #include "core/optimizer.hpp"
@@ -34,6 +35,14 @@ struct SerialConfig {
   /// probe count, so ~0.1-0.5 is stable independent of dataset size.
   real probe_step = real(0.3);
   int probe_warmup_iterations = 1;
+  /// Periodic checkpointing (disabled unless the policy is enabled).
+  ckpt::Policy checkpoint;
+  /// Resume from this snapshot: `iterations` then counts the run's TOTAL
+  /// iterations, so a restore continues from snapshot.manifest.iteration
+  /// up to `iterations`. A single-rank snapshot resumes exactly (including
+  /// mid-iteration states); a multi-rank snapshot is restored elastically
+  /// and must sit at an iteration boundary.
+  const ckpt::Snapshot* restore = nullptr;
 };
 
 struct SerialResult {

@@ -20,7 +20,10 @@ void write_pgm(const std::string& path, View2D<const real> image) {
       hi = std::max(hi, v);
     }
   }
-  const double span = hi > lo ? hi - lo : 1.0;
+  // A constant image has no contrast to map: emit mid-gray (as documented)
+  // rather than the black frame a naive (v - lo) / 1.0 would produce.
+  const bool flat = !(hi > lo);
+  const double span = flat ? 1.0 : hi - lo;
 
   std::ofstream out(path, std::ios::binary);
   PTYCHO_CHECK(out.good(), "cannot open '" << path << "' for writing");
@@ -28,7 +31,8 @@ void write_pgm(const std::string& path, View2D<const real> image) {
   for (index_t y = 0; y < image.rows(); ++y) {
     for (index_t x = 0; x < image.cols(); ++x) {
       const double v = (static_cast<double>(image(y, x)) - lo) / span;
-      const auto byte = static_cast<unsigned char>(std::clamp(v * 255.0, 0.0, 255.0));
+      const auto byte = flat ? static_cast<unsigned char>(128)
+                             : static_cast<unsigned char>(std::clamp(v * 255.0, 0.0, 255.0));
       out.put(static_cast<char>(byte));
     }
   }

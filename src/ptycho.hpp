@@ -38,6 +38,9 @@
 #include "partition/overlap.hpp"
 #include "partition/tilegrid.hpp"
 
+#include "ckpt/serialize.hpp"
+#include "ckpt/snapshot.hpp"
+
 #include "core/convergence.hpp"
 #include "core/gradient_decomposition.hpp"
 #include "core/halo_voxel_exchange.hpp"

@@ -17,6 +17,7 @@ struct Fabric::Mailbox {
 };
 
 struct RecvRequest::State {
+  Fabric* fabric = nullptr;
   Fabric::Mailbox* box = nullptr;
   Key key;
   bool taken = false;
@@ -39,6 +40,7 @@ Fabric::Mailbox& Fabric::mailbox(int dst) {
 
 void Fabric::isend(int src, int dst, Tag tag, std::vector<cplx> payload) {
   PTYCHO_CHECK(src >= 0 && src < nranks_, "invalid source rank " << src);
+  if (poisoned()) return;  // the job is dead; drop traffic silently
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.bytes_sent[static_cast<usize>(src)] += payload.size() * sizeof(cplx);
@@ -56,6 +58,7 @@ RecvRequest Fabric::irecv(int dst, int src, Tag tag) {
   PTYCHO_CHECK(src >= 0 && src < nranks_, "invalid source rank " << src);
   RecvRequest req;
   req.state_ = std::make_shared<RecvRequest::State>();
+  req.state_->fabric = this;
   req.state_->box = &mailbox(dst);
   req.state_->key = Key{src, tag};
   return req;
@@ -73,11 +76,35 @@ FabricStats Fabric::stats() const {
   return stats_;
 }
 
+void Fabric::clear_poison() noexcept {
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->queues.clear();
+  }
+  poisoned_.store(false, std::memory_order_release);
+}
+
+void Fabric::poison() noexcept {
+  poisoned_.store(true, std::memory_order_release);
+  for (auto& box : mailboxes_) {
+    // Take the mailbox lock so a receiver between its predicate check and
+    // its cv wait cannot miss the wake-up.
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->cv.notify_all();
+  }
+}
+
 bool RecvRequest::test() {
   PTYCHO_CHECK(state_ != nullptr, "RecvRequest not initialized");
   std::lock_guard<std::mutex> lock(state_->box->mutex);
   auto it = state_->box->queues.find(state_->key);
-  return it != state_->box->queues.end() && !it->second.empty();
+  if (it != state_->box->queues.end() && !it->second.empty()) return true;
+  // Same contract as wait(): a message that can no longer arrive must
+  // surface the failure, not leave the poller spinning forever.
+  if (state_->fabric->poisoned()) {
+    throw RankFailure("receive aborted: fabric poisoned by a rank failure");
+  }
+  return false;
 }
 
 double RecvRequest::wait() {
@@ -86,9 +113,17 @@ double RecvRequest::wait() {
   const auto start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(box.mutex);
   box.cv.wait(lock, [&] {
+    if (state_->fabric->poisoned()) return true;
     auto it = box.queues.find(state_->key);
     return it != box.queues.end() && !it->second.empty();
   });
+  {
+    auto it = box.queues.find(state_->key);
+    const bool have_message = it != box.queues.end() && !it->second.empty();
+    if (!have_message && state_->fabric->poisoned()) {
+      throw RankFailure("receive aborted: fabric poisoned by a rank failure");
+    }
+  }
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 

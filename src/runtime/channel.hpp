@@ -7,6 +7,7 @@
 // pointer handoff — the *modeled* wire cost lives in runtime/perfmodel.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -15,9 +16,19 @@
 #include <mutex>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace ptycho::rt {
+
+/// Thrown on the failing rank by an injected fault, and on every other
+/// rank whose blocking communication can no longer complete because the
+/// fabric was poisoned by that failure. Catch this (rather than plain
+/// Error) to implement checkpoint-based recovery.
+class RankFailure : public Error {
+ public:
+  using Error::Error;
+};
 
 /// Message tags: encode (phase, stage) so concurrent passes never match
 /// each other's traffic. Plain ints at the API surface, helpers below.
@@ -71,6 +82,21 @@ class Fabric {
 
   [[nodiscard]] FabricStats stats() const;
 
+  /// Mark the fabric dead (a rank failed): every blocked receive wakes and
+  /// throws RankFailure, as does every receive posted afterwards. Sends
+  /// become no-ops. This models the collective teardown a real MPI job
+  /// experiences when a node disappears.
+  void poison() noexcept;
+  [[nodiscard]] bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arm a poisoned fabric (fresh run on the same cluster object).
+  /// Also drains every mailbox: messages a dead run left queued must not
+  /// be matched by the next run's receives (tags are reused per
+  /// iteration, so collisions would be the norm, not the exception).
+  void clear_poison() noexcept;
+
  private:
   friend class RecvRequest;
   struct Mailbox;
@@ -79,6 +105,7 @@ class Fabric {
 
   int nranks_ = 0;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> poisoned_{false};
   mutable std::mutex stats_mutex_;
   FabricStats stats_;
 };

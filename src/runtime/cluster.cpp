@@ -24,6 +24,8 @@ RecvRequest RankContext::irecv(int src, Tag tag) { return fabric_.irecv(rank_, s
 
 void RankContext::barrier() { cluster_.barrier_wait(prof_); }
 
+void RankContext::fault_point(std::uint64_t step) { cluster_.maybe_fault(rank_, step); }
+
 VirtualCluster::VirtualCluster(int nranks, std::uint64_t seed)
     : nranks_(nranks),
       seed_(seed),
@@ -81,20 +83,50 @@ usize VirtualCluster::max_peak_bytes() const {
 void VirtualCluster::reset_instrumentation() {
   for (auto& t : trackers_) t.reset();
   for (auto& p : profilers_) p.clear();
+  fabric_.clear_poison();
+  fault_fired_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    barrier_count_ = 0;
+    barrier_poisoned_ = false;
+  }
 }
 
 void VirtualCluster::barrier_wait(PhaseProfiler& prof) {
   WallTimer timer;
   std::unique_lock<std::mutex> lock(barrier_mutex_);
+  if (barrier_poisoned_) throw RankFailure("barrier aborted: a rank has failed");
   const std::uint64_t generation = barrier_generation_;
   if (++barrier_count_ == nranks_) {
     barrier_count_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
   } else {
-    barrier_cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+    barrier_cv_.wait(lock,
+                     [&] { return barrier_generation_ != generation || barrier_poisoned_; });
+    if (barrier_generation_ == generation) {
+      throw RankFailure("barrier aborted: a rank has failed");
+    }
   }
   prof.add(phase::kWait, timer.seconds());
+}
+
+void VirtualCluster::maybe_fault(int rank, std::uint64_t step) {
+  if (!fault_.armed() || rank != fault_.rank || step < fault_.at_step) return;
+  if (fault_fired_.exchange(true, std::memory_order_acq_rel)) return;  // fire once
+  poison();
+  std::ostringstream os;
+  os << "injected fault: rank " << rank << " killed at step " << step;
+  throw RankFailure(os.str());
+}
+
+void VirtualCluster::poison() noexcept {
+  fabric_.poison();
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    barrier_poisoned_ = true;
+  }
+  barrier_cv_.notify_all();
 }
 
 }  // namespace ptycho::rt

@@ -21,6 +21,17 @@ namespace ptycho::rt {
 
 class VirtualCluster;
 
+/// Kill `rank` when it reaches the first fault point with step >= at_step.
+/// Models losing a node mid-run: the victim throws RankFailure and the
+/// fabric is poisoned so every other rank's blocking communication aborts
+/// with RankFailure too (instead of deadlocking on the dead rank).
+struct FaultPlan {
+  int rank = -1;              ///< victim rank; -1 disables injection
+  std::uint64_t at_step = 0;  ///< first step at which the fault fires
+
+  [[nodiscard]] bool armed() const { return rank >= 0; }
+};
+
 /// Everything a rank body needs; passed by reference into the body.
 class RankContext {
  public:
@@ -52,6 +63,12 @@ class RankContext {
 
   /// Global barrier across all ranks (blocked time profiled as wait).
   void barrier();
+
+  /// Fault-injection hook: solvers call this at recoverable boundaries
+  /// (e.g. after each chunk) with a monotonically increasing step counter.
+  /// If a fault is planned for this rank and `step` has been reached, the
+  /// fabric is poisoned and RankFailure is thrown on this rank.
+  void fault_point(std::uint64_t step);
 
  private:
   int rank_;
@@ -89,21 +106,30 @@ class VirtualCluster {
   /// Reset trackers, profilers and barrier state for a fresh run.
   void reset_instrumentation();
 
+  /// Arm fault injection for the next run() (see FaultPlan).
+  void inject_fault(const FaultPlan& plan) { fault_ = plan; }
+  [[nodiscard]] const FaultPlan& fault_plan() const { return fault_; }
+
  private:
   friend class RankContext;
   void barrier_wait(PhaseProfiler& prof);
+  void maybe_fault(int rank, std::uint64_t step);
+  void poison() noexcept;
 
   int nranks_;
   std::uint64_t seed_;
   Fabric fabric_;
   std::vector<MemTracker> trackers_;
   std::vector<PhaseProfiler> profilers_;
+  FaultPlan fault_;
+  std::atomic<bool> fault_fired_{false};
 
   // Central sense-reversing barrier.
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
   std::uint64_t barrier_generation_ = 0;
+  bool barrier_poisoned_ = false;
 };
 
 }  // namespace ptycho::rt

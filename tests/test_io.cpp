@@ -1,0 +1,150 @@
+// data/io round-trip coverage: PGM pixel mapping (including the min==max
+// mid-gray edge case), phase PGM, CSV output, and the raw binary volume
+// snapshot read-back.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/io.hpp"
+
+namespace ptycho {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoScratch : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "ptycho_io_test").string();
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+struct Pgm {
+  index_t width = 0;
+  index_t height = 0;
+  int maxval = 0;
+  std::vector<unsigned char> pixels;
+};
+
+Pgm read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::string magic;
+  Pgm pgm;
+  in >> magic >> pgm.width >> pgm.height >> pgm.maxval;
+  EXPECT_EQ(magic, "P5");
+  in.get();  // the single whitespace byte after maxval
+  pgm.pixels.resize(static_cast<usize>(pgm.width * pgm.height));
+  in.read(reinterpret_cast<char*>(pgm.pixels.data()),
+          static_cast<std::streamsize>(pgm.pixels.size()));
+  EXPECT_TRUE(in.good()) << "truncated " << path;
+  return pgm;
+}
+
+TEST_F(IoScratch, PgmMapsMinMaxLinearly) {
+  RArray2D image(2, 2);
+  image(0, 0) = real(-1);
+  image(0, 1) = real(0);
+  image(1, 0) = real(1);
+  image(1, 1) = real(3);
+  io::write_pgm(path("linear.pgm"), image.view());
+  const Pgm pgm = read_pgm(path("linear.pgm"));
+  ASSERT_EQ(pgm.width, 2);
+  ASSERT_EQ(pgm.height, 2);
+  EXPECT_EQ(pgm.maxval, 255);
+  EXPECT_EQ(pgm.pixels[0], 0u);    // min -> black
+  EXPECT_EQ(pgm.pixels[3], 255u);  // max -> white
+  // Interior values map linearly: (0 - (-1)) / 4 * 255 = 63.75 -> 63.
+  EXPECT_EQ(pgm.pixels[1], 63u);
+  EXPECT_EQ(pgm.pixels[2], 127u);
+}
+
+TEST_F(IoScratch, PgmConstantImageIsMidGray) {
+  RArray2D image(3, 4);
+  image.fill(real(7.5));
+  io::write_pgm(path("flat.pgm"), image.view());
+  const Pgm pgm = read_pgm(path("flat.pgm"));
+  ASSERT_EQ(pgm.pixels.size(), 12u);
+  for (unsigned char p : pgm.pixels) EXPECT_EQ(p, 128u);
+}
+
+TEST_F(IoScratch, PhasePgmSpansThePhaseRange) {
+  CArray2D slice(1, 3);
+  slice(0, 0) = cplx(1, 0);   // phase 0
+  slice(0, 1) = cplx(0, 1);   // phase pi/2
+  slice(0, 2) = cplx(-1, 0);  // phase pi
+  io::write_phase_pgm(path("phase.pgm"), slice.view());
+  const Pgm pgm = read_pgm(path("phase.pgm"));
+  ASSERT_EQ(pgm.pixels.size(), 3u);
+  EXPECT_EQ(pgm.pixels[0], 0u);    // smallest phase -> black
+  EXPECT_EQ(pgm.pixels[2], 255u);  // largest phase -> white
+  EXPECT_EQ(pgm.pixels[1], 127u);  // halfway
+}
+
+TEST_F(IoScratch, CsvHeaderAndRows) {
+  {
+    io::CsvWriter csv(path("series.csv"));
+    csv.header({"iteration", "cost"});
+    csv.row({0, 1.5});
+    csv.row({1, 0.25});
+    csv.raw_row("2,custom");
+  }
+  std::ifstream in(path("series.csv"));
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "iteration,cost");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,1.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,0.25");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,custom");
+  EXPECT_FALSE(std::getline(in, line));
+}
+
+TEST_F(IoScratch, VolumeRoundTripPreservesFrameAndData) {
+  FramedVolume volume(2, Rect{-3, 5, 4, 6});
+  for (index_t s = 0; s < 2; ++s) {
+    for (index_t y = 0; y < 4; ++y) {
+      for (index_t x = 0; x < 6; ++x) {
+        volume.data(s, y, x) = cplx(static_cast<real>(s * 100 + y * 10 + x),
+                                    static_cast<real>(-x));
+      }
+    }
+  }
+  io::save_volume(path("vol.bin"), volume);
+  const FramedVolume loaded = io::load_volume(path("vol.bin"));
+  ASSERT_EQ(loaded.frame, volume.frame);
+  ASSERT_EQ(loaded.slices(), 2);
+  for (index_t s = 0; s < 2; ++s) {
+    for (index_t y = 0; y < 4; ++y) {
+      for (index_t x = 0; x < 6; ++x) {
+        EXPECT_EQ(loaded.data(s, y, x), volume.data(s, y, x));
+      }
+    }
+  }
+}
+
+TEST_F(IoScratch, VolumeLoaderRejectsGarbage) {
+  {
+    std::ofstream out(path("junk.bin"), std::ios::binary);
+    out << "this is not a volume";
+  }
+  EXPECT_THROW((void)io::load_volume(path("junk.bin")), Error);
+}
+
+}  // namespace
+}  // namespace ptycho

@@ -10,9 +10,15 @@
 //   ptycho info acquisition.ptyd
 //   ptycho reconstruct acquisition.ptyd --method gd --ranks 6
 //          --iterations 12 --save-volume recon.bin --image recon.pgm
-//   # resume from a previous volume:
+//   # checkpoint every 2 chunks, then restore after a crash — possibly on
+//   # a different rank count (elastic restore):
+//   ptycho reconstruct acquisition.ptyd --ranks 6 --checkpoint-dir ckpt
+//          --checkpoint-every 2 --iterations 12
+//   ptycho reconstruct acquisition.ptyd --ranks 4 --restore ckpt --iterations 12
+//   # resume from a previous volume (or pass a checkpoint dir to --resume):
 //   ptycho reconstruct acquisition.ptyd --resume recon.bin --iterations 6
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "ptycho.hpp"
@@ -29,7 +35,12 @@ int usage() {
                "  reconstruct FILE [--method serial|gd|hve] [--ranks N]\n"
                "             [--iterations N] [--step A] [--passes T]\n"
                "             [--mode sgd|full-batch] [--no-appp] [--refine-probe]\n"
-               "             [--resume VOLUME] [--save-volume FILE] [--image FILE]\n");
+               "             [--resume VOLUME|CKPT_DIR] [--save-volume FILE] [--image FILE]\n"
+               "             [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+               "             [--restore CKPT_DIR]\n"
+               "  --iterations is the TOTAL target; a restored run continues from the\n"
+               "  snapshot's iteration. --ranks may differ from the checkpointed run\n"
+               "  (elastic restore re-tiles and redistributes the shards).\n");
   return 2;
 }
 
@@ -101,10 +112,31 @@ int cmd_reconstruct(const Options& opts) {
   request.mode = opts.get_string("mode", "sgd") == "full-batch" ? UpdateMode::kFullBatch
                                                                 : UpdateMode::kSgd;
   request.sync.appp = !opts.get_bool("no-appp", false);
+  request.checkpoint.directory = opts.get_string("checkpoint-dir", "");
+  request.checkpoint.every_chunks = static_cast<int>(opts.get_int("checkpoint-every", 0));
+  PTYCHO_CHECK(request.checkpoint.directory.empty() == (request.checkpoint.every_chunks == 0),
+               "--checkpoint-dir and --checkpoint-every must be given together");
 
+  // --restore DIR resumes from the latest complete snapshot under DIR;
+  // --resume accepts either a raw volume file (warm start) or, when given
+  // a directory, behaves exactly like --restore.
+  ckpt::Snapshot snapshot;
+  std::string restore_path = opts.get_string("restore", "");
   FramedVolume resume;
-  const std::string resume_path = opts.get_string("resume", "");
-  if (!resume_path.empty()) {
+  std::string resume_path = opts.get_string("resume", "");
+  if (!resume_path.empty() && std::filesystem::is_directory(resume_path)) {
+    PTYCHO_CHECK(restore_path.empty(), "--resume DIR and --restore are mutually exclusive");
+    restore_path = std::move(resume_path);
+    resume_path.clear();
+  }
+  if (!restore_path.empty()) {
+    snapshot = ckpt::load_latest(restore_path);
+    request.restore = &snapshot;
+    std::printf("restoring from %s (step %llu: iteration %d, chunk %d, %d rank(s))\n",
+                restore_path.c_str(), static_cast<unsigned long long>(snapshot.manifest.step),
+                snapshot.manifest.iteration, snapshot.manifest.chunk,
+                snapshot.manifest.nranks);
+  } else if (!resume_path.empty()) {
     resume = io::load_volume(resume_path);
     std::printf("resuming from %s\n", resume_path.c_str());
   }
