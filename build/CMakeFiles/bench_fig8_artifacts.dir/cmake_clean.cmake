@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_artifacts.dir/bench/bench_fig8_artifacts.cpp.o"
+  "CMakeFiles/bench_fig8_artifacts.dir/bench/bench_fig8_artifacts.cpp.o.d"
+  "bench_fig8_artifacts"
+  "bench_fig8_artifacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_small.dir/bench/bench_table2_small.cpp.o"
+  "CMakeFiles/bench_table2_small.dir/bench/bench_table2_small.cpp.o.d"
+  "bench_table2_small"
+  "bench_table2_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

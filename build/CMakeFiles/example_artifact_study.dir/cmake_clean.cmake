@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_artifact_study.dir/examples/artifact_study.cpp.o"
+  "CMakeFiles/example_artifact_study.dir/examples/artifact_study.cpp.o.d"
+  "example_artifact_study"
+  "example_artifact_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_artifact_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

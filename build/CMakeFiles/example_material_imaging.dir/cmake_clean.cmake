@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_material_imaging.dir/examples/material_imaging.cpp.o"
+  "CMakeFiles/example_material_imaging.dir/examples/material_imaging.cpp.o.d"
+  "example_material_imaging"
+  "example_material_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_material_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_material_imaging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_realtime_guidance.dir/examples/realtime_guidance.cpp.o"
+  "CMakeFiles/example_realtime_guidance.dir/examples/realtime_guidance.cpp.o.d"
+  "example_realtime_guidance"
+  "example_realtime_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_realtime_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

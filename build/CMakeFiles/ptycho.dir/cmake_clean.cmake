@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptycho.dir/tools/ptycho_cli.cpp.o"
+  "CMakeFiles/ptycho.dir/tools/ptycho_cli.cpp.o.d"
+  "ptycho"
+  "ptycho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptycho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/elastic.cpp" "CMakeFiles/ptycho_core.dir/src/ckpt/elastic.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/ckpt/elastic.cpp.o.d"
+  "/root/repo/src/ckpt/serialize.cpp" "CMakeFiles/ptycho_core.dir/src/ckpt/serialize.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/ckpt/serialize.cpp.o.d"
+  "/root/repo/src/ckpt/snapshot.cpp" "CMakeFiles/ptycho_core.dir/src/ckpt/snapshot.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/ckpt/snapshot.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/ptycho_core.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/common/memory.cpp" "CMakeFiles/ptycho_core.dir/src/common/memory.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/common/memory.cpp.o.d"
+  "/root/repo/src/common/options.cpp" "CMakeFiles/ptycho_core.dir/src/common/options.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/common/options.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "CMakeFiles/ptycho_core.dir/src/common/random.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/common/random.cpp.o.d"
+  "/root/repo/src/common/timer.cpp" "CMakeFiles/ptycho_core.dir/src/common/timer.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/common/timer.cpp.o.d"
+  "/root/repo/src/core/accbuf.cpp" "CMakeFiles/ptycho_core.dir/src/core/accbuf.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/accbuf.cpp.o.d"
+  "/root/repo/src/core/convergence.cpp" "CMakeFiles/ptycho_core.dir/src/core/convergence.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/convergence.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "CMakeFiles/ptycho_core.dir/src/core/cost.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/cost.cpp.o.d"
+  "/root/repo/src/core/gradient_decomposition.cpp" "CMakeFiles/ptycho_core.dir/src/core/gradient_decomposition.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/gradient_decomposition.cpp.o.d"
+  "/root/repo/src/core/gradient_engine.cpp" "CMakeFiles/ptycho_core.dir/src/core/gradient_engine.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/gradient_engine.cpp.o.d"
+  "/root/repo/src/core/halo_voxel_exchange.cpp" "CMakeFiles/ptycho_core.dir/src/core/halo_voxel_exchange.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/halo_voxel_exchange.cpp.o.d"
+  "/root/repo/src/core/memory_model.cpp" "CMakeFiles/ptycho_core.dir/src/core/memory_model.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/memory_model.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "CMakeFiles/ptycho_core.dir/src/core/optimizer.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/optimizer.cpp.o.d"
+  "/root/repo/src/core/passes.cpp" "CMakeFiles/ptycho_core.dir/src/core/passes.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/passes.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "CMakeFiles/ptycho_core.dir/src/core/pipeline.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/reconstructor.cpp" "CMakeFiles/ptycho_core.dir/src/core/reconstructor.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/reconstructor.cpp.o.d"
+  "/root/repo/src/core/seam_metric.cpp" "CMakeFiles/ptycho_core.dir/src/core/seam_metric.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/seam_metric.cpp.o.d"
+  "/root/repo/src/core/serial_solver.cpp" "CMakeFiles/ptycho_core.dir/src/core/serial_solver.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/serial_solver.cpp.o.d"
+  "/root/repo/src/core/stitcher.cpp" "CMakeFiles/ptycho_core.dir/src/core/stitcher.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/stitcher.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "CMakeFiles/ptycho_core.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/data/dataset.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "CMakeFiles/ptycho_core.dir/src/data/io.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/data/io.cpp.o.d"
+  "/root/repo/src/data/simulate.cpp" "CMakeFiles/ptycho_core.dir/src/data/simulate.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/data/simulate.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "CMakeFiles/ptycho_core.dir/src/data/synthetic.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/data/synthetic.cpp.o.d"
+  "/root/repo/src/fft/bluestein.cpp" "CMakeFiles/ptycho_core.dir/src/fft/bluestein.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/fft/bluestein.cpp.o.d"
+  "/root/repo/src/fft/fft2d.cpp" "CMakeFiles/ptycho_core.dir/src/fft/fft2d.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/fft/fft2d.cpp.o.d"
+  "/root/repo/src/fft/plan.cpp" "CMakeFiles/ptycho_core.dir/src/fft/plan.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/fft/plan.cpp.o.d"
+  "/root/repo/src/fft/radix2.cpp" "CMakeFiles/ptycho_core.dir/src/fft/radix2.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/fft/radix2.cpp.o.d"
+  "/root/repo/src/partition/assignment.cpp" "CMakeFiles/ptycho_core.dir/src/partition/assignment.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/partition/assignment.cpp.o.d"
+  "/root/repo/src/partition/overlap.cpp" "CMakeFiles/ptycho_core.dir/src/partition/overlap.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/partition/overlap.cpp.o.d"
+  "/root/repo/src/partition/tilegrid.cpp" "CMakeFiles/ptycho_core.dir/src/partition/tilegrid.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/partition/tilegrid.cpp.o.d"
+  "/root/repo/src/physics/grid.cpp" "CMakeFiles/ptycho_core.dir/src/physics/grid.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/physics/grid.cpp.o.d"
+  "/root/repo/src/physics/multislice.cpp" "CMakeFiles/ptycho_core.dir/src/physics/multislice.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/physics/multislice.cpp.o.d"
+  "/root/repo/src/physics/probe.cpp" "CMakeFiles/ptycho_core.dir/src/physics/probe.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/physics/probe.cpp.o.d"
+  "/root/repo/src/physics/propagator.cpp" "CMakeFiles/ptycho_core.dir/src/physics/propagator.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/physics/propagator.cpp.o.d"
+  "/root/repo/src/physics/scan.cpp" "CMakeFiles/ptycho_core.dir/src/physics/scan.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/physics/scan.cpp.o.d"
+  "/root/repo/src/runtime/channel.cpp" "CMakeFiles/ptycho_core.dir/src/runtime/channel.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/runtime/channel.cpp.o.d"
+  "/root/repo/src/runtime/cluster.cpp" "CMakeFiles/ptycho_core.dir/src/runtime/cluster.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/runtime/cluster.cpp.o.d"
+  "/root/repo/src/runtime/collectives.cpp" "CMakeFiles/ptycho_core.dir/src/runtime/collectives.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/runtime/collectives.cpp.o.d"
+  "/root/repo/src/runtime/memtrack.cpp" "CMakeFiles/ptycho_core.dir/src/runtime/memtrack.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/runtime/memtrack.cpp.o.d"
+  "/root/repo/src/runtime/perfmodel.cpp" "CMakeFiles/ptycho_core.dir/src/runtime/perfmodel.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/runtime/perfmodel.cpp.o.d"
+  "/root/repo/src/runtime/topology.cpp" "CMakeFiles/ptycho_core.dir/src/runtime/topology.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/runtime/topology.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "CMakeFiles/ptycho_core.dir/src/tensor/ops.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/region.cpp" "CMakeFiles/ptycho_core.dir/src/tensor/region.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/tensor/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

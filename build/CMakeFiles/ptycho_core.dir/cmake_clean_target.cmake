@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libptycho_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physics.dir/tests/test_physics.cpp.o"
+  "CMakeFiles/test_physics.dir/tests/test_physics.cpp.o.d"
+  "test_physics"
+  "test_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

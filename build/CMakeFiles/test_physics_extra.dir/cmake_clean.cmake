@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physics_extra.dir/tests/test_physics_extra.cpp.o"
+  "CMakeFiles/test_physics_extra.dir/tests/test_physics_extra.cpp.o.d"
+  "test_physics_extra"
+  "test_physics_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physics_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probe_refinement.dir/tests/test_probe_refinement.cpp.o"
+  "CMakeFiles/test_probe_refinement.dir/tests/test_probe_refinement.cpp.o.d"
+  "test_probe_refinement"
+  "test_probe_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probe_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

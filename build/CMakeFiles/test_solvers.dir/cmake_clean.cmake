@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solvers.dir/tests/test_solvers.cpp.o"
+  "CMakeFiles/test_solvers.dir/tests/test_solvers.cpp.o.d"
+  "test_solvers"
+  "test_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
