@@ -1,0 +1,124 @@
+// bench_sweep — the perf-trajectory baseline for the intra-rank hot path.
+//
+// Measures (1) full-batch gradient-sweep throughput (probes/sec) at one
+// thread and at N threads through the BatchSweeper, and (2) single-thread
+// Fft2D 256x256 forward+inverse throughput, then writes BENCH_sweep.json
+// so successive PRs can be compared on the same machine.
+//
+//   bench_sweep [--spec tiny|small] [--threads N] [--repeat R]
+//               [--fft-iters N] [--out BENCH_sweep.json]
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "core/sweep.hpp"
+#include "data/synthetic.hpp"
+#include "fft/fft2d.hpp"
+
+using namespace ptycho;
+
+namespace {
+
+/// Probes/sec sweeping every probe of `dataset` `repeat` times on `threads`.
+double sweep_rate(const Dataset& dataset, int threads, int repeat) {
+  GradientEngine engine(dataset);
+  ThreadPool pool(threads);
+  BatchSweeper sweeper(engine, pool);
+  FramedVolume volume = make_vacuum_volume(dataset.field(), dataset.spec.slices);
+  AccumulationBuffer accbuf(dataset.spec.slices, volume.frame);
+  Probe probe = dataset.probe.clone();
+  const index_t probes = dataset.probe_count();
+  const auto id_of = [](index_t item) { return item; };
+  const auto meas_of = [&](index_t item) {
+    return dataset.measurements[static_cast<usize>(item)].view();
+  };
+  // Warm-up pass (first-touch allocations, FFT scratch pools).
+  double cost = 0.0;
+  sweeper.sweep(0, probes, probe, volume, accbuf, cost, nullptr, id_of, meas_of);
+  accbuf.reset();
+  WallTimer timer;
+  for (int r = 0; r < repeat; ++r) {
+    sweeper.sweep(0, probes, probe, volume, accbuf, cost, nullptr, id_of, meas_of);
+    accbuf.reset();
+  }
+  const double seconds = timer.seconds();
+  return static_cast<double>(probes) * repeat / seconds;
+}
+
+struct FftResult {
+  double us_per_pair = 0.0;
+  double mb_per_sec = 0.0;
+};
+
+/// Single-thread 256x256 forward+inverse pairs; MB/s counts bytes touched
+/// (2 passes over the field per pair).
+FftResult fft_rate(int iters) {
+  const index_t n = 256;
+  fft::Fft2D plan(static_cast<usize>(n), static_cast<usize>(n));
+  CArray2D field(n, n);
+  for (index_t y = 0; y < n; ++y) {
+    for (index_t x = 0; x < n; ++x) {
+      field(y, x) = cplx(real(0.5) + static_cast<real>(x % 7), static_cast<real>(y % 5));
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    plan.forward(field.view());
+    plan.inverse(field.view());
+  }
+  WallTimer timer;
+  for (int i = 0; i < iters; ++i) {
+    plan.forward(field.view());
+    plan.inverse(field.view());
+  }
+  const double seconds = timer.seconds();
+  FftResult out;
+  out.us_per_pair = seconds / iters * 1e6;
+  out.mb_per_sec = 2.0 * iters * static_cast<double>(n) * static_cast<double>(n) *
+                   sizeof(cplx) / seconds / 1e6;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);  // argv[0] is skipped by parse
+  const std::string spec = opts.get_string("spec", "tiny");
+  const int hw = ThreadPool::hardware_threads();
+  const int threads = static_cast<int>(opts.get_int("threads", std::max(4, hw)));
+  const int repeat = static_cast<int>(opts.get_int("repeat", 3));
+  const int fft_iters = static_cast<int>(opts.get_int("fft-iters", 200));
+  const std::string out = opts.get_string("out", "BENCH_sweep.json");
+
+  std::printf("building %s dataset...\n", spec.c_str());
+  const Dataset dataset = bench::build_repro_dataset(spec);
+  std::printf("sweep: %lld probes x %d repeats\n",
+              static_cast<long long>(dataset.probe_count()), repeat);
+
+  const double rate_1t = sweep_rate(dataset, 1, repeat);
+  std::printf("  1 thread : %8.1f probes/s\n", rate_1t);
+  const double rate_nt = sweep_rate(dataset, threads, repeat);
+  std::printf("  %d threads: %8.1f probes/s (%.2fx)\n", threads, rate_nt, rate_nt / rate_1t);
+
+  const FftResult fft = fft_rate(fft_iters);
+  std::printf("fft 256x256 fwd+inv: %.1f us/pair, %.1f MB/s\n", fft.us_per_pair,
+              fft.mb_per_sec);
+
+  std::ofstream json(out);
+  PTYCHO_CHECK(json.good(), "cannot open " << out);
+  json << "{\n"
+       << "  \"bench\": \"bench_sweep\",\n"
+       << "  \"spec\": \"" << spec << "\",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"sweep_probes_per_sec_1t\": " << rate_1t << ",\n"
+       << "  \"sweep_probes_per_sec_nt\": " << rate_nt << ",\n"
+       << "  \"sweep_speedup\": " << rate_nt / rate_1t << ",\n"
+       << "  \"fft2d_256_us_per_pair\": " << fft.us_per_pair << ",\n"
+       << "  \"fft2d_256_mb_per_sec\": " << fft.mb_per_sec << "\n"
+       << "}\n";
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -212,8 +212,7 @@ CMakeFiles/example_realtime_guidance.dir/examples/realtime_guidance.cpp.o: \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/error.hpp \
  /root/repo/src/common/memory.hpp /root/repo/src/physics/propagator.hpp \
- /root/repo/src/fft/fft2d.hpp /root/repo/src/fft/plan.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/fft/fft2d.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -248,11 +247,12 @@ CMakeFiles/example_realtime_guidance.dir/examples/realtime_guidance.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/tensor/framed.hpp /root/repo/src/tensor/region.hpp \
- /root/repo/src/tensor/ops.hpp /root/repo/src/physics/scan.hpp \
- /root/repo/src/core/serial_solver.hpp /root/repo/src/ckpt/snapshot.hpp \
- /usr/include/c++/12/optional \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/fft/plan.hpp \
+ /root/repo/src/tensor/framed.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/tensor/region.hpp /root/repo/src/tensor/ops.hpp \
+ /root/repo/src/physics/scan.hpp /root/repo/src/core/serial_solver.hpp \
+ /root/repo/src/ckpt/snapshot.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/common/random.hpp /root/repo/src/partition/tilegrid.hpp \
  /root/repo/src/runtime/topology.hpp /root/repo/src/runtime/cluster.hpp \
@@ -260,9 +260,8 @@ CMakeFiles/example_realtime_guidance.dir/examples/realtime_guidance.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/runtime/channel.hpp /usr/include/c++/12/atomic \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /root/repo/src/runtime/channel.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -270,7 +269,6 @@ CMakeFiles/example_realtime_guidance.dir/examples/realtime_guidance.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/runtime/memtrack.hpp \
- /root/repo/src/core/convergence.hpp /root/repo/src/core/optimizer.hpp \
- /root/repo/src/data/io.hpp /root/repo/src/data/simulate.hpp \
- /root/repo/src/data/synthetic.hpp
+ /root/repo/src/runtime/memtrack.hpp /root/repo/src/core/convergence.hpp \
+ /root/repo/src/core/optimizer.hpp /root/repo/src/data/io.hpp \
+ /root/repo/src/data/simulate.hpp /root/repo/src/data/synthetic.hpp

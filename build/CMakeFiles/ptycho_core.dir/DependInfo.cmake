@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/log.cpp" "CMakeFiles/ptycho_core.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/common/log.cpp.o.d"
   "/root/repo/src/common/memory.cpp" "CMakeFiles/ptycho_core.dir/src/common/memory.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/common/memory.cpp.o.d"
   "/root/repo/src/common/options.cpp" "CMakeFiles/ptycho_core.dir/src/common/options.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/common/options.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "CMakeFiles/ptycho_core.dir/src/common/parallel.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/common/parallel.cpp.o.d"
   "/root/repo/src/common/random.cpp" "CMakeFiles/ptycho_core.dir/src/common/random.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/common/random.cpp.o.d"
   "/root/repo/src/common/timer.cpp" "CMakeFiles/ptycho_core.dir/src/common/timer.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/common/timer.cpp.o.d"
   "/root/repo/src/core/accbuf.cpp" "CMakeFiles/ptycho_core.dir/src/core/accbuf.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/accbuf.cpp.o.d"
@@ -30,6 +31,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/seam_metric.cpp" "CMakeFiles/ptycho_core.dir/src/core/seam_metric.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/seam_metric.cpp.o.d"
   "/root/repo/src/core/serial_solver.cpp" "CMakeFiles/ptycho_core.dir/src/core/serial_solver.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/serial_solver.cpp.o.d"
   "/root/repo/src/core/stitcher.cpp" "CMakeFiles/ptycho_core.dir/src/core/stitcher.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/stitcher.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "CMakeFiles/ptycho_core.dir/src/core/sweep.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/core/sweep.cpp.o.d"
   "/root/repo/src/data/dataset.cpp" "CMakeFiles/ptycho_core.dir/src/data/dataset.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/data/dataset.cpp.o.d"
   "/root/repo/src/data/io.cpp" "CMakeFiles/ptycho_core.dir/src/data/io.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/data/io.cpp.o.d"
   "/root/repo/src/data/simulate.cpp" "CMakeFiles/ptycho_core.dir/src/data/simulate.cpp.o" "gcc" "CMakeFiles/ptycho_core.dir/src/data/simulate.cpp.o.d"

@@ -203,8 +203,7 @@ CMakeFiles/ptycho_core.dir/src/ckpt/snapshot.cpp.o: \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/error.hpp \
  /root/repo/src/common/memory.hpp /root/repo/src/physics/propagator.hpp \
- /root/repo/src/fft/fft2d.hpp /root/repo/src/fft/plan.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/fft/fft2d.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -241,10 +240,13 @@ CMakeFiles/ptycho_core.dir/src/ckpt/snapshot.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/tensor/framed.hpp /root/repo/src/tensor/region.hpp \
- /root/repo/src/tensor/ops.hpp /root/repo/src/physics/scan.hpp \
- /root/repo/src/partition/tilegrid.hpp \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/fft/plan.hpp \
+ /root/repo/src/tensor/framed.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/tensor/region.hpp /root/repo/src/tensor/ops.hpp \
+ /root/repo/src/physics/scan.hpp /root/repo/src/partition/tilegrid.hpp \
  /root/repo/src/runtime/topology.hpp /root/repo/src/runtime/cluster.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -253,14 +255,11 @@ CMakeFiles/ptycho_core.dir/src/ckpt/snapshot.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/runtime/channel.hpp /usr/include/c++/12/atomic \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /root/repo/src/runtime/channel.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -268,10 +267,10 @@ CMakeFiles/ptycho_core.dir/src/ckpt/snapshot.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/runtime/memtrack.hpp \
- /usr/include/c++/12/cinttypes /usr/include/inttypes.h \
- /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
- /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/locale \
+ /root/repo/src/runtime/memtrack.hpp /usr/include/c++/12/cinttypes \
+ /usr/include/inttypes.h /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \

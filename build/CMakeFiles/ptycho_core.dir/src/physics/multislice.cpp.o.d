@@ -199,8 +199,7 @@ CMakeFiles/ptycho_core.dir/src/physics/multislice.cpp.o: \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/error.hpp \
  /root/repo/src/common/memory.hpp /root/repo/src/physics/propagator.hpp \
- /root/repo/src/fft/fft2d.hpp /root/repo/src/fft/plan.hpp \
- /usr/include/c++/12/memory \
+ /root/repo/src/fft/fft2d.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -237,6 +236,9 @@ CMakeFiles/ptycho_core.dir/src/physics/multislice.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/tensor/framed.hpp /root/repo/src/tensor/region.hpp \
- /root/repo/src/tensor/ops.hpp
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/fft/plan.hpp \
+ /root/repo/src/tensor/framed.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/tensor/region.hpp /root/repo/src/tensor/ops.hpp

@@ -200,7 +200,7 @@ CMakeFiles/ptycho_core.dir/src/physics/probe.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/fft/fft2d.hpp \
- /root/repo/src/fft/plan.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -237,6 +237,9 @@ CMakeFiles/ptycho_core.dir/src/physics/probe.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/fft/plan.hpp \
  /root/repo/src/tensor/ops.hpp /root/repo/src/tensor/framed.hpp \
- /root/repo/src/tensor/region.hpp
+ /usr/include/c++/12/atomic /root/repo/src/tensor/region.hpp

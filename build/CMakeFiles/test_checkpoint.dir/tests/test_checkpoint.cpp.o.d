@@ -333,14 +333,14 @@ CMakeFiles/test_checkpoint.dir/tests/test_checkpoint.cpp.o: \
  /root/repo/src/common/random.hpp /root/repo/src/data/dataset.hpp \
  /root/repo/src/physics/grid.hpp /root/repo/src/physics/multislice.hpp \
  /root/repo/src/physics/probe.hpp /root/repo/src/physics/propagator.hpp \
- /root/repo/src/fft/fft2d.hpp /root/repo/src/fft/plan.hpp \
+ /root/repo/src/fft/fft2d.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/fft/plan.hpp \
  /root/repo/src/tensor/ops.hpp /root/repo/src/physics/scan.hpp \
  /root/repo/src/partition/tilegrid.hpp \
  /root/repo/src/runtime/topology.hpp /root/repo/src/runtime/cluster.hpp \
  /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
  /root/repo/src/runtime/channel.hpp \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -348,7 +348,7 @@ CMakeFiles/test_checkpoint.dir/tests/test_checkpoint.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/runtime/memtrack.hpp \
+ /root/repo/src/runtime/memtrack.hpp \
  /root/repo/src/core/gradient_decomposition.hpp \
  /root/repo/src/core/convergence.hpp \
  /root/repo/src/core/gradient_engine.hpp \

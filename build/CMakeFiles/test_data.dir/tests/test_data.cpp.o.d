@@ -326,6 +326,8 @@ CMakeFiles/test_data.dir/tests/test_data.cpp.o: \
  /root/repo/src/data/dataset.hpp /root/repo/src/physics/grid.hpp \
  /root/repo/src/physics/multislice.hpp /root/repo/src/physics/probe.hpp \
  /root/repo/src/physics/propagator.hpp /root/repo/src/fft/fft2d.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/fft/plan.hpp /root/repo/src/tensor/ops.hpp \
  /root/repo/src/physics/scan.hpp /root/repo/src/data/simulate.hpp \
  /root/repo/src/data/synthetic.hpp /root/repo/tests/test_util.hpp

@@ -314,14 +314,22 @@ CMakeFiles/test_fft.dir/tests/test_fft.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/common/random.hpp /root/repo/src/common/types.hpp \
- /usr/include/c++/12/complex /root/repo/src/fft/fft2d.hpp \
- /root/repo/src/fft/plan.hpp /root/repo/src/tensor/array.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/error.hpp /root/repo/src/common/random.hpp \
+ /root/repo/src/common/types.hpp /usr/include/c++/12/complex \
+ /root/repo/src/fft/fft2d.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/fft/plan.hpp \
+ /root/repo/src/tensor/array.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/cstring /root/repo/src/common/error.hpp \
- /root/repo/src/common/memory.hpp /root/repo/src/fft/reference.hpp \
- /root/repo/src/tensor/ops.hpp /root/repo/src/tensor/framed.hpp \
- /root/repo/src/tensor/region.hpp
+ /usr/include/c++/12/cstring /root/repo/src/common/memory.hpp \
+ /root/repo/src/fft/reference.hpp /root/repo/src/tensor/ops.hpp \
+ /root/repo/src/tensor/framed.hpp /root/repo/src/tensor/region.hpp

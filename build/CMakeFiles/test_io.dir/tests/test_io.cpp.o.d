@@ -332,5 +332,6 @@ CMakeFiles/test_io.dir/tests/test_io.cpp.o: /root/repo/tests/test_io.cpp \
  /root/repo/src/tensor/region.hpp /root/repo/src/data/dataset.hpp \
  /root/repo/src/physics/grid.hpp /root/repo/src/physics/multislice.hpp \
  /root/repo/src/physics/probe.hpp /root/repo/src/physics/propagator.hpp \
- /root/repo/src/fft/fft2d.hpp /root/repo/src/fft/plan.hpp \
+ /root/repo/src/fft/fft2d.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/fft/plan.hpp \
  /root/repo/src/tensor/ops.hpp /root/repo/src/physics/scan.hpp

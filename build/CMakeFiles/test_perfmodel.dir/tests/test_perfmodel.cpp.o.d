@@ -324,7 +324,9 @@ CMakeFiles/test_perfmodel.dir/tests/test_perfmodel.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cstring /root/repo/src/common/error.hpp \
  /root/repo/src/common/memory.hpp /root/repo/src/physics/propagator.hpp \
- /root/repo/src/fft/fft2d.hpp /root/repo/src/fft/plan.hpp \
+ /root/repo/src/fft/fft2d.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/fft/plan.hpp \
  /root/repo/src/tensor/framed.hpp /root/repo/src/tensor/region.hpp \
  /root/repo/src/tensor/ops.hpp /root/repo/src/physics/scan.hpp \
  /root/repo/src/partition/tilegrid.hpp \

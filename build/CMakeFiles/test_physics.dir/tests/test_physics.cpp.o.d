@@ -326,5 +326,7 @@ CMakeFiles/test_physics.dir/tests/test_physics.cpp.o: \
  /root/repo/src/common/memory.hpp /root/repo/src/tensor/region.hpp \
  /root/repo/src/physics/multislice.hpp /root/repo/src/physics/probe.hpp \
  /root/repo/src/physics/propagator.hpp /root/repo/src/fft/fft2d.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/fft/plan.hpp /root/repo/src/tensor/ops.hpp \
  /root/repo/src/physics/scan.hpp

@@ -297,9 +297,18 @@ CMakeFiles/test_physics_extra.dir/tests/test_physics_extra.cpp.o: \
  /root/repo/src/common/log.hpp /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/options.hpp \
- /root/repo/src/common/random.hpp /root/repo/src/common/types.hpp \
- /usr/include/c++/12/complex /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/common/parallel.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/common/memory.hpp \
+ /root/repo/src/common/types.hpp /usr/include/c++/12/complex \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -319,27 +328,21 @@ CMakeFiles/test_physics_extra.dir/tests/test_physics_extra.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/timer.hpp \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/common/random.hpp /root/repo/src/common/timer.hpp \
  /usr/include/c++/12/chrono /root/repo/src/tensor/array.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/cstring /root/repo/src/common/memory.hpp \
- /root/repo/src/tensor/framed.hpp /root/repo/src/tensor/region.hpp \
- /root/repo/src/tensor/ops.hpp /root/repo/src/fft/fft2d.hpp \
- /root/repo/src/fft/plan.hpp /root/repo/src/physics/grid.hpp \
- /root/repo/src/physics/multislice.hpp /root/repo/src/physics/probe.hpp \
- /root/repo/src/physics/propagator.hpp /root/repo/src/physics/scan.hpp \
- /root/repo/src/data/dataset.hpp /root/repo/src/data/io.hpp \
- /root/repo/src/data/simulate.hpp /root/repo/src/data/synthetic.hpp \
- /root/repo/src/runtime/cluster.hpp /root/repo/src/runtime/channel.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/cstring /root/repo/src/tensor/framed.hpp \
+ /root/repo/src/tensor/region.hpp /root/repo/src/tensor/ops.hpp \
+ /root/repo/src/fft/fft2d.hpp /root/repo/src/fft/plan.hpp \
+ /root/repo/src/physics/grid.hpp /root/repo/src/physics/multislice.hpp \
+ /root/repo/src/physics/probe.hpp /root/repo/src/physics/propagator.hpp \
+ /root/repo/src/physics/scan.hpp /root/repo/src/data/dataset.hpp \
+ /root/repo/src/data/io.hpp /root/repo/src/data/simulate.hpp \
+ /root/repo/src/data/synthetic.hpp /root/repo/src/runtime/cluster.hpp \
+ /root/repo/src/runtime/channel.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/runtime/memtrack.hpp \
  /root/repo/src/runtime/collectives.hpp \
@@ -361,4 +364,5 @@ CMakeFiles/test_physics_extra.dir/tests/test_physics_extra.cpp.o: \
  /root/repo/src/core/memory_model.hpp \
  /root/repo/src/core/reconstructor.hpp \
  /root/repo/src/core/serial_solver.hpp \
- /root/repo/src/core/seam_metric.hpp /root/repo/src/core/stitcher.hpp
+ /root/repo/src/core/seam_metric.hpp /root/repo/src/core/stitcher.hpp \
+ /root/repo/src/core/sweep.hpp /root/repo/src/core/accbuf.hpp

@@ -326,16 +326,16 @@ CMakeFiles/test_probe_refinement.dir/tests/test_probe_refinement.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cstring /root/repo/src/common/error.hpp \
  /root/repo/src/common/memory.hpp /root/repo/src/physics/propagator.hpp \
- /root/repo/src/fft/fft2d.hpp /root/repo/src/fft/plan.hpp \
+ /root/repo/src/fft/fft2d.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/fft/plan.hpp \
  /root/repo/src/tensor/framed.hpp /root/repo/src/tensor/region.hpp \
  /root/repo/src/tensor/ops.hpp /root/repo/src/physics/scan.hpp \
  /root/repo/src/partition/tilegrid.hpp \
  /root/repo/src/runtime/topology.hpp /root/repo/src/runtime/cluster.hpp \
  /root/repo/src/common/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/runtime/channel.hpp \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -343,8 +343,7 @@ CMakeFiles/test_probe_refinement.dir/tests/test_probe_refinement.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/runtime/memtrack.hpp \
- /root/repo/src/core/convergence.hpp \
+ /root/repo/src/runtime/memtrack.hpp /root/repo/src/core/convergence.hpp \
  /root/repo/src/core/gradient_engine.hpp \
  /root/repo/src/core/optimizer.hpp /root/repo/src/core/pipeline.hpp \
  /root/repo/src/core/passes.hpp /root/repo/src/partition/overlap.hpp \

@@ -1,0 +1,104 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ptycho {
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads == 0) threads = hardware_threads();
+  PTYCHO_REQUIRE(threads >= 1, "thread pool needs at least one slot");
+  workers_.reserve(static_cast<usize>(threads - 1));
+  for (int s = 1; s < threads; ++s) {
+    workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_slot(const Region& region, int slot) {
+  const index_t lo = region.begin + static_cast<index_t>(slot) * region.chunk;
+  const index_t hi = std::min(region.end, lo + region.chunk);
+  for (index_t i = lo; i < hi; ++i) (*region.fn)(i, slot);
+}
+
+void ThreadPool::worker_loop(int slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Region region;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      region = region_;
+    }
+    // Account this worker's allocations to the submitting thread's tracker
+    // (per-rank device-memory accounting must not depend on thread count).
+    const AllocHooks previous = set_thread_alloc_hooks(region.hooks);
+    std::exception_ptr error;
+    try {
+      run_slot(region, slot);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    set_thread_alloc_hooks(previous);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(index_t begin, index_t end,
+                              const std::function<void(index_t, int)>& fn) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  const auto slots = static_cast<index_t>(threads());
+  if (slots == 1 || n == 1) {
+    for (index_t i = begin; i < end; ++i) fn(i, 0);
+    return;
+  }
+  Region region;
+  region.fn = &fn;
+  region.begin = begin;
+  region.end = end;
+  region.chunk = (n + slots - 1) / slots;
+  region.hooks = thread_alloc_hooks();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    region_ = region;
+    first_error_ = nullptr;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is slot 0 — it works instead of idling while workers run.
+  std::exception_ptr caller_error;
+  try {
+    run_slot(region, 0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  std::exception_ptr error = caller_error != nullptr ? caller_error : first_error_;
+  lock.unlock();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace ptycho

@@ -1,0 +1,76 @@
+// Intra-rank parallel execution: a reusable thread pool with a static,
+// thread-count-independent work partition.
+//
+// The pool exists so the per-probe gradient sweep (the hot path of every
+// solver) can scale with cores *without* changing results: parallel_for
+// hands item i to a fixed slot derived only from (range, slot count), and
+// callers that need a reduction merge per-item results in ascending item
+// order — see core/sweep.hpp for the canonical pattern. Worker threads
+// temporarily adopt the submitting thread's allocation hooks, so tensor
+// allocations made inside a parallel region are charged to the owning
+// virtual-cluster rank exactly as sequential allocations are.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/memory.hpp"
+#include "common/types.hpp"
+
+namespace ptycho {
+
+class ThreadPool {
+ public:
+  /// A pool that runs work on `threads` slots (>= 1). `threads == 0` uses
+  /// hardware_threads(). One slot runs on the calling thread, so a pool of
+  /// 1 spawns no workers and parallel_for degenerates to a plain loop.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution slots (worker threads + the calling thread).
+  [[nodiscard]] int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static int hardware_threads();
+
+  /// Run fn(i, slot) for every i in [begin, end). The range is split into
+  /// contiguous blocks, one per slot; slot s runs items
+  /// [begin + s*chunk, begin + (s+1)*chunk) with chunk = ceil(n/slots).
+  /// `slot` (in [0, threads())) identifies the per-worker scratch the call
+  /// may use. Blocks until every item ran; the first exception thrown by
+  /// any item is rethrown on the caller after the region completes.
+  void parallel_for(index_t begin, index_t end,
+                    const std::function<void(index_t item, int slot)>& fn);
+
+ private:
+  struct Region {
+    const std::function<void(index_t, int)>* fn = nullptr;
+    index_t begin = 0;
+    index_t end = 0;
+    index_t chunk = 0;
+    AllocHooks hooks;  ///< submitting thread's hooks, adopted by workers
+  };
+
+  void worker_loop(int slot);
+  void run_slot(const Region& region, int slot);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Region region_;
+  std::uint64_t generation_ = 0;  ///< bumped once per parallel_for
+  int pending_ = 0;               ///< workers still running the generation
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace ptycho

@@ -29,6 +29,22 @@ inline constexpr real kTwoPi = real(2) * kPi;
 /// Imaginary unit as a `cplx`.
 inline constexpr cplx kImag{real(0), real(1)};
 
+/// Finite-math complex multiply: the textbook formula without the
+/// inf/nan-recovery branch the compiler's __mulsc3 runtime call adds
+/// around `cplx * cplx`. Every wavefield, transmittance and gradient in
+/// the library is finite, and the runtime call serializes the hottest
+/// loops (FFT butterflies, Hadamard products), so use this in kernels.
+[[nodiscard]] inline cplx cmul(cplx a, cplx b) {
+  return cplx(a.real() * b.real() - a.imag() * b.imag(),
+              a.real() * b.imag() + a.imag() * b.real());
+}
+
+/// cmul(a, conj(b)) without materializing the conjugate.
+[[nodiscard]] inline cplx cmul_conj(cplx a, cplx b) {
+  return cplx(a.real() * b.real() + a.imag() * b.imag(),
+              a.imag() * b.real() - a.real() * b.imag());
+}
+
 /// Bytes in one mebibyte / gibibyte, for memory reporting.
 inline constexpr double kMiB = 1024.0 * 1024.0;
 inline constexpr double kGiB = 1024.0 * kMiB;

@@ -1,12 +1,16 @@
 #include "core/gradient_decomposition.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <mutex>
+#include <optional>
 
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "core/accbuf.hpp"
 #include "core/stitcher.hpp"
+#include "core/sweep.hpp"
 #include "data/synthetic.hpp"
 #include "common/log.hpp"
 #include "partition/assignment.hpp"
@@ -130,11 +134,29 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
 
     FramedVolume volume(slices, tile.extended);
     AccumulationBuffer accbuf(slices, tile.extended);
-    FramedVolume probe_grad(slices, Rect{0, 0, n, n});
 
     GradientEngine engine(dataset);
     const real step = config.step * engine.step_scale();
-    MultisliceWorkspace ws = engine.make_workspace();
+    // Full-batch: a per-rank worker pool for the local sweep (auto divides
+    // the host's cores across ranks so K ranks x T threads ~= hardware).
+    // SGD: one sequential workspace + window-sized gradient scratch. Only
+    // the active mode's buffers are allocated (they count toward the
+    // rank's tracked memory footprint).
+    std::optional<ThreadPool> pool;
+    std::optional<BatchSweeper> sweeper;
+    std::optional<MultisliceWorkspace> ws;
+    std::optional<FramedVolume> probe_grad;
+    if (config.mode == UpdateMode::kFullBatch) {
+      const int threads = config.threads != 0
+                              ? config.threads
+                              : std::max(1, ThreadPool::hardware_threads() / ctx.nranks());
+      pool.emplace(threads);
+      sweeper.emplace(engine, *pool);
+    } else {
+      ws.emplace(engine.make_workspace());
+      ws->cache_transmittance = true;  // sweep mutations all go through apply_gradient
+      probe_grad.emplace(slices, Rect{0, 0, n, n});
+    }
     GradientSynchronizer sync(partition, ctx.rank(), config.sync);
     Probe local_probe = dataset.probe.clone();
     const double probe_energy = local_probe.total_intensity();
@@ -198,19 +220,26 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
         const index_t end = probe_count * (chunk + 1) / chunks;
         {
           ScopedPhase compute(ctx.profiler(), phase::kCompute);
-          for (index_t p = begin; p < end; ++p) {
-            const index_t id = tile.own_probes[static_cast<usize>(p)];
-            probe_grad.frame = engine.window(id);
-            probe_grad.data.fill(cplx{});
+          const bool refine_now =
+              config.refine_probe && iter >= config.probe_warmup_iterations;
+          if (config.mode == UpdateMode::kFullBatch) {
             View2D<cplx> pg_view = probe_grad_field.view();
-            const bool refine_now =
-                config.refine_probe && iter >= config.probe_warmup_iterations;
-            sweep_cost += engine.probe_gradient_joint(
-                id, local_probe, local_meas[static_cast<usize>(p)].view(), volume, probe_grad,
-                ws, refine_now ? &pg_view : nullptr);
-            accbuf.accumulate(probe_grad, probe_grad.frame);
-            if (config.mode == UpdateMode::kSgd) {
-              apply_gradient(volume, probe_grad, probe_grad.frame, step);
+            sweeper->sweep(
+                begin, end, local_probe, volume, accbuf, sweep_cost,
+                refine_now ? &pg_view : nullptr,
+                [&](index_t p) { return tile.own_probes[static_cast<usize>(p)]; },
+                [&](index_t p) { return local_meas[static_cast<usize>(p)].view(); });
+          } else {
+            for (index_t p = begin; p < end; ++p) {
+              const index_t id = tile.own_probes[static_cast<usize>(p)];
+              probe_grad->frame = engine.window(id);
+              probe_grad->data.fill(cplx{});
+              View2D<cplx> pg_view = probe_grad_field.view();
+              sweep_cost += engine.probe_gradient_joint(
+                  id, local_probe, local_meas[static_cast<usize>(p)].view(), volume,
+                  *probe_grad, *ws, refine_now ? &pg_view : nullptr);
+              accbuf.accumulate(*probe_grad, probe_grad->frame);
+              apply_gradient(volume, *probe_grad, probe_grad->frame, step);
             }
           }
         }

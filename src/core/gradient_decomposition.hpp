@@ -33,6 +33,13 @@ struct GdConfig {
   int passes_per_iteration = 1;
   UpdateMode mode = UpdateMode::kSgd;
   SyncPolicy sync;  ///< scheme + APPP on/off
+  /// Worker threads per rank for the local gradient sweep (0 = hardware
+  /// concurrency divided by nranks, floored at 1, so the whole virtual
+  /// cluster does not oversubscribe the host). Full-batch sweeps use the
+  /// deterministic ordered reduction (bitwise identical for any value);
+  /// SGD sweeps are inherently sequential and ignore this (see
+  /// SerialConfig::threads for the argument).
+  int threads = 0;
   bool record_cost = true;
   /// Joint object+probe refinement. The probe is a *global* quantity, so
   /// each iteration the ranks all-reduce their probe-gradient buffers

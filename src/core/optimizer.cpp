@@ -16,6 +16,8 @@ void apply_gradient(FramedVolume& volume, const FramedVolume& grad, const Rect& 
   for (index_t s = 0; s < volume.slices(); ++s) {
     axpy(cplx(-step, 0), grad.window(s, region), volume.window(s, region));
   }
+  // Invalidate any cached per-slice transmittance derived from this volume.
+  volume.bump_revision();
 }
 
 }  // namespace ptycho

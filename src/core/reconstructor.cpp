@@ -20,6 +20,7 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.iterations = request.iterations;
       config.step = request.step;
       config.chunks_per_iteration = request.passes_per_iteration;
+      config.threads = request.threads;
       config.mode = request.mode;
       config.record_cost = request.record_cost;
       config.checkpoint = request.checkpoint;
@@ -36,6 +37,7 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.iterations = request.iterations;
       config.step = request.step;
       config.passes_per_iteration = request.passes_per_iteration;
+      config.threads = request.threads;
       config.mode = request.mode;
       config.sync = request.sync;
       config.record_cost = request.record_cost;

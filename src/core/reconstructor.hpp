@@ -22,6 +22,10 @@ struct ReconstructionRequest {
   int iterations = 10;           ///< TOTAL iterations (a restore continues toward this)
   real step = real(0.1);
   int passes_per_iteration = 1;  ///< GD comm frequency / serial chunks
+  /// Sweep worker threads (0 = auto: hardware concurrency for serial,
+  /// divided across ranks for GD). Full-batch output is bitwise identical
+  /// for any value; SGD sweeps ignore it (sequential by construction).
+  int threads = 0;
   UpdateMode mode = UpdateMode::kSgd;
   SyncPolicy sync;               ///< GD only
   int hve_local_epochs = 1;      ///< HVE only

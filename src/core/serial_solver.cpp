@@ -3,9 +3,12 @@
 #include <cmath>
 #include <filesystem>
 #include <numeric>
+#include <optional>
 
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "core/accbuf.hpp"
+#include "core/sweep.hpp"
 #include "data/synthetic.hpp"
 
 namespace ptycho {
@@ -61,13 +64,29 @@ SerialResult reconstruct_serial(const Dataset& dataset, const SerialConfig& conf
 
   GradientEngine engine(dataset);
   const real step = config.step * engine.step_scale();
-  MultisliceWorkspace ws = engine.make_workspace();
   const double probe_energy = probe.total_intensity();
   AccumulationBuffer accbuf(slices, result.volume.frame);
-  // Per-probe gradient scratch: one window-sized framed volume, re-aimed at
-  // each probe location.
   const auto n = static_cast<index_t>(dataset.spec.grid.probe_n);
-  FramedVolume probe_grad(slices, Rect{0, 0, n, n});
+
+  // Full-batch sweeps run on the pool with an ordered (thread-count-
+  // independent) reduction; SGD stays sequential (see SerialConfig) and
+  // uses a single workspace plus one window-sized gradient scratch,
+  // re-aimed at each probe location. Only the active mode's buffers are
+  // allocated.
+  std::optional<ThreadPool> pool;
+  std::optional<BatchSweeper> sweeper;
+  std::optional<MultisliceWorkspace> ws;
+  std::optional<FramedVolume> probe_grad;
+  if (config.mode == UpdateMode::kFullBatch) {
+    pool.emplace(config.threads);
+    sweeper.emplace(engine, *pool);
+  } else {
+    ws.emplace(engine.make_workspace());
+    // SGD sweeps only ever mutate the volume through apply_gradient, so
+    // the transmittance cache contract holds.
+    ws->cache_transmittance = true;
+    probe_grad.emplace(slices, Rect{0, 0, n, n});
+  }
 
   // --- periodic checkpointing ------------------------------------------------
   ckpt::RunInfo run;
@@ -108,17 +127,23 @@ SerialResult reconstruct_serial(const Dataset& dataset, const SerialConfig& conf
     for (int chunk = first_chunk; chunk < chunks; ++chunk) {
       const index_t begin = probe_count * chunk / chunks;
       const index_t end = probe_count * (chunk + 1) / chunks;
-      for (index_t i = begin; i < end; ++i) {
-        probe_grad.frame = engine.window(i);
-        probe_grad.data.fill(cplx{});
+      const bool refine_now = config.refine_probe && iter >= config.probe_warmup_iterations;
+      if (config.mode == UpdateMode::kFullBatch) {
         View2D<cplx> probe_grad_view = probe_grad_field.view();
-        const bool refine_now = config.refine_probe && iter >= config.probe_warmup_iterations;
-        sweep_cost += engine.probe_gradient_joint(
-            i, probe, dataset.measurements[static_cast<usize>(i)].view(), result.volume,
-            probe_grad, ws, refine_now ? &probe_grad_view : nullptr);
-        accbuf.accumulate(probe_grad, probe_grad.frame);
-        if (config.mode == UpdateMode::kSgd) {
-          apply_gradient(result.volume, probe_grad, probe_grad.frame, step);
+        sweeper->sweep(
+            begin, end, probe, result.volume, accbuf, sweep_cost,
+            refine_now ? &probe_grad_view : nullptr, [](index_t item) { return item; },
+            [&](index_t item) { return dataset.measurements[static_cast<usize>(item)].view(); });
+      } else {
+        for (index_t i = begin; i < end; ++i) {
+          probe_grad->frame = engine.window(i);
+          probe_grad->data.fill(cplx{});
+          View2D<cplx> probe_grad_view = probe_grad_field.view();
+          sweep_cost += engine.probe_gradient_joint(
+              i, probe, dataset.measurements[static_cast<usize>(i)].view(), result.volume,
+              *probe_grad, *ws, refine_now ? &probe_grad_view : nullptr);
+          accbuf.accumulate(*probe_grad, probe_grad->frame);
+          apply_gradient(result.volume, *probe_grad, probe_grad->frame, step);
         }
       }
       // Accumulated update (Alg. 1 steps 14-16). In SGD mode every local

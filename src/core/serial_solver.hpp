@@ -25,6 +25,13 @@ struct SerialConfig {
   /// chunks of the probe sweep; 1 = once per iteration).
   int chunks_per_iteration = 1;
   UpdateMode mode = UpdateMode::kSgd;
+  /// Worker threads for the per-probe gradient sweep (0 = hardware
+  /// concurrency). Full-batch mode parallelizes the sweep with a
+  /// deterministic ordered reduction — output is bitwise identical for any
+  /// thread count. SGD mode is inherently sequential (each probe's update
+  /// feeds the next probe's forward model), so it always runs on one
+  /// thread regardless of this setting.
+  int threads = 0;
   bool record_cost = true;
   /// Joint object+probe refinement: after `probe_warmup_iterations`, each
   /// iteration also descends the probe wavefield along its accumulated

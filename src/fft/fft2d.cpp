@@ -1,8 +1,9 @@
 #include "fft/fft2d.hpp"
 
-#include <vector>
+#include <algorithm>
 
 #include "common/error.hpp"
+#include "tensor/ops.hpp"
 
 namespace ptycho::fft {
 
@@ -11,8 +12,24 @@ Fft2D::Fft2D(usize rows, usize cols)
   PTYCHO_REQUIRE(rows >= 1 && cols >= 1, "Fft2D extents must be >= 1");
 }
 
-namespace {
-thread_local std::vector<cplx> t_column;
+Fft2D::ScratchLease::~ScratchLease() {
+  std::lock_guard<std::mutex> lock(plan_.scratch_mutex_);
+  plan_.scratch_pool_.push_back(std::move(scratch_));
+}
+
+Fft2D::ScratchLease Fft2D::acquire_scratch() const {
+  {
+    std::lock_guard<std::mutex> lock(scratch_mutex_);
+    if (!scratch_pool_.empty()) {
+      std::unique_ptr<Scratch> scratch = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+      return ScratchLease(*this, std::move(scratch));
+    }
+  }
+  auto scratch = std::make_unique<Scratch>();
+  scratch->tile.resize(rows_ * static_cast<usize>(kColBlock));
+  scratch->bluestein.resize(col_plan_.strided_scratch_size(static_cast<usize>(kColBlock)));
+  return ScratchLease(*this, std::move(scratch));
 }
 
 void Fft2D::transform_rows(View2D<cplx> field, bool fwd) const {
@@ -27,15 +44,26 @@ void Fft2D::transform_rows(View2D<cplx> field, bool fwd) const {
 }
 
 void Fft2D::transform_cols(View2D<cplx> field, bool fwd) const {
-  t_column.resize(rows_);
-  for (index_t x = 0; x < field.cols(); ++x) {
-    for (index_t y = 0; y < field.rows(); ++y) t_column[static_cast<usize>(y)] = field(y, x);
-    if (fwd) {
-      col_plan_.forward(t_column.data());
-    } else {
-      col_plan_.inverse(t_column.data());
+  const ScratchLease lease = acquire_scratch();
+  cplx* tile = lease.get().tile.data();
+  cplx* pad = lease.get().bluestein.empty() ? nullptr : lease.get().bluestein.data();
+  const index_t rows = field.rows();
+  for (index_t x0 = 0; x0 < field.cols(); x0 += kColBlock) {
+    const index_t block = std::min(kColBlock, field.cols() - x0);
+    const auto b = static_cast<usize>(block);
+    // Gather the block: row y contributes `block` contiguous elements, so
+    // the pass streams cache lines instead of touching one column stripe.
+    for (index_t y = 0; y < rows; ++y) {
+      std::copy_n(field.row(y) + x0, block, tile + static_cast<usize>(y) * b);
     }
-    for (index_t y = 0; y < field.rows(); ++y) field(y, x) = t_column[static_cast<usize>(y)];
+    if (fwd) {
+      col_plan_.forward_strided(tile, b, b, pad);
+    } else {
+      col_plan_.inverse_strided(tile, b, b, pad);
+    }
+    for (index_t y = 0; y < rows; ++y) {
+      std::copy_n(tile + static_cast<usize>(y) * b, block, field.row(y) + x0);
+    }
   }
 }
 
@@ -57,45 +85,52 @@ void Fft2D::inverse(View2D<cplx> field) const {
 
 void Fft2D::adjoint_forward(View2D<cplx> field) const {
   inverse(field);
-  const real scale = static_cast<real>(size());
-  for (index_t y = 0; y < field.rows(); ++y) {
-    cplx* row = field.row(y);
-    for (index_t x = 0; x < field.cols(); ++x) row[x] *= scale;
-  }
+  scale(cplx(static_cast<real>(size()), 0), field);
 }
 
 void Fft2D::adjoint_inverse(View2D<cplx> field) const {
   forward(field);
-  const real scale = real(1) / static_cast<real>(size());
-  for (index_t y = 0; y < field.rows(); ++y) {
-    cplx* row = field.row(y);
-    for (index_t x = 0; x < field.cols(); ++x) row[x] *= scale;
-  }
+  scale(cplx(real(1) / static_cast<real>(size()), 0), field);
 }
 
 namespace {
-// Roll rows/cols by the given shifts (used by both shift directions).
-void roll(View2D<cplx> field, index_t shift_y, index_t shift_x) {
+// In-place roll: new (y, x) reads old ((y - shift_y) mod rows,
+// (x - shift_x) mod cols). Built from per-row rotations and whole-row
+// reversals, so no temporary buffer is ever allocated.
+void roll_inplace(View2D<cplx> field, index_t shift_y, index_t shift_x) {
   const index_t rows = field.rows();
   const index_t cols = field.cols();
-  std::vector<cplx> buffer(static_cast<usize>(rows * cols));
-  for (index_t y = 0; y < rows; ++y) {
-    const index_t sy = (y + shift_y) % rows;
-    for (index_t x = 0; x < cols; ++x) {
-      const index_t sx = (x + shift_x) % cols;
-      buffer[static_cast<usize>(sy * cols + sx)] = field(y, x);
+  if (rows == 0 || cols == 0) return;
+  shift_y %= rows;
+  shift_x %= cols;
+  if (shift_x != 0) {
+    // Rotate each row right by shift_x (std::rotate is swap-based).
+    for (index_t y = 0; y < rows; ++y) {
+      cplx* row = field.row(y);
+      std::rotate(row, row + (cols - shift_x), row + cols);
     }
   }
-  for (index_t y = 0; y < rows; ++y) {
-    for (index_t x = 0; x < cols; ++x) field(y, x) = buffer[static_cast<usize>(y * cols + x)];
+  if (shift_y != 0) {
+    // Rotate the row order down by shift_y with the three-reversal
+    // identity; reversing a range of rows is pairwise whole-row swaps.
+    const auto reverse_rows = [&field, cols](index_t lo, index_t hi) {
+      while (lo < hi - 1) {
+        cplx* a = field.row(lo++);
+        cplx* b = field.row(--hi);
+        std::swap_ranges(a, a + cols, b);
+      }
+    };
+    reverse_rows(0, rows);
+    reverse_rows(0, shift_y);
+    reverse_rows(shift_y, rows);
   }
 }
 }  // namespace
 
-void fftshift(View2D<cplx> field) { roll(field, field.rows() / 2, field.cols() / 2); }
+void fftshift(View2D<cplx> field) { roll_inplace(field, field.rows() / 2, field.cols() / 2); }
 
 void ifftshift(View2D<cplx> field) {
-  roll(field, (field.rows() + 1) / 2, (field.cols() + 1) / 2);
+  roll_inplace(field, (field.rows() + 1) / 2, (field.cols() + 1) / 2);
 }
 
 double fft_freq(usize i, usize n) {

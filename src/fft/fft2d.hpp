@@ -1,10 +1,18 @@
 // Two-dimensional planned FFT over View2D<cplx>, plus fftshift helpers.
 //
 // The multislice operator transforms each probe-sized wavefield twice per
-// slice, so Fft2D is the hottest kernel in the library — columns are
-// processed through a contiguous gather/scatter buffer to keep the 1-D
-// kernel on unit-stride data.
+// slice, so Fft2D is the hottest kernel in the library. The column pass is
+// cache-blocked: columns are gathered kColBlock at a time into a compact
+// scratch tile and transformed through the batched strided Plan1D entry
+// point, so every pass over the field moves whole cache lines and the
+// butterfly inner loop vectorizes across columns. Scratch tiles live in a
+// small plan-owned pool (acquired per call), so a single Fft2D is safe to
+// share across concurrently executing worker threads.
 #pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "fft/plan.hpp"
 #include "tensor/array.hpp"
@@ -13,6 +21,9 @@ namespace ptycho::fft {
 
 class Fft2D {
  public:
+  /// Columns per block of the cache-blocked column pass.
+  static constexpr index_t kColBlock = 16;
+
   /// Plan for `rows x cols` transforms.
   Fft2D(usize rows, usize cols);
 
@@ -33,6 +44,30 @@ class Fft2D {
   void adjoint_inverse(View2D<cplx> field) const;
 
  private:
+  /// Column-pass scratch: the gathered rows x kColBlock tile plus the
+  /// batched-Bluestein pad (empty for power-of-two row counts).
+  struct Scratch {
+    std::vector<cplx> tile;
+    std::vector<cplx> bluestein;
+  };
+
+  /// RAII lease of a pooled scratch buffer; returns it on destruction.
+  class ScratchLease {
+   public:
+    ScratchLease(const Fft2D& plan, std::unique_ptr<Scratch> scratch)
+        : plan_(plan), scratch_(std::move(scratch)) {}
+    ~ScratchLease();
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+    [[nodiscard]] Scratch& get() const { return *scratch_; }
+
+   private:
+    const Fft2D& plan_;
+    std::unique_ptr<Scratch> scratch_;
+  };
+
+  [[nodiscard]] ScratchLease acquire_scratch() const;
+
   void transform_rows(View2D<cplx> field, bool fwd) const;
   void transform_cols(View2D<cplx> field, bool fwd) const;
 
@@ -40,9 +75,16 @@ class Fft2D {
   usize cols_ = 0;
   Plan1D row_plan_;  // length cols_ (transforms along x)
   Plan1D col_plan_;  // length rows_ (transforms along y)
+
+  // Pool of column-pass scratch buffers. Concurrent transforms each lease
+  // one (allocating on first use), so sharing one plan across workers is
+  // race-free and steady-state transforms allocate nothing.
+  mutable std::mutex scratch_mutex_;
+  mutable std::vector<std::unique_ptr<Scratch>> scratch_pool_;
 };
 
 /// Swap quadrants so the zero frequency moves to the array center.
+/// In-place and allocation-free (element swaps/rotations only).
 void fftshift(View2D<cplx> field);
 
 /// Inverse of fftshift (differs from it for odd extents).

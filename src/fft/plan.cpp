@@ -1,12 +1,19 @@
 #include "fft/plan.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
 namespace ptycho::fft {
 
 usize next_pow2(usize n) {
+  // Guard the doubling loop: for n above the largest representable power
+  // of two, p would wrap to 0 and the loop would never terminate.
+  constexpr usize kMaxPow2 = usize{1} << (std::numeric_limits<usize>::digits - 1);
+  PTYCHO_REQUIRE(n <= kMaxPow2,
+                 "next_pow2: no power of two >= " << n << " fits in usize");
   usize p = 1;
   while (p < n) p <<= 1;
   return p;
@@ -79,12 +86,12 @@ void Plan1D::forward(cplx* data) const {
   }
   const auto& bt = *bluestein_;
   t_scratch.assign(bt.m, cplx{});
-  for (usize k = 0; k < n_; ++k) t_scratch[k] = data[k] * bt.chirp[k];
+  for (usize k = 0; k < n_; ++k) t_scratch[k] = cmul(data[k], bt.chirp[k]);
   detail::radix2_transform(t_scratch.data(), bt.m, -1, bt.bitrev, bt.twiddles);
-  for (usize k = 0; k < bt.m; ++k) t_scratch[k] *= bt.filter_fft[k];
+  for (usize k = 0; k < bt.m; ++k) t_scratch[k] = cmul(t_scratch[k], bt.filter_fft[k]);
   detail::radix2_transform(t_scratch.data(), bt.m, +1, bt.bitrev, bt.twiddles);
   const real inv_m = real(1) / static_cast<real>(bt.m);
-  for (usize k = 0; k < n_; ++k) data[k] = t_scratch[k] * inv_m * bt.chirp[k];
+  for (usize k = 0; k < n_; ++k) data[k] = cmul(t_scratch[k] * inv_m, bt.chirp[k]);
 }
 
 void Plan1D::inverse(cplx* data) const {
@@ -94,6 +101,58 @@ void Plan1D::inverse(cplx* data) const {
   forward(data);
   const real inv_n = real(1) / static_cast<real>(n_);
   for (usize k = 0; k < n_; ++k) data[k] = std::conj(data[k]) * inv_n;
+}
+
+usize Plan1D::strided_scratch_size(usize count) const {
+  return bluestein_ ? bluestein_->m * count : 0;
+}
+
+void Plan1D::forward_strided(cplx* data, usize stride, usize count, cplx* scratch) const {
+  PTYCHO_REQUIRE(count >= 1 && stride >= count, "strided batch: need stride >= count >= 1");
+  if (radix2_) {
+    detail::radix2_transform_strided(data, n_, stride, count, -1, radix2_->bitrev,
+                                     radix2_->twiddles);
+    return;
+  }
+  // Bluestein on the whole batch at once: the padded convolution runs
+  // through the strided radix-2 kernel with the lanes packed contiguously.
+  PTYCHO_REQUIRE(scratch != nullptr, "strided batch: Bluestein sizes need caller scratch");
+  const auto& bt = *bluestein_;
+  std::fill_n(scratch, bt.m * count, cplx{});
+  for (usize k = 0; k < n_; ++k) {
+    const cplx* src = data + k * stride;
+    cplx* dst = scratch + k * count;
+    const cplx c = bt.chirp[k];
+    for (usize lane = 0; lane < count; ++lane) dst[lane] = cmul(src[lane], c);
+  }
+  detail::radix2_transform_strided(scratch, bt.m, count, count, -1, bt.bitrev, bt.twiddles);
+  for (usize k = 0; k < bt.m; ++k) {
+    cplx* row = scratch + k * count;
+    const cplx f = bt.filter_fft[k];
+    for (usize lane = 0; lane < count; ++lane) row[lane] = cmul(row[lane], f);
+  }
+  detail::radix2_transform_strided(scratch, bt.m, count, count, +1, bt.bitrev, bt.twiddles);
+  const real inv_m = real(1) / static_cast<real>(bt.m);
+  for (usize k = 0; k < n_; ++k) {
+    const cplx* src = scratch + k * count;
+    cplx* dst = data + k * stride;
+    const cplx c = bt.chirp[k];
+    for (usize lane = 0; lane < count; ++lane) dst[lane] = cmul(src[lane] * inv_m, c);
+  }
+}
+
+void Plan1D::inverse_strided(cplx* data, usize stride, usize count, cplx* scratch) const {
+  // Same conjugation trick as the contiguous inverse, applied lane-wise.
+  for (usize k = 0; k < n_; ++k) {
+    cplx* row = data + k * stride;
+    for (usize lane = 0; lane < count; ++lane) row[lane] = std::conj(row[lane]);
+  }
+  forward_strided(data, stride, count, scratch);
+  const real inv_n = real(1) / static_cast<real>(n_);
+  for (usize k = 0; k < n_; ++k) {
+    cplx* row = data + k * stride;
+    for (usize lane = 0; lane < count; ++lane) row[lane] = std::conj(row[lane]) * inv_n;
+  }
 }
 
 }  // namespace ptycho::fft

@@ -40,6 +40,21 @@ class Plan1D {
   void forward(cplx* data) const;
   void inverse(cplx* data) const;
 
+  /// Scratch elements a caller must provide to the strided entry points for
+  /// a batch of `count` interleaved signals (0 for power-of-two sizes; the
+  /// Bluestein path needs a padded m x count tile).
+  [[nodiscard]] usize strided_scratch_size(usize count) const;
+
+  /// Batched strided transform of `count` interleaved signals: element j of
+  /// signal b sits at data[j*stride + b] (stride >= count). The butterflies
+  /// run across the contiguous lane dimension, so a column block gathered
+  /// into this layout vectorizes where the one-column-at-a-time path cannot.
+  /// `scratch` must hold strided_scratch_size(count) elements (may be null
+  /// when that is 0). Each lane runs the same operation sequence as the
+  /// contiguous single-signal transform.
+  void forward_strided(cplx* data, usize stride, usize count, cplx* scratch) const;
+  void inverse_strided(cplx* data, usize stride, usize count, cplx* scratch) const;
+
  private:
   struct Radix2Tables;
   struct BluesteinTables;
@@ -56,6 +71,14 @@ namespace detail {
 /// forward, +1 for inverse (no normalization applied here).
 void radix2_transform(cplx* data, usize n, int sign, const std::vector<usize>& bitrev,
                       const std::vector<cplx>& twiddles_fwd);
+
+/// Batched variant of radix2_transform: `count` interleaved signals with
+/// element j of signal b at data[j*stride + b]. Butterflies loop over the
+/// contiguous lane dimension (unit stride), so the hot inner loop
+/// vectorizes across the batch.
+void radix2_transform_strided(cplx* data, usize n, usize stride, usize count, int sign,
+                              const std::vector<usize>& bitrev,
+                              const std::vector<cplx>& twiddles_fwd);
 
 /// Build bit-reversal permutation for size n (pow2).
 [[nodiscard]] std::vector<usize> make_bitrev(usize n);

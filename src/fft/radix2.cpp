@@ -1,4 +1,5 @@
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "fft/plan.hpp"
@@ -50,10 +51,42 @@ void radix2_transform(cplx* data, usize n, int sign, const std::vector<usize>& b
       for (usize k = 0; k < half; ++k) {
         cplx w = tw[k];
         if (sign > 0) w = std::conj(w);
-        const cplx t = w * data[base + k + half];
+        const cplx t = cmul(w, data[base + k + half]);
         const cplx u = data[base + k];
         data[base + k] = u + t;
         data[base + k + half] = u - t;
+      }
+    }
+  }
+}
+
+void radix2_transform_strided(cplx* data, usize n, usize stride, usize count, int sign,
+                              const std::vector<usize>& bitrev,
+                              const std::vector<cplx>& twiddles_fwd) {
+  // Bit-reversal permutation: swap whole lane rows once per pair.
+  for (usize i = 0; i < n; ++i) {
+    const usize j = bitrev[i];
+    if (i < j) {
+      cplx* a = data + i * stride;
+      cplx* b = data + j * stride;
+      for (usize lane = 0; lane < count; ++lane) std::swap(a[lane], b[lane]);
+    }
+  }
+  // Butterfly stages; the lane loop is the innermost (unit-stride) one.
+  for (usize half = 1; half < n; half *= 2) {
+    const cplx* tw = twiddles_fwd.data() + (half - 1);
+    for (usize base = 0; base < n; base += 2 * half) {
+      for (usize k = 0; k < half; ++k) {
+        cplx w = tw[k];
+        if (sign > 0) w = std::conj(w);
+        cplx* a = data + (base + k) * stride;
+        cplx* b = data + (base + k + half) * stride;
+        for (usize lane = 0; lane < count; ++lane) {
+          const cplx t = cmul(w, b[lane]);
+          const cplx u = a[lane];
+          a[lane] = u + t;
+          b[lane] = u - t;
+        }
       }
     }
   }

@@ -27,6 +27,12 @@ void MultisliceOperator::compute_transmittance(const FramedVolume& volume, const
   const index_t slices = volume.slices();
   PTYCHO_CHECK(ws.trans.size() == static_cast<usize>(slices),
                "workspace slice count mismatch");
+  // kPotential pays exp/cos/sin per voxel; skip the rebuild when the cached
+  // tile is provably current (same revision token, same window).
+  const bool cacheable = config_.model == ObjectModel::kPotential && ws.cache_transmittance;
+  if (cacheable && ws.trans_revision == volume.revision && ws.trans_window == window) {
+    return;
+  }
   for (index_t s = 0; s < slices; ++s) {
     View2D<const cplx> v = volume.window(s, window);
     View2D<cplx> t = ws.trans[static_cast<usize>(s)].view();
@@ -45,6 +51,10 @@ void MultisliceOperator::compute_transmittance(const FramedVolume& volume, const
         tr[x] = cplx(amp * std::cos(phase), amp * std::sin(phase));
       }
     }
+  }
+  if (cacheable) {
+    ws.trans_revision = volume.revision;
+    ws.trans_window = window;
   }
 }
 
@@ -153,15 +163,19 @@ double MultisliceOperator::cost_and_gradient(const Probe& probe, const FramedVol
       const cplx* t_row = trans.row(y);
       cplx* g_row = ws.grad.row(y);
       cplx* out_row = g_slice.row(y);
-      for (index_t x = 0; x < n; ++x) {
-        const cplx gt = std::conj(pi_row[x]) * g_row[x];
-        if (config_.model == ObjectModel::kTransmittance) {
-          out_row[x] += gt;
-        } else {
-          out_row[x] += std::conj(kImag * sigma * t_row[x]) * gt;
+      if (config_.model == ObjectModel::kTransmittance) {
+        for (index_t x = 0; x < n; ++x) {
+          out_row[x] += cmul_conj(g_row[x], pi_row[x]);
+          // Continue the chain: g_psi = conj(t) .* g.
+          g_row[x] = cmul_conj(g_row[x], t_row[x]);
         }
-        // Continue the chain: g_psi = conj(t) .* g.
-        g_row[x] *= std::conj(t_row[x]);
+      } else {
+        for (index_t x = 0; x < n; ++x) {
+          const cplx gt = cmul_conj(g_row[x], pi_row[x]);
+          const cplx ist(-sigma * t_row[x].imag(), sigma * t_row[x].real());
+          out_row[x] += cmul_conj(gt, ist);
+          g_row[x] = cmul_conj(g_row[x], t_row[x]);
+        }
       }
     }
   }

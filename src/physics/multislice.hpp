@@ -35,6 +35,16 @@ struct MultisliceWorkspace {
   CArray2D grad;                   ///< backprop wavefield
   CArray2D scratch;
 
+  /// Opt-in transmittance cache for ObjectModel::kPotential: when enabled,
+  /// compute_transmittance skips the per-slice exp/cos/sin rebuild if the
+  /// same (volume revision, window) repeats. Enable only on paths where
+  /// every volume mutation between evaluations goes through apply_gradient
+  /// (which bumps the revision) — the solver sweep loops qualify; ad-hoc
+  /// voxel pokes in tests do not.
+  bool cache_transmittance = false;
+  std::uint64_t trans_revision = 0;  ///< revision ws.trans was built from (0 = none)
+  Rect trans_window{};               ///< window ws.trans was built for
+
   MultisliceWorkspace() = default;
   MultisliceWorkspace(index_t probe_n, index_t slices);
 };

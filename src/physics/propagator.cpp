@@ -27,11 +27,17 @@ Propagator::Propagator(const OpticsGrid& grid)
 
 void Propagator::apply_kernel(View2D<cplx> psi, bool conjugate) const {
   fft_.forward(psi);
-  for (index_t y = 0; y < psi.rows(); ++y) {
-    cplx* row = psi.row(y);
-    for (index_t x = 0; x < psi.cols(); ++x) {
-      const cplx h = kernel_(y, x);
-      row[x] *= conjugate ? std::conj(h) : h;
+  if (conjugate) {
+    for (index_t y = 0; y < psi.rows(); ++y) {
+      cplx* row = psi.row(y);
+      const cplx* h = kernel_.row(y);
+      for (index_t x = 0; x < psi.cols(); ++x) row[x] = cmul_conj(row[x], h[x]);
+    }
+  } else {
+    for (index_t y = 0; y < psi.rows(); ++y) {
+      cplx* row = psi.row(y);
+      const cplx* h = kernel_.row(y);
+      for (index_t x = 0; x < psi.cols(); ++x) row[x] = cmul(row[x], h[x]);
     }
   }
   fft_.inverse(psi);

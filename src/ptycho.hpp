@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/options.hpp"
+#include "common/parallel.hpp"
 #include "common/random.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
@@ -49,3 +50,4 @@
 #include "core/seam_metric.hpp"
 #include "core/serial_solver.hpp"
 #include "core/stitcher.hpp"
+#include "core/sweep.hpp"

@@ -7,10 +7,23 @@
 // *global* rects, which keeps the coordinate arithmetic in one place.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+
 #include "tensor/array.hpp"
 #include "tensor/region.hpp"
 
 namespace ptycho {
+
+namespace detail {
+/// Process-unique, monotonically increasing revision tokens (never 0, so 0
+/// can mean "nothing cached"). Unique per construction — a freed-and-
+/// reallocated volume can never alias an older volume's token.
+inline std::uint64_t next_volume_revision() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace detail
 
 /// 2-D complex image positioned at `frame` in the global plane.
 struct FramedImage {
@@ -44,9 +57,19 @@ struct FramedImage {
 struct FramedVolume {
   Rect frame;
   CArray3D data;
+  /// Content-revision token consumed by the transmittance cache
+  /// (physics/multislice.hpp): unique at construction, and re-issued by
+  /// bump_revision() — the invalidation hook apply_gradient calls after
+  /// every in-place descent update. Code that mutates `data` through other
+  /// paths between operator evaluations must bump it too (the cache is
+  /// opt-in per workspace precisely so such paths can simply not opt in).
+  std::uint64_t revision = detail::next_volume_revision();
 
   FramedVolume() = default;
   FramedVolume(index_t slices, const Rect& r) : frame(r), data(slices, r.h, r.w) {}
+
+  /// Mark the voxel content as changed (fresh process-unique token).
+  void bump_revision() { revision = detail::next_volume_revision(); }
 
   [[nodiscard]] index_t slices() const { return data.slices(); }
 

@@ -35,14 +35,14 @@ void axpy(cplx alpha, View2D<const cplx> src, View2D<cplx> dst) {
   for (index_t y = 0; y < src.rows(); ++y) {
     const cplx* s = src.row(y);
     cplx* d = dst.row(y);
-    for (index_t x = 0; x < src.cols(); ++x) d[x] += alpha * s[x];
+    for (index_t x = 0; x < src.cols(); ++x) d[x] += cmul(alpha, s[x]);
   }
 }
 
 void scale(cplx alpha, View2D<cplx> dst) {
   for (index_t y = 0; y < dst.rows(); ++y) {
     cplx* d = dst.row(y);
-    for (index_t x = 0; x < dst.cols(); ++x) d[x] *= alpha;
+    for (index_t x = 0; x < dst.cols(); ++x) d[x] = cmul(d[x], alpha);
   }
 }
 
@@ -58,7 +58,7 @@ void multiply_inplace(View2D<const cplx> src, View2D<cplx> dst) {
   for (index_t y = 0; y < src.rows(); ++y) {
     const cplx* s = src.row(y);
     cplx* d = dst.row(y);
-    for (index_t x = 0; x < src.cols(); ++x) d[x] *= s[x];
+    for (index_t x = 0; x < src.cols(); ++x) d[x] = cmul(d[x], s[x]);
   }
 }
 
@@ -67,7 +67,7 @@ void multiply_conj_inplace(View2D<const cplx> src, View2D<cplx> dst) {
   for (index_t y = 0; y < src.rows(); ++y) {
     const cplx* s = src.row(y);
     cplx* d = dst.row(y);
-    for (index_t x = 0; x < src.cols(); ++x) d[x] *= std::conj(s[x]);
+    for (index_t x = 0; x < src.cols(); ++x) d[x] = cmul_conj(d[x], s[x]);
   }
 }
 

@@ -1,15 +1,49 @@
 // Unit/property tests for src/fft: fast transforms vs the O(n^2)
-// reference, roundtrips, adjoint identities, shifts.
+// reference, roundtrips, adjoint identities, shifts, the blocked/batched
+// column paths, and allocation-freedom of the shift helpers.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/random.hpp"
 #include "fft/fft2d.hpp"
 #include "fft/plan.hpp"
 #include "fft/reference.hpp"
 #include "tensor/ops.hpp"
+
+// Global allocation counter: replaces the default operator new/delete for
+// this test binary so tests can assert that a code path allocates nothing.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+// GCC flags free() on memory from (our replaced) operator new as a
+// mismatch; the pairing is intentional — both sides of it live right here.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace ptycho::fft {
 namespace {
@@ -40,6 +74,15 @@ TEST(FftHelpers, NextPow2) {
   EXPECT_EQ(next_pow2(63), 64u);
   EXPECT_EQ(next_pow2(64), 64u);
   EXPECT_EQ(next_pow2(65), 128u);
+}
+
+TEST(FftHelpers, NextPow2GuardsOverflow) {
+  // The largest representable power of two round-trips; anything above it
+  // must throw instead of looping forever on wrapped arithmetic.
+  constexpr usize top = usize{1} << (std::numeric_limits<usize>::digits - 1);
+  EXPECT_EQ(next_pow2(top), top);
+  EXPECT_THROW((void)next_pow2(top + 1), Error);
+  EXPECT_THROW((void)next_pow2(~usize{0}), Error);
 }
 
 TEST(FftHelpers, IsPow2) {
@@ -213,6 +256,170 @@ TEST(Fft2D, FftshiftMovesZeroFrequencyToCenter) {
   a(0, 0) = cplx(1, 0);  // DC bin
   fftshift(a.view());
   EXPECT_EQ(a(4, 4), cplx(1, 0));
+}
+
+TEST(Fft2D, ShiftsAreAllocationFree) {
+  for (const index_t n : {8, 16, 64}) {  // even sizes, per the contract
+    CArray2D a(n, n);
+    Rng rng(static_cast<std::uint64_t>(n));
+    for (index_t y = 0; y < n; ++y) {
+      for (index_t x = 0; x < n; ++x) a(y, x) = cplx(static_cast<real>(rng.normal()), 0);
+    }
+    const std::uint64_t before = g_heap_allocs.load();
+    fftshift(a.view());
+    ifftshift(a.view());
+    EXPECT_EQ(g_heap_allocs.load(), before) << "n=" << n;
+  }
+}
+
+TEST(Fft2D, ShiftMatchesRolledCopyOddAndEven) {
+  // The in-place cycle implementation must equal the old copy-based roll:
+  // fftshift moves (0,0) to (r/2, c/2) for any parity combination.
+  for (const index_t rows : {5, 6}) {
+    for (const index_t cols : {7, 8}) {
+      CArray2D a(rows, cols);
+      Rng rng(static_cast<std::uint64_t>(rows * 100 + cols));
+      for (index_t y = 0; y < rows; ++y) {
+        for (index_t x = 0; x < cols; ++x) {
+          a(y, x) = cplx(static_cast<real>(rng.normal()), static_cast<real>(rng.normal()));
+        }
+      }
+      CArray2D shifted = a.clone();
+      fftshift(shifted.view());
+      for (index_t y = 0; y < rows; ++y) {
+        for (index_t x = 0; x < cols; ++x) {
+          EXPECT_EQ(shifted((y + rows / 2) % rows, (x + cols / 2) % cols), a(y, x))
+              << rows << "x" << cols << " @" << y << "," << x;
+        }
+      }
+      CArray2D round = a.clone();
+      fftshift(round.view());
+      ifftshift(round.view());
+      EXPECT_DOUBLE_EQ(diff_norm_sq(round.view(), a.view()), 0.0);
+    }
+  }
+}
+
+// The blocked column pass and the batched strided Plan1D must agree with
+// the naive one-column-at-a-time path for both kernel families.
+class BlockedColumns : public ::testing::TestWithParam<usize> {};
+
+TEST_P(BlockedColumns, BatchedPlanMatchesScalarPerLane) {
+  const usize n = GetParam();
+  Plan1D plan(n);
+  const usize count = 13;  // deliberately not the block size or a pow2
+  std::vector<cplx> batched(n * count);
+  Rng rng(n * 7 + 1);
+  for (auto& v : batched) {
+    v = cplx(static_cast<real>(rng.normal()), static_cast<real>(rng.normal()));
+  }
+  // Scalar reference: gather each lane, transform, compare.
+  std::vector<std::vector<cplx>> lanes(count, std::vector<cplx>(n));
+  for (usize lane = 0; lane < count; ++lane) {
+    for (usize j = 0; j < n; ++j) lanes[lane][j] = batched[j * count + lane];
+    plan.forward(lanes[lane].data());
+  }
+  std::vector<cplx> scratch(plan.strided_scratch_size(count));
+  plan.forward_strided(batched.data(), count, count, scratch.data());
+  for (usize lane = 0; lane < count; ++lane) {
+    double err = 0.0;
+    double den = 0.0;
+    for (usize j = 0; j < n; ++j) {
+      err += std::norm(std::complex<double>(batched[j * count + lane]) -
+                       std::complex<double>(lanes[lane][j]));
+      den += std::norm(std::complex<double>(lanes[lane][j]));
+    }
+    EXPECT_LT(std::sqrt(err / std::max(den, 1e-300)), 1e-5) << "n=" << n << " lane=" << lane;
+  }
+}
+
+TEST_P(BlockedColumns, Fft2DMatchesNaivePerColumnPath) {
+  const usize n = GetParam();
+  Fft2D plan(n, n);
+  const auto ni = static_cast<index_t>(n);
+  CArray2D field(ni, ni);
+  Rng rng(n * 31 + 5);
+  for (index_t y = 0; y < ni; ++y) {
+    for (index_t x = 0; x < ni; ++x) {
+      field(y, x) = cplx(static_cast<real>(rng.normal()), static_cast<real>(rng.normal()));
+    }
+  }
+  // Naive reference: scalar Plan1D over every row, then every gathered column.
+  Plan1D plan1(n);
+  CArray2D ref = field.clone();
+  for (index_t y = 0; y < ni; ++y) plan1.forward(ref.row(y));
+  std::vector<cplx> column(n);
+  for (index_t x = 0; x < ni; ++x) {
+    for (index_t y = 0; y < ni; ++y) column[static_cast<usize>(y)] = ref(y, x);
+    plan1.forward(column.data());
+    for (index_t y = 0; y < ni; ++y) ref(y, x) = column[static_cast<usize>(y)];
+  }
+  plan.forward(field.view());
+  EXPECT_LT(std::sqrt(diff_norm_sq(field.view(), ref.view()) /
+                      std::max(norm_sq(ref.view()), 1e-300)),
+            1e-5)
+      << "n=" << n;
+  // And the inverse path round-trips through the blocked kernels.
+  plan.inverse(field.view());
+  for (index_t x = 0; x < ni; ++x) {
+    for (index_t y = 0; y < ni; ++y) column[static_cast<usize>(y)] = ref(y, x);
+    plan1.inverse(column.data());
+    for (index_t y = 0; y < ni; ++y) ref(y, x) = column[static_cast<usize>(y)];
+  }
+  for (index_t y = 0; y < ni; ++y) plan1.inverse(ref.row(y));
+  EXPECT_LT(std::sqrt(diff_norm_sq(field.view(), ref.view()) /
+                      std::max(norm_sq(ref.view()), 1e-300)),
+            1e-5)
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2AndBluestein, BlockedColumns,
+                         ::testing::Values(8, 64, 100));  // radix-2 and chirp-z paths
+
+TEST(Fft2D, OnePlanSharedAcrossConcurrentThreads) {
+  // One plan, four threads, each transforming its own field: the pooled
+  // scratch must keep them independent (run under TSan to verify raciness,
+  // value-compare here). 100 exercises the Bluestein pad in the pool too.
+  for (const usize n : {64, 100}) {
+    Fft2D plan(n, n);
+    const auto ni = static_cast<index_t>(n);
+    CArray2D input(ni, ni);
+    Rng rng(n);
+    for (index_t y = 0; y < ni; ++y) {
+      for (index_t x = 0; x < ni; ++x) {
+        input(y, x) = cplx(static_cast<real>(rng.normal()), static_cast<real>(rng.normal()));
+      }
+    }
+    // Expected: the exact op sequence each thread will run, applied
+    // sequentially — concurrent execution must be bitwise indistinguishable.
+    const auto transform_sequence = [&plan](CArray2D& field) {
+      for (int rep = 0; rep < 8; ++rep) {
+        plan.forward(field.view());
+        plan.inverse(field.view());
+      }
+      plan.forward(field.view());
+    };
+    CArray2D expected = input.clone();
+    transform_sequence(expected);
+    constexpr int kThreads = 4;
+    std::vector<CArray2D> results;
+    results.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) results.push_back(input.clone());
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(kThreads);
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back(
+            [&transform_sequence, &results, t] { transform_sequence(results[static_cast<usize>(t)]); });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      EXPECT_DOUBLE_EQ(
+          diff_norm_sq(results[static_cast<usize>(t)].view(), expected.view()), 0.0)
+          << "n=" << n << " thread=" << t;
+    }
+  }
 }
 
 }  // namespace

@@ -33,7 +33,7 @@ int usage() {
                "  simulate   --spec tiny|small|large [--dose E] [--seed N] --out FILE\n"
                "  info       FILE\n"
                "  reconstruct FILE [--method serial|gd|hve] [--ranks N]\n"
-               "             [--iterations N] [--step A] [--passes T]\n"
+               "             [--iterations N] [--step A] [--passes T] [--threads N]\n"
                "             [--mode sgd|full-batch] [--no-appp] [--refine-probe]\n"
                "             [--resume VOLUME|CKPT_DIR] [--save-volume FILE] [--image FILE]\n"
                "             [--checkpoint-dir DIR] [--checkpoint-every N]\n"
@@ -109,6 +109,9 @@ int cmd_reconstruct(const Options& opts) {
   request.iterations = static_cast<int>(opts.get_int("iterations", 10));
   request.step = static_cast<real>(opts.get_double("step", 0.1));
   request.passes_per_iteration = static_cast<int>(opts.get_int("passes", 1));
+  // 0 = auto (hardware concurrency; divided across ranks for gd). The
+  // full-batch sweep is bitwise identical for every thread count.
+  request.threads = static_cast<int>(opts.get_int("threads", 0));
   request.mode = opts.get_string("mode", "sgd") == "full-batch" ? UpdateMode::kFullBatch
                                                                 : UpdateMode::kSgd;
   request.sync.appp = !opts.get_bool("no-appp", false);
