@@ -5,12 +5,20 @@
 // Fft2D 256x256 forward+inverse throughput, then writes BENCH_sweep.json
 // so successive PRs can be compared on the same machine.
 //
+// Per-backend numbers (kernel primitives + the 2-D FFT) are measured for
+// the scalar table and, when the CPU supports it, the SIMD table, so the
+// committed JSON records the vectorization speedup next to the sweep
+// throughput.
+//
 //   bench_sweep [--spec tiny|small] [--threads N] [--repeat R]
-//               [--fft-iters N] [--out BENCH_sweep.json]
+//               [--fft-iters N] [--backend scalar|simd|auto]
+//               [--out BENCH_sweep.json]
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "backend/kernels.hpp"
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
@@ -81,6 +89,53 @@ FftResult fft_rate(int iters) {
   return out;
 }
 
+struct KernelRates {
+  double cmul_mb_per_sec = 0.0;
+  double butterfly_mb_per_sec = 0.0;
+};
+
+/// Throughput of the two hottest backend primitives on one table, MB/s of
+/// bytes moved (reads + writes). 4096 lanes fits L1/L2 so this measures
+/// the kernel, not DRAM.
+KernelRates kernel_rates(const backend::Kernels& kern) {
+  const usize n = 4096;
+  const int iters = 20000;
+  std::vector<cplx> a(n), b(n), dst(n);
+  for (usize i = 0; i < n; ++i) {
+    a[i] = cplx(real(0.25) + static_cast<real>(i % 7), static_cast<real>(i % 5) - real(2));
+    b[i] = cplx(static_cast<real>(i % 3) - real(1), real(0.5));
+  }
+  KernelRates out;
+  {
+    for (int i = 0; i < 100; ++i) kern.cmul_lanes(dst.data(), a.data(), b.data(), n);
+    WallTimer timer;
+    for (int i = 0; i < iters; ++i) kern.cmul_lanes(dst.data(), a.data(), b.data(), n);
+    out.cmul_mb_per_sec =
+        3.0 * iters * static_cast<double>(n) * sizeof(cplx) / timer.seconds() / 1e6;
+  }
+  {
+    // The butterfly doubles signal energy per application (amplitude x
+    // sqrt(2)), so run it in blocks of 100 from a pristine copy — the
+    // resets stay outside the timed regions and values stay finite.
+    const cplx w(real(0.70710678), real(-0.70710678));
+    const std::vector<cplx> a0 = a;
+    const std::vector<cplx> b0 = b;
+    const int block = 100;
+    const int blocks = iters / block;
+    double seconds = 0.0;
+    for (int blk = 0; blk < blocks; ++blk) {
+      a = a0;
+      b = b0;
+      WallTimer timer;
+      for (int i = 0; i < block; ++i) kern.butterfly_lanes(a.data(), b.data(), w, n);
+      seconds += timer.seconds();
+    }
+    out.butterfly_mb_per_sec =
+        4.0 * blocks * block * static_cast<double>(n) * sizeof(cplx) / seconds / 1e6;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +146,14 @@ int main(int argc, char** argv) {
   const int repeat = static_cast<int>(opts.get_int("repeat", 3));
   const int fft_iters = static_cast<int>(opts.get_int("fft-iters", 200));
   const std::string out = opts.get_string("out", "BENCH_sweep.json");
+  const std::string backend_flag = opts.get_string("backend", "");
+  if (!backend_flag.empty()) {
+    PTYCHO_CHECK(backend::select(backend_flag),
+                 "--backend " << backend_flag << " is not available on this machine");
+  }
+  const std::string active_backend = backend::active_name();
+  std::printf("kernel backend: %s (simd %savailable)\n", active_backend.c_str(),
+              backend::simd_available() ? "" : "un");
 
   std::printf("building %s dataset...\n", spec.c_str());
   const Dataset dataset = bench::build_repro_dataset(spec);
@@ -103,8 +166,45 @@ int main(int argc, char** argv) {
   std::printf("  %d threads: %8.1f probes/s (%.2fx)\n", threads, rate_nt, rate_nt / rate_1t);
 
   const FftResult fft = fft_rate(fft_iters);
-  std::printf("fft 256x256 fwd+inv: %.1f us/pair, %.1f MB/s\n", fft.us_per_pair,
-              fft.mb_per_sec);
+  std::printf("fft 256x256 fwd+inv (%s): %.1f us/pair, %.1f MB/s\n", active_backend.c_str(),
+              fft.us_per_pair, fft.mb_per_sec);
+
+  // Per-backend comparison: kernel primitives against each table directly,
+  // plus the full 2-D FFT with the dispatch temporarily forced. Restore
+  // the requested backend afterwards so the numbers above stay honest.
+  const KernelRates kr_scalar = kernel_rates(backend::scalar_kernels());
+  std::printf("kernels (scalar): cmul %.0f MB/s, butterfly %.0f MB/s\n",
+              kr_scalar.cmul_mb_per_sec, kr_scalar.butterfly_mb_per_sec);
+  KernelRates kr_simd;
+  FftResult fft_scalar;
+  FftResult fft_simd;
+  const bool have_simd = backend::simd_available();
+  // The top-level FFT number already covers whichever backend was active;
+  // only the other table needs a fresh measurement.
+  if (active_backend == "scalar") {
+    fft_scalar = fft;
+  } else {
+    backend::select("scalar");
+    fft_scalar = fft_rate(fft_iters);
+  }
+  if (have_simd) {
+    kr_simd = kernel_rates(*backend::simd_kernels());
+    std::printf("kernels (%s)  : cmul %.0f MB/s (%.2fx), butterfly %.0f MB/s (%.2fx)\n",
+                backend::simd_kernels()->name, kr_simd.cmul_mb_per_sec,
+                kr_simd.cmul_mb_per_sec / kr_scalar.cmul_mb_per_sec,
+                kr_simd.butterfly_mb_per_sec,
+                kr_simd.butterfly_mb_per_sec / kr_scalar.butterfly_mb_per_sec);
+    if (active_backend == backend::simd_kernels()->name) {
+      fft_simd = fft;
+    } else {
+      backend::select("simd");
+      fft_simd = fft_rate(fft_iters);
+    }
+    std::printf("fft 256x256 scalar %.1f MB/s vs simd %.1f MB/s (%.2fx)\n",
+                fft_scalar.mb_per_sec, fft_simd.mb_per_sec,
+                fft_simd.mb_per_sec / fft_scalar.mb_per_sec);
+  }
+  backend::select(backend_flag.empty() ? "auto" : backend_flag);
 
   std::ofstream json(out);
   PTYCHO_CHECK(json.good(), "cannot open " << out);
@@ -113,11 +213,23 @@ int main(int argc, char** argv) {
        << "  \"spec\": \"" << spec << "\",\n"
        << "  \"hardware_concurrency\": " << hw << ",\n"
        << "  \"threads\": " << threads << ",\n"
+       << "  \"backend\": \"" << active_backend << "\",\n"
+       << "  \"simd_backend\": \"" << (have_simd ? backend::simd_kernels()->name : "none")
+       << "\",\n"
        << "  \"sweep_probes_per_sec_1t\": " << rate_1t << ",\n"
        << "  \"sweep_probes_per_sec_nt\": " << rate_nt << ",\n"
        << "  \"sweep_speedup\": " << rate_nt / rate_1t << ",\n"
        << "  \"fft2d_256_us_per_pair\": " << fft.us_per_pair << ",\n"
-       << "  \"fft2d_256_mb_per_sec\": " << fft.mb_per_sec << "\n"
+       << "  \"fft2d_256_mb_per_sec\": " << fft.mb_per_sec << ",\n"
+       << "  \"fft2d_256_mb_per_sec_scalar\": " << fft_scalar.mb_per_sec << ",\n"
+       << "  \"fft2d_256_mb_per_sec_simd\": " << (have_simd ? fft_simd.mb_per_sec : 0.0)
+       << ",\n"
+       << "  \"cmul_mb_per_sec_scalar\": " << kr_scalar.cmul_mb_per_sec << ",\n"
+       << "  \"cmul_mb_per_sec_simd\": " << (have_simd ? kr_simd.cmul_mb_per_sec : 0.0)
+       << ",\n"
+       << "  \"butterfly_mb_per_sec_scalar\": " << kr_scalar.butterfly_mb_per_sec << ",\n"
+       << "  \"butterfly_mb_per_sec_simd\": "
+       << (have_simd ? kr_simd.butterfly_mb_per_sec : 0.0) << "\n"
        << "}\n";
   std::printf("wrote %s\n", out.c_str());
   return 0;

@@ -1,0 +1,87 @@
+// Backend selection: one atomic pointer to the active kernel table,
+// initialized lazily from PTYCHO_BACKEND / CPU detection and overridable
+// via select() (the CLI --backend flag). Generic code only — this TU is
+// compiled without ISA extension flags.
+#include "backend/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace ptycho::backend {
+
+namespace {
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels* pick_auto() {
+  return simd_available() ? simd_kernels() : &scalar_kernels();
+}
+
+/// Resolve the PTYCHO_BACKEND environment variable (or its absence) to a
+/// table. Invalid or unsatisfiable values warn and fall back to auto: env
+/// configuration must never abort a run that would work without it.
+const Kernels* initial_table() {
+  const char* env = std::getenv("PTYCHO_BACKEND");
+  if (env != nullptr && env[0] != '\0') {
+    const std::string_view name(env);
+    if (name == "scalar") return &scalar_kernels();
+    if (name == "simd") {
+      if (simd_available()) return simd_kernels();
+      log::warn() << "PTYCHO_BACKEND=simd but no SIMD backend is usable on this CPU; "
+                     "using scalar";
+      return &scalar_kernels();
+    }
+    if (name != "auto") {
+      log::warn() << "PTYCHO_BACKEND='" << env << "' is not scalar|simd|auto; using auto";
+    }
+  }
+  return pick_auto();
+}
+
+}  // namespace
+
+bool simd_available() {
+  if (simd_kernels() == nullptr) return false;
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  // The table was compiled with -mavx2 (and nothing more — see the FMA
+  // note in CMakeLists.txt); the builtin also checks OS xsave support.
+  return __builtin_cpu_supports("avx2");
+#else
+  // NEON is architecturally guaranteed on AArch64: compiled-in == runnable.
+  return true;
+#endif
+}
+
+const Kernels& kernels() {
+  const Kernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    const Kernels* fresh = initial_table();
+    if (g_active.compare_exchange_strong(k, fresh, std::memory_order_acq_rel)) {
+      k = fresh;  // this thread won the (idempotent) initialization race
+    }
+  }
+  return *k;
+}
+
+bool select(std::string_view name) {
+  if (name.empty() || name == "auto") {
+    g_active.store(pick_auto(), std::memory_order_release);
+    return true;
+  }
+  if (name == "scalar") {
+    g_active.store(&scalar_kernels(), std::memory_order_release);
+    return true;
+  }
+  if (name == "simd") {
+    if (!simd_available()) return false;
+    g_active.store(simd_kernels(), std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+const char* active_name() { return kernels().name; }
+
+}  // namespace ptycho::backend

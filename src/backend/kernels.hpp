@@ -1,0 +1,105 @@
+// Runtime-dispatched SIMD kernel backend.
+//
+// Every hot complex inner loop in the library (FFT butterflies, Bluestein
+// chirp products, Hadamard/axpy tensor ops, propagator and multislice
+// backprop kernels) calls through the `Kernels` table returned by
+// `kernels()`. The table is selected once, lazily, from:
+//
+//   1. an explicit `select("scalar"|"simd"|"auto")` call (CLI `--backend`),
+//   2. else the `PTYCHO_BACKEND` environment variable,
+//   3. else CPU detection ("auto"): AVX2 on x86-64, NEON on AArch64,
+//      falling back to the portable scalar table.
+//
+// Bitwise contract: for every primitive, the SIMD implementation performs
+// exactly the same IEEE-754 operations per element as the scalar one —
+// same association, no fusing on either path (all backend translation
+// units compile with -ffp-contract=off) — so switching backends never
+// changes a single output bit. Tests enforce this (tests/test_backend.cpp)
+// and it is what preserves the any-thread-count determinism guarantee of
+// the batched sweep.
+//
+// Selection is not synchronized with running kernels: call `select` at
+// process startup, before worker threads launch.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace ptycho::backend {
+
+/// Function table of batched complex primitives. All pointers are over
+/// contiguous, arbitrarily aligned arrays of `n` elements; `dst` may alias
+/// the first source operand unless noted. Implementations must be bitwise
+/// deterministic and lane-independent (element i depends only on inputs i).
+struct Kernels {
+  /// Short stable name for logs / JSON ("scalar", "avx2", "neon").
+  const char* name;
+
+  /// dst[i] = cmul(a[i], b[i]); dst may alias a.
+  void (*cmul_lanes)(cplx* dst, const cplx* a, const cplx* b, usize n);
+
+  /// dst[i] = cmul_conj(a[i], b[i]) = a[i] * conj(b[i]); dst may alias a.
+  void (*cmul_conj_lanes)(cplx* dst, const cplx* a, const cplx* b, usize n);
+
+  /// dst[i] += cmul_conj(a[i], b[i]).
+  void (*cmul_conj_acc_lanes)(cplx* dst, const cplx* a, const cplx* b, usize n);
+
+  /// dst[i] = cmul(src[i], alpha); dst may alias src.
+  void (*scale_lanes)(cplx* dst, const cplx* src, cplx alpha, usize n);
+
+  /// dst[i] += cmul(alpha, src[i]).
+  void (*axpy_lanes)(cplx* dst, const cplx* src, cplx alpha, usize n);
+
+  /// dst[i] = conj(src[i]) * s; dst may alias src (Bluestein inverse trick).
+  void (*conj_scale_lanes)(cplx* dst, const cplx* src, real s, usize n);
+
+  /// Radix-2 butterfly block with one twiddle shared across lanes (the
+  /// strided batched FFT): t = cmul(w, b[i]); b[i] = a[i] - t; a[i] += t.
+  /// a and b must not overlap.
+  void (*butterfly_lanes)(cplx* a, cplx* b, cplx w, usize n);
+
+  /// Radix-2 butterfly block with per-lane twiddles (contiguous FFT stage):
+  /// w = conj_tw ? conj(tw[i]) : tw[i]; t = cmul(w, b[i]);
+  /// b[i] = a[i] - t; a[i] += t. a and b must not overlap.
+  void (*butterfly_block)(cplx* a, cplx* b, const cplx* tw, bool conj_tw, usize n);
+
+  /// Bluestein chirp product: dst[i] = cmul(src[i] * s, chirp[i]).
+  void (*chirp_mul_lanes)(cplx* dst, const cplx* src, const cplx* chirp, real s, usize n);
+
+  /// Batched-Bluestein chirp product, one chirp value shared across lanes:
+  /// dst[i] = cmul(src[i] * s, alpha). dst may alias src.
+  void (*scale_chirp_lanes)(cplx* dst, const cplx* src, real s, cplx alpha, usize n);
+
+  /// Fused multislice potential-model backprop step (one row):
+  ///   gt        = cmul_conj(g[i], psi_in[i])
+  ///   ist       = (-sigma * trans[i].imag(), sigma * trans[i].real())
+  ///   grad_out[i] += cmul_conj(gt, ist)
+  ///   g[i]      = cmul_conj(g[i], trans[i])
+  void (*potential_backprop_lanes)(cplx* grad_out, cplx* g, const cplx* psi_in,
+                                   const cplx* trans, real sigma, usize n);
+};
+
+/// The active table (lazily initialized as documented above).
+[[nodiscard]] const Kernels& kernels();
+
+/// The portable scalar table (always available; the reference semantics).
+[[nodiscard]] const Kernels& scalar_kernels();
+
+/// The SIMD table compiled into this binary, or nullptr when the build has
+/// no vector backend for this architecture. Availability of the *pointer*
+/// does not imply the CPU can run it — see simd_available().
+[[nodiscard]] const Kernels* simd_kernels();
+
+/// True when a SIMD table is compiled in AND the running CPU supports it.
+[[nodiscard]] bool simd_available();
+
+/// Force a backend: "scalar", "simd" or "auto" (empty string == "auto").
+/// Returns false (and leaves the active table unchanged) for an unknown
+/// name or for "simd" when simd_available() is false.
+bool select(std::string_view name);
+
+/// Name of the active table ("scalar", "avx2", "neon").
+[[nodiscard]] const char* active_name();
+
+}  // namespace ptycho::backend

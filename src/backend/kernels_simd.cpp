@@ -1,0 +1,398 @@
+// Vector backends: AVX2 on x86-64, NEON on AArch64. This is the only
+// translation unit built with an ISA extension flag (-mavx2; FMA stays
+// off — see CMakeLists.txt), which is safe because nothing here runs
+// unless dispatch.cpp verified the CPU.
+//
+// Bitwise contract with the scalar backend (see kernels.hpp): every lane
+// performs the scalar operation sequence exactly — separate IEEE multiply
+// and add/sub (no FMA intrinsics anywhere, -ffp-contract=off so the
+// compiler cannot fuse the tails either), and reorderings limited to what
+// IEEE-754 makes exact: commuting multiplies and adds, sign flips, and
+// x - (-y) == x + y. Remainder lanes (n % width) run the shared scalar
+// helpers from scalar_impl.hpp.
+#include "backend/kernels.hpp"
+#include "backend/scalar_impl.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace ptycho::backend {
+namespace {
+
+// 4 complex floats per __m256, interleaved [re0, im0, re1, im1, ...].
+constexpr usize kW = 4;
+
+inline __m256 load8(const cplx* p) {
+  return _mm256_loadu_ps(reinterpret_cast<const float*>(p));
+}
+inline void store8(cplx* p, __m256 v) {
+  _mm256_storeu_ps(reinterpret_cast<float*>(p), v);
+}
+
+/// Sign bit on every float: negates all lanes under xor.
+inline __m256 sign_all() { return _mm256_set1_ps(-0.0f); }
+/// Sign bit on imaginary (odd) lanes only: complex conjugate under xor.
+inline __m256 sign_imag() {
+  return _mm256_castsi256_ps(_mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL)));
+}
+/// Sign bit on real (even) lanes only.
+inline __m256 sign_real() {
+  return _mm256_castsi256_ps(_mm256_set1_epi64x(0x0000000080000000LL));
+}
+
+/// cmul(a, b) on 4 interleaved complex lanes:
+///   re = a.re*b.re - a.im*b.im,  im = a.im*b.re + a.re*b.im.
+inline __m256 cmul8(__m256 a, __m256 b) {
+  const __m256 br = _mm256_moveldup_ps(b);
+  const __m256 bi = _mm256_movehdup_ps(b);
+  const __m256 asw = _mm256_permute_ps(a, 0xB1);  // [a.im, a.re] per pair
+  return _mm256_addsub_ps(_mm256_mul_ps(a, br), _mm256_mul_ps(asw, bi));
+}
+
+/// cmul_conj(a, b) = a * conj(b): negating b.im before the addsub yields
+///   re = a.re*b.re + a.im*b.im,  im = a.im*b.re - a.re*b.im
+/// through the exact identities x - (-y) == x + y and x + (-y) == x - y.
+inline __m256 cmul_conj8(__m256 a, __m256 b) {
+  const __m256 br = _mm256_moveldup_ps(b);
+  const __m256 nbi = _mm256_xor_ps(_mm256_movehdup_ps(b), sign_all());
+  const __m256 asw = _mm256_permute_ps(a, 0xB1);
+  return _mm256_addsub_ps(_mm256_mul_ps(a, br), _mm256_mul_ps(asw, nbi));
+}
+
+/// cmul(w, x) with a scalar w broadcast across lanes:
+///   re = w.re*x.re - w.im*x.im,  im = w.re*x.im + w.im*x.re.
+inline __m256 cmul_broadcast8(__m256 wr, __m256 wi, __m256 x) {
+  const __m256 xsw = _mm256_permute_ps(x, 0xB1);
+  return _mm256_addsub_ps(_mm256_mul_ps(wr, x), _mm256_mul_ps(wi, xsw));
+}
+
+void cmul_lanes(cplx* dst, const cplx* a, const cplx* b, usize n) {
+  usize i = 0;
+  for (; i + kW <= n; i += kW) store8(dst + i, cmul8(load8(a + i), load8(b + i)));
+  scalar::cmul_lanes(dst + i, a + i, b + i, n - i);
+}
+
+void cmul_conj_lanes(cplx* dst, const cplx* a, const cplx* b, usize n) {
+  usize i = 0;
+  for (; i + kW <= n; i += kW) store8(dst + i, cmul_conj8(load8(a + i), load8(b + i)));
+  scalar::cmul_conj_lanes(dst + i, a + i, b + i, n - i);
+}
+
+void cmul_conj_acc_lanes(cplx* dst, const cplx* a, const cplx* b, usize n) {
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 t = cmul_conj8(load8(a + i), load8(b + i));
+    store8(dst + i, _mm256_add_ps(load8(dst + i), t));
+  }
+  scalar::cmul_conj_acc_lanes(dst + i, a + i, b + i, n - i);
+}
+
+void scale_lanes(cplx* dst, const cplx* src, cplx alpha, usize n) {
+  const __m256 wr = _mm256_set1_ps(alpha.real());
+  const __m256 wi = _mm256_set1_ps(alpha.imag());
+  usize i = 0;
+  for (; i + kW <= n; i += kW) store8(dst + i, cmul_broadcast8(wr, wi, load8(src + i)));
+  scalar::scale_lanes(dst + i, src + i, alpha, n - i);
+}
+
+void axpy_lanes(cplx* dst, const cplx* src, cplx alpha, usize n) {
+  const __m256 wr = _mm256_set1_ps(alpha.real());
+  const __m256 wi = _mm256_set1_ps(alpha.imag());
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 t = cmul_broadcast8(wr, wi, load8(src + i));
+    store8(dst + i, _mm256_add_ps(load8(dst + i), t));
+  }
+  scalar::axpy_lanes(dst + i, src + i, alpha, n - i);
+}
+
+void conj_scale_lanes(cplx* dst, const cplx* src, real s, usize n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 c = _mm256_xor_ps(load8(src + i), sign_imag());
+    store8(dst + i, _mm256_mul_ps(c, vs));
+  }
+  scalar::conj_scale_lanes(dst + i, src + i, s, n - i);
+}
+
+void butterfly_lanes(cplx* a, cplx* b, cplx w, usize n) {
+  const __m256 wr = _mm256_set1_ps(w.real());
+  const __m256 wi = _mm256_set1_ps(w.imag());
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 t = cmul_broadcast8(wr, wi, load8(b + i));
+    const __m256 u = load8(a + i);
+    store8(a + i, _mm256_add_ps(u, t));
+    store8(b + i, _mm256_sub_ps(u, t));
+  }
+  scalar::butterfly_lanes(a + i, b + i, w, n - i);
+}
+
+void butterfly_block(cplx* a, cplx* b, const cplx* tw, bool conj_tw, usize n) {
+  const __m256 conj_mask = conj_tw ? sign_imag() : _mm256_setzero_ps();
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 w = _mm256_xor_ps(load8(tw + i), conj_mask);
+    const __m256 t = cmul8(w, load8(b + i));
+    const __m256 u = load8(a + i);
+    store8(a + i, _mm256_add_ps(u, t));
+    store8(b + i, _mm256_sub_ps(u, t));
+  }
+  scalar::butterfly_block(a + i, b + i, tw + i, conj_tw, n - i);
+}
+
+void chirp_mul_lanes(cplx* dst, const cplx* src, const cplx* chirp, real s, usize n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 scaled = _mm256_mul_ps(load8(src + i), vs);
+    store8(dst + i, cmul8(scaled, load8(chirp + i)));
+  }
+  scalar::chirp_mul_lanes(dst + i, src + i, chirp + i, s, n - i);
+}
+
+void scale_chirp_lanes(cplx* dst, const cplx* src, real s, cplx alpha, usize n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  const __m256 wr = _mm256_set1_ps(alpha.real());
+  const __m256 wi = _mm256_set1_ps(alpha.imag());
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    store8(dst + i, cmul_broadcast8(wr, wi, _mm256_mul_ps(load8(src + i), vs)));
+  }
+  scalar::scale_chirp_lanes(dst + i, src + i, s, alpha, n - i);
+}
+
+void potential_backprop_lanes(cplx* grad_out, cplx* g, const cplx* psi_in, const cplx* trans,
+                              real sigma, usize n) {
+  // ist = i*sigma*t = (-sigma*t.im, sigma*t.re): swap re/im of t, then
+  // multiply by [-sigma, +sigma, ...] (sign flip + multiply are exact).
+  const __m256 msig = _mm256_xor_ps(_mm256_set1_ps(sigma), sign_real());
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    const __m256 gv = load8(g + i);
+    const __m256 tv = load8(trans + i);
+    const __m256 gt = cmul_conj8(gv, load8(psi_in + i));
+    const __m256 ist = _mm256_mul_ps(_mm256_permute_ps(tv, 0xB1), msig);
+    store8(grad_out + i, _mm256_add_ps(load8(grad_out + i), cmul_conj8(gt, ist)));
+    store8(g + i, cmul_conj8(gv, tv));
+  }
+  scalar::potential_backprop_lanes(grad_out + i, g + i, psi_in + i, trans + i, sigma, n - i);
+}
+
+constexpr Kernels kAvx2 = {
+    "avx2",
+    &cmul_lanes,
+    &cmul_conj_lanes,
+    &cmul_conj_acc_lanes,
+    &scale_lanes,
+    &axpy_lanes,
+    &conj_scale_lanes,
+    &butterfly_lanes,
+    &butterfly_block,
+    &chirp_mul_lanes,
+    &scale_chirp_lanes,
+    &potential_backprop_lanes,
+};
+
+}  // namespace
+
+const Kernels* simd_kernels() { return &kAvx2; }
+
+}  // namespace ptycho::backend
+
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace ptycho::backend {
+namespace {
+
+// 2 complex floats per float32x4_t, interleaved [re0, im0, re1, im1].
+constexpr usize kW = 2;
+
+inline float32x4_t load4(const cplx* p) {
+  return vld1q_f32(reinterpret_cast<const float*>(p));
+}
+inline void store4(cplx* p, float32x4_t v) {
+  vst1q_f32(reinterpret_cast<float*>(p), v);
+}
+
+inline float32x4_t flip_signs(float32x4_t v, uint32x4_t mask) {
+  return vreinterpretq_f32_u32(veorq_u32(vreinterpretq_u32_f32(v), mask));
+}
+inline uint32x4_t sign_all() { return vdupq_n_u32(0x80000000u); }
+inline uint32x4_t sign_imag() {
+  const uint32x4_t m = {0u, 0x80000000u, 0u, 0x80000000u};
+  return m;
+}
+inline uint32x4_t sign_real() {
+  const uint32x4_t m = {0x80000000u, 0u, 0x80000000u, 0u};
+  return m;
+}
+
+/// addsub(p1, p2): [p1.even - p2.even, p1.odd + p2.odd], via the exact
+/// identity x - y == x + (-y) (negate even lanes of p2, then add).
+inline float32x4_t addsub4(float32x4_t p1, float32x4_t p2) {
+  return vaddq_f32(p1, flip_signs(p2, sign_real()));
+}
+
+inline float32x4_t cmul4(float32x4_t a, float32x4_t b) {
+  const float32x4_t br = vtrn1q_f32(b, b);   // [b0.re, b0.re, b1.re, b1.re]
+  const float32x4_t bi = vtrn2q_f32(b, b);   // [b0.im, b0.im, b1.im, b1.im]
+  const float32x4_t asw = vrev64q_f32(a);    // [a0.im, a0.re, a1.im, a1.re]
+  return addsub4(vmulq_f32(a, br), vmulq_f32(asw, bi));
+}
+
+inline float32x4_t cmul_conj4(float32x4_t a, float32x4_t b) {
+  const float32x4_t br = vtrn1q_f32(b, b);
+  const float32x4_t nbi = flip_signs(vtrn2q_f32(b, b), sign_all());
+  const float32x4_t asw = vrev64q_f32(a);
+  return addsub4(vmulq_f32(a, br), vmulq_f32(asw, nbi));
+}
+
+inline float32x4_t cmul_broadcast4(float32x4_t wr, float32x4_t wi, float32x4_t x) {
+  const float32x4_t xsw = vrev64q_f32(x);
+  return addsub4(vmulq_f32(wr, x), vmulq_f32(wi, xsw));
+}
+
+void cmul_lanes(cplx* dst, const cplx* a, const cplx* b, usize n) {
+  usize i = 0;
+  for (; i + kW <= n; i += kW) store4(dst + i, cmul4(load4(a + i), load4(b + i)));
+  scalar::cmul_lanes(dst + i, a + i, b + i, n - i);
+}
+
+void cmul_conj_lanes(cplx* dst, const cplx* a, const cplx* b, usize n) {
+  usize i = 0;
+  for (; i + kW <= n; i += kW) store4(dst + i, cmul_conj4(load4(a + i), load4(b + i)));
+  scalar::cmul_conj_lanes(dst + i, a + i, b + i, n - i);
+}
+
+void cmul_conj_acc_lanes(cplx* dst, const cplx* a, const cplx* b, usize n) {
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    const float32x4_t t = cmul_conj4(load4(a + i), load4(b + i));
+    store4(dst + i, vaddq_f32(load4(dst + i), t));
+  }
+  scalar::cmul_conj_acc_lanes(dst + i, a + i, b + i, n - i);
+}
+
+void scale_lanes(cplx* dst, const cplx* src, cplx alpha, usize n) {
+  const float32x4_t wr = vdupq_n_f32(alpha.real());
+  const float32x4_t wi = vdupq_n_f32(alpha.imag());
+  usize i = 0;
+  for (; i + kW <= n; i += kW) store4(dst + i, cmul_broadcast4(wr, wi, load4(src + i)));
+  scalar::scale_lanes(dst + i, src + i, alpha, n - i);
+}
+
+void axpy_lanes(cplx* dst, const cplx* src, cplx alpha, usize n) {
+  const float32x4_t wr = vdupq_n_f32(alpha.real());
+  const float32x4_t wi = vdupq_n_f32(alpha.imag());
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    const float32x4_t t = cmul_broadcast4(wr, wi, load4(src + i));
+    store4(dst + i, vaddq_f32(load4(dst + i), t));
+  }
+  scalar::axpy_lanes(dst + i, src + i, alpha, n - i);
+}
+
+void conj_scale_lanes(cplx* dst, const cplx* src, real s, usize n) {
+  const float32x4_t vs = vdupq_n_f32(s);
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    store4(dst + i, vmulq_f32(flip_signs(load4(src + i), sign_imag()), vs));
+  }
+  scalar::conj_scale_lanes(dst + i, src + i, s, n - i);
+}
+
+void butterfly_lanes(cplx* a, cplx* b, cplx w, usize n) {
+  const float32x4_t wr = vdupq_n_f32(w.real());
+  const float32x4_t wi = vdupq_n_f32(w.imag());
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    const float32x4_t t = cmul_broadcast4(wr, wi, load4(b + i));
+    const float32x4_t u = load4(a + i);
+    store4(a + i, vaddq_f32(u, t));
+    store4(b + i, vsubq_f32(u, t));
+  }
+  scalar::butterfly_lanes(a + i, b + i, w, n - i);
+}
+
+void butterfly_block(cplx* a, cplx* b, const cplx* tw, bool conj_tw, usize n) {
+  const uint32x4_t conj_mask = conj_tw ? sign_imag() : vdupq_n_u32(0u);
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    const float32x4_t w = flip_signs(load4(tw + i), conj_mask);
+    const float32x4_t t = cmul4(w, load4(b + i));
+    const float32x4_t u = load4(a + i);
+    store4(a + i, vaddq_f32(u, t));
+    store4(b + i, vsubq_f32(u, t));
+  }
+  scalar::butterfly_block(a + i, b + i, tw + i, conj_tw, n - i);
+}
+
+void chirp_mul_lanes(cplx* dst, const cplx* src, const cplx* chirp, real s, usize n) {
+  const float32x4_t vs = vdupq_n_f32(s);
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    const float32x4_t scaled = vmulq_f32(load4(src + i), vs);
+    store4(dst + i, cmul4(scaled, load4(chirp + i)));
+  }
+  scalar::chirp_mul_lanes(dst + i, src + i, chirp + i, s, n - i);
+}
+
+void scale_chirp_lanes(cplx* dst, const cplx* src, real s, cplx alpha, usize n) {
+  const float32x4_t vs = vdupq_n_f32(s);
+  const float32x4_t wr = vdupq_n_f32(alpha.real());
+  const float32x4_t wi = vdupq_n_f32(alpha.imag());
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    store4(dst + i, cmul_broadcast4(wr, wi, vmulq_f32(load4(src + i), vs)));
+  }
+  scalar::scale_chirp_lanes(dst + i, src + i, s, alpha, n - i);
+}
+
+void potential_backprop_lanes(cplx* grad_out, cplx* g, const cplx* psi_in, const cplx* trans,
+                              real sigma, usize n) {
+  const float32x4_t msig = flip_signs(vdupq_n_f32(sigma), sign_real());
+  usize i = 0;
+  for (; i + kW <= n; i += kW) {
+    const float32x4_t gv = load4(g + i);
+    const float32x4_t tv = load4(trans + i);
+    const float32x4_t gt = cmul_conj4(gv, load4(psi_in + i));
+    const float32x4_t ist = vmulq_f32(vrev64q_f32(tv), msig);
+    store4(grad_out + i, vaddq_f32(load4(grad_out + i), cmul_conj4(gt, ist)));
+    store4(g + i, cmul_conj4(gv, tv));
+  }
+  scalar::potential_backprop_lanes(grad_out + i, g + i, psi_in + i, trans + i, sigma, n - i);
+}
+
+constexpr Kernels kNeon = {
+    "neon",
+    &cmul_lanes,
+    &cmul_conj_lanes,
+    &cmul_conj_acc_lanes,
+    &scale_lanes,
+    &axpy_lanes,
+    &conj_scale_lanes,
+    &butterfly_lanes,
+    &butterfly_block,
+    &chirp_mul_lanes,
+    &scale_chirp_lanes,
+    &potential_backprop_lanes,
+};
+
+}  // namespace
+
+const Kernels* simd_kernels() { return &kNeon; }
+
+}  // namespace ptycho::backend
+
+#else  // no vector backend for this target
+
+namespace ptycho::backend {
+const Kernels* simd_kernels() { return nullptr; }
+}  // namespace ptycho::backend
+
+#endif

@@ -1,0 +1,77 @@
+// Scalar reference implementations of the backend primitives, shared
+// between the scalar table (kernels_scalar.cpp) and the vector tables'
+// tail loops (kernels_simd.cpp). Keeping both in one header guarantees
+// the remainder lanes of a SIMD kernel run exactly the operation sequence
+// of the scalar backend. Internal to src/backend/ — include nowhere else.
+//
+// Both including TUs compile with -ffp-contract=off, so `a*b + c` here is
+// a rounded multiply followed by a rounded add on every architecture —
+// the association the bitwise contract in kernels.hpp is defined against.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ptycho::backend::scalar {
+
+inline void cmul_lanes(cplx* dst, const cplx* a, const cplx* b, usize n) {
+  for (usize i = 0; i < n; ++i) dst[i] = cmul(a[i], b[i]);
+}
+
+inline void cmul_conj_lanes(cplx* dst, const cplx* a, const cplx* b, usize n) {
+  for (usize i = 0; i < n; ++i) dst[i] = cmul_conj(a[i], b[i]);
+}
+
+inline void cmul_conj_acc_lanes(cplx* dst, const cplx* a, const cplx* b, usize n) {
+  for (usize i = 0; i < n; ++i) dst[i] += cmul_conj(a[i], b[i]);
+}
+
+inline void scale_lanes(cplx* dst, const cplx* src, cplx alpha, usize n) {
+  for (usize i = 0; i < n; ++i) dst[i] = cmul(src[i], alpha);
+}
+
+inline void axpy_lanes(cplx* dst, const cplx* src, cplx alpha, usize n) {
+  for (usize i = 0; i < n; ++i) dst[i] += cmul(alpha, src[i]);
+}
+
+inline void conj_scale_lanes(cplx* dst, const cplx* src, real s, usize n) {
+  for (usize i = 0; i < n; ++i) dst[i] = std::conj(src[i]) * s;
+}
+
+inline void butterfly_lanes(cplx* a, cplx* b, cplx w, usize n) {
+  for (usize i = 0; i < n; ++i) {
+    const cplx t = cmul(w, b[i]);
+    const cplx u = a[i];
+    a[i] = u + t;
+    b[i] = u - t;
+  }
+}
+
+inline void butterfly_block(cplx* a, cplx* b, const cplx* tw, bool conj_tw, usize n) {
+  for (usize i = 0; i < n; ++i) {
+    const cplx w = conj_tw ? std::conj(tw[i]) : tw[i];
+    const cplx t = cmul(w, b[i]);
+    const cplx u = a[i];
+    a[i] = u + t;
+    b[i] = u - t;
+  }
+}
+
+inline void chirp_mul_lanes(cplx* dst, const cplx* src, const cplx* chirp, real s, usize n) {
+  for (usize i = 0; i < n; ++i) dst[i] = cmul(src[i] * s, chirp[i]);
+}
+
+inline void scale_chirp_lanes(cplx* dst, const cplx* src, real s, cplx alpha, usize n) {
+  for (usize i = 0; i < n; ++i) dst[i] = cmul(src[i] * s, alpha);
+}
+
+inline void potential_backprop_lanes(cplx* grad_out, cplx* g, const cplx* psi_in,
+                                     const cplx* trans, real sigma, usize n) {
+  for (usize i = 0; i < n; ++i) {
+    const cplx gt = cmul_conj(g[i], psi_in[i]);
+    const cplx ist(-sigma * trans[i].imag(), sigma * trans[i].real());
+    grad_out[i] += cmul_conj(gt, ist);
+    g[i] = cmul_conj(g[i], trans[i]);
+  }
+}
+
+}  // namespace ptycho::backend::scalar

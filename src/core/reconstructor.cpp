@@ -1,5 +1,7 @@
 #include "core/reconstructor.hpp"
 
+#include "backend/kernels.hpp"
+
 namespace ptycho {
 
 const char* to_string(Method method) {
@@ -13,6 +15,12 @@ const char* to_string(Method method) {
 
 ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
                                          const FramedVolume* initial) const {
+  if (!request.backend.empty()) {
+    PTYCHO_REQUIRE(backend::select(request.backend),
+                   "backend '" << request.backend
+                               << "' is not available (want scalar|simd|auto; simd requires "
+                                  "CPU support)");
+  }
   ReconstructionOutcome outcome;
   switch (request.method) {
     case Method::kSerial: {

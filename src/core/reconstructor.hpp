@@ -3,6 +3,8 @@
 // the examples and the quickstart use.
 #pragma once
 
+#include <string>
+
 #include "core/halo_voxel_exchange.hpp"
 #include "core/serial_solver.hpp"
 
@@ -26,6 +28,11 @@ struct ReconstructionRequest {
   /// divided across ranks for GD). Full-batch output is bitwise identical
   /// for any value; SGD sweeps ignore it (sequential by construction).
   int threads = 0;
+  /// Kernel backend: "auto" (CPU detection), "simd" or "scalar". Applied
+  /// before the solver spawns workers; "" leaves the process-wide selection
+  /// untouched. Output is bitwise identical across backends (the backend
+  /// layer's contract), so this is a pure performance knob.
+  std::string backend;
   UpdateMode mode = UpdateMode::kSgd;
   SyncPolicy sync;               ///< GD only
   int hve_local_epochs = 1;      ///< HVE only

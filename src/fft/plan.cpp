@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "backend/kernels.hpp"
 #include "common/error.hpp"
 
 namespace ptycho::fft {
@@ -85,22 +86,24 @@ void Plan1D::forward(cplx* data) const {
     return;
   }
   const auto& bt = *bluestein_;
+  const backend::Kernels& kern = backend::kernels();
   t_scratch.assign(bt.m, cplx{});
-  for (usize k = 0; k < n_; ++k) t_scratch[k] = cmul(data[k], bt.chirp[k]);
+  kern.chirp_mul_lanes(t_scratch.data(), data, bt.chirp.data(), real(1), n_);
   detail::radix2_transform(t_scratch.data(), bt.m, -1, bt.bitrev, bt.twiddles);
-  for (usize k = 0; k < bt.m; ++k) t_scratch[k] = cmul(t_scratch[k], bt.filter_fft[k]);
+  kern.cmul_lanes(t_scratch.data(), t_scratch.data(), bt.filter_fft.data(), bt.m);
   detail::radix2_transform(t_scratch.data(), bt.m, +1, bt.bitrev, bt.twiddles);
   const real inv_m = real(1) / static_cast<real>(bt.m);
-  for (usize k = 0; k < n_; ++k) data[k] = cmul(t_scratch[k] * inv_m, bt.chirp[k]);
+  kern.chirp_mul_lanes(data, t_scratch.data(), bt.chirp.data(), inv_m, n_);
 }
 
 void Plan1D::inverse(cplx* data) const {
   // inverse(x) = conj(forward(conj(x))) / n — reuses the forward kernels so
   // Bluestein sizes get the inverse for free.
-  for (usize k = 0; k < n_; ++k) data[k] = std::conj(data[k]);
+  const backend::Kernels& kern = backend::kernels();
+  kern.conj_scale_lanes(data, data, real(1), n_);
   forward(data);
   const real inv_n = real(1) / static_cast<real>(n_);
-  for (usize k = 0; k < n_; ++k) data[k] = std::conj(data[k]) * inv_n;
+  kern.conj_scale_lanes(data, data, inv_n, n_);
 }
 
 usize Plan1D::strided_scratch_size(usize count) const {
@@ -118,40 +121,35 @@ void Plan1D::forward_strided(cplx* data, usize stride, usize count, cplx* scratc
   // through the strided radix-2 kernel with the lanes packed contiguously.
   PTYCHO_REQUIRE(scratch != nullptr, "strided batch: Bluestein sizes need caller scratch");
   const auto& bt = *bluestein_;
+  const backend::Kernels& kern = backend::kernels();
   std::fill_n(scratch, bt.m * count, cplx{});
   for (usize k = 0; k < n_; ++k) {
-    const cplx* src = data + k * stride;
-    cplx* dst = scratch + k * count;
-    const cplx c = bt.chirp[k];
-    for (usize lane = 0; lane < count; ++lane) dst[lane] = cmul(src[lane], c);
+    kern.scale_lanes(scratch + k * count, data + k * stride, bt.chirp[k], count);
   }
   detail::radix2_transform_strided(scratch, bt.m, count, count, -1, bt.bitrev, bt.twiddles);
   for (usize k = 0; k < bt.m; ++k) {
     cplx* row = scratch + k * count;
-    const cplx f = bt.filter_fft[k];
-    for (usize lane = 0; lane < count; ++lane) row[lane] = cmul(row[lane], f);
+    kern.scale_lanes(row, row, bt.filter_fft[k], count);
   }
   detail::radix2_transform_strided(scratch, bt.m, count, count, +1, bt.bitrev, bt.twiddles);
   const real inv_m = real(1) / static_cast<real>(bt.m);
   for (usize k = 0; k < n_; ++k) {
-    const cplx* src = scratch + k * count;
-    cplx* dst = data + k * stride;
-    const cplx c = bt.chirp[k];
-    for (usize lane = 0; lane < count; ++lane) dst[lane] = cmul(src[lane] * inv_m, c);
+    kern.scale_chirp_lanes(data + k * stride, scratch + k * count, inv_m, bt.chirp[k], count);
   }
 }
 
 void Plan1D::inverse_strided(cplx* data, usize stride, usize count, cplx* scratch) const {
   // Same conjugation trick as the contiguous inverse, applied lane-wise.
+  const backend::Kernels& kern = backend::kernels();
   for (usize k = 0; k < n_; ++k) {
     cplx* row = data + k * stride;
-    for (usize lane = 0; lane < count; ++lane) row[lane] = std::conj(row[lane]);
+    kern.conj_scale_lanes(row, row, real(1), count);
   }
   forward_strided(data, stride, count, scratch);
   const real inv_n = real(1) / static_cast<real>(n_);
   for (usize k = 0; k < n_; ++k) {
     cplx* row = data + k * stride;
-    for (usize lane = 0; lane < count; ++lane) row[lane] = std::conj(row[lane]) * inv_n;
+    kern.conj_scale_lanes(row, row, inv_n, count);
   }
 }
 

@@ -1,6 +1,7 @@
 #include <cmath>
 #include <utility>
 
+#include "backend/kernels.hpp"
 #include "common/error.hpp"
 #include "fft/plan.hpp"
 
@@ -44,18 +45,30 @@ void radix2_transform(cplx* data, usize n, int sign, const std::vector<usize>& b
     const usize j = bitrev[i];
     if (i < j) std::swap(data[i], data[j]);
   }
-  // Butterfly stages.
+  // Butterfly stages: each (stage, base) pair is one contiguous block with
+  // per-lane twiddles, dispatched through the active kernel backend.
+  const backend::Kernels& kern = backend::kernels();
   for (usize half = 1; half < n; half *= 2) {
     const cplx* tw = twiddles_fwd.data() + (half - 1);
-    for (usize base = 0; base < n; base += 2 * half) {
-      for (usize k = 0; k < half; ++k) {
-        cplx w = tw[k];
-        if (sign > 0) w = std::conj(w);
-        const cplx t = cmul(w, data[base + k + half]);
-        const cplx u = data[base + k];
-        data[base + k] = u + t;
-        data[base + k + half] = u - t;
+    if (half < 4) {
+      // The two smallest stages hold 3/4 of all blocks but are below any
+      // vector width; run them inline to spare the dispatch overhead.
+      // The per-element sequence is the backend butterfly_block one, so
+      // the result does not depend on the selected backend.
+      for (usize base = 0; base < n; base += 2 * half) {
+        for (usize k = 0; k < half; ++k) {
+          cplx w = tw[k];
+          if (sign > 0) w = std::conj(w);
+          const cplx t = cmul(w, data[base + k + half]);
+          const cplx u = data[base + k];
+          data[base + k] = u + t;
+          data[base + k + half] = u - t;
+        }
       }
+      continue;
+    }
+    for (usize base = 0; base < n; base += 2 * half) {
+      kern.butterfly_block(data + base, data + base + half, tw, sign > 0, half);
     }
   }
 }
@@ -72,21 +85,17 @@ void radix2_transform_strided(cplx* data, usize n, usize stride, usize count, in
       for (usize lane = 0; lane < count; ++lane) std::swap(a[lane], b[lane]);
     }
   }
-  // Butterfly stages; the lane loop is the innermost (unit-stride) one.
+  // Butterfly stages; the lane dimension is contiguous, so each (base, k)
+  // pair is one shared-twiddle butterfly block across the batch.
+  const backend::Kernels& kern = backend::kernels();
   for (usize half = 1; half < n; half *= 2) {
     const cplx* tw = twiddles_fwd.data() + (half - 1);
     for (usize base = 0; base < n; base += 2 * half) {
       for (usize k = 0; k < half; ++k) {
         cplx w = tw[k];
         if (sign > 0) w = std::conj(w);
-        cplx* a = data + (base + k) * stride;
-        cplx* b = data + (base + k + half) * stride;
-        for (usize lane = 0; lane < count; ++lane) {
-          const cplx t = cmul(w, b[lane]);
-          const cplx u = a[lane];
-          a[lane] = u + t;
-          b[lane] = u - t;
-        }
+        kern.butterfly_lanes(data + (base + k) * stride, data + (base + k + half) * stride, w,
+                             count);
       }
     }
   }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "backend/kernels.hpp"
 #include "common/error.hpp"
 
 namespace ptycho {
@@ -150,6 +151,7 @@ double MultisliceOperator::cost_and_gradient(const Probe& probe, const FramedVol
 
   const index_t slices = volume.slices();
   const real sigma = config_.sigma;
+  const backend::Kernels& kern = backend::kernels();
   for (index_t s = slices - 1; s >= 0; --s) {
     // Back through the propagator.
     propagator_.apply_adjoint(ws.grad.view());
@@ -163,19 +165,13 @@ double MultisliceOperator::cost_and_gradient(const Probe& probe, const FramedVol
       const cplx* t_row = trans.row(y);
       cplx* g_row = ws.grad.row(y);
       cplx* out_row = g_slice.row(y);
+      const auto cols = static_cast<usize>(n);
       if (config_.model == ObjectModel::kTransmittance) {
-        for (index_t x = 0; x < n; ++x) {
-          out_row[x] += cmul_conj(g_row[x], pi_row[x]);
-          // Continue the chain: g_psi = conj(t) .* g.
-          g_row[x] = cmul_conj(g_row[x], t_row[x]);
-        }
+        kern.cmul_conj_acc_lanes(out_row, g_row, pi_row, cols);
+        // Continue the chain: g_psi = conj(t) .* g.
+        kern.cmul_conj_lanes(g_row, g_row, t_row, cols);
       } else {
-        for (index_t x = 0; x < n; ++x) {
-          const cplx gt = cmul_conj(g_row[x], pi_row[x]);
-          const cplx ist(-sigma * t_row[x].imag(), sigma * t_row[x].real());
-          out_row[x] += cmul_conj(gt, ist);
-          g_row[x] = cmul_conj(g_row[x], t_row[x]);
-        }
+        kern.potential_backprop_lanes(out_row, g_row, pi_row, t_row, sigma, cols);
       }
     }
   }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "backend/kernels.hpp"
+
 namespace ptycho {
 
 Propagator::Propagator(const OpticsGrid& grid)
@@ -27,17 +29,15 @@ Propagator::Propagator(const OpticsGrid& grid)
 
 void Propagator::apply_kernel(View2D<cplx> psi, bool conjugate) const {
   fft_.forward(psi);
-  if (conjugate) {
-    for (index_t y = 0; y < psi.rows(); ++y) {
-      cplx* row = psi.row(y);
-      const cplx* h = kernel_.row(y);
-      for (index_t x = 0; x < psi.cols(); ++x) row[x] = cmul_conj(row[x], h[x]);
-    }
-  } else {
-    for (index_t y = 0; y < psi.rows(); ++y) {
-      cplx* row = psi.row(y);
-      const cplx* h = kernel_.row(y);
-      for (index_t x = 0; x < psi.cols(); ++x) row[x] = cmul(row[x], h[x]);
+  const backend::Kernels& kern = backend::kernels();
+  const auto cols = static_cast<usize>(psi.cols());
+  for (index_t y = 0; y < psi.rows(); ++y) {
+    cplx* row = psi.row(y);
+    const cplx* h = kernel_.row(y);
+    if (conjugate) {
+      kern.cmul_conj_lanes(row, row, h, cols);
+    } else {
+      kern.cmul_lanes(row, row, h, cols);
     }
   }
   fft_.inverse(psi);

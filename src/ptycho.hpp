@@ -3,6 +3,8 @@
 // README.md's architecture table for faster builds).
 #pragma once
 
+#include "backend/kernels.hpp"
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/options.hpp"

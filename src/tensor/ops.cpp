@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "backend/kernels.hpp"
+
 namespace ptycho {
 
 namespace {
@@ -32,17 +34,17 @@ void add(View2D<const cplx> src, View2D<cplx> dst) {
 
 void axpy(cplx alpha, View2D<const cplx> src, View2D<cplx> dst) {
   check_same_shape(src, dst);
+  const backend::Kernels& kern = backend::kernels();
   for (index_t y = 0; y < src.rows(); ++y) {
-    const cplx* s = src.row(y);
-    cplx* d = dst.row(y);
-    for (index_t x = 0; x < src.cols(); ++x) d[x] += cmul(alpha, s[x]);
+    kern.axpy_lanes(dst.row(y), src.row(y), alpha, static_cast<usize>(src.cols()));
   }
 }
 
 void scale(cplx alpha, View2D<cplx> dst) {
+  const backend::Kernels& kern = backend::kernels();
   for (index_t y = 0; y < dst.rows(); ++y) {
     cplx* d = dst.row(y);
-    for (index_t x = 0; x < dst.cols(); ++x) d[x] = cmul(d[x], alpha);
+    kern.scale_lanes(d, d, alpha, static_cast<usize>(dst.cols()));
   }
 }
 
@@ -55,19 +57,19 @@ void fill(View2D<cplx> dst, cplx value) {
 
 void multiply_inplace(View2D<const cplx> src, View2D<cplx> dst) {
   check_same_shape(src, dst);
+  const backend::Kernels& kern = backend::kernels();
   for (index_t y = 0; y < src.rows(); ++y) {
-    const cplx* s = src.row(y);
     cplx* d = dst.row(y);
-    for (index_t x = 0; x < src.cols(); ++x) d[x] = cmul(d[x], s[x]);
+    kern.cmul_lanes(d, d, src.row(y), static_cast<usize>(src.cols()));
   }
 }
 
 void multiply_conj_inplace(View2D<const cplx> src, View2D<cplx> dst) {
   check_same_shape(src, dst);
+  const backend::Kernels& kern = backend::kernels();
   for (index_t y = 0; y < src.rows(); ++y) {
-    const cplx* s = src.row(y);
     cplx* d = dst.row(y);
-    for (index_t x = 0; x < src.cols(); ++x) d[x] = cmul_conj(d[x], s[x]);
+    kern.cmul_conj_lanes(d, d, src.row(y), static_cast<usize>(src.cols()));
   }
 }
 

@@ -34,13 +34,16 @@ int usage() {
                "  info       FILE\n"
                "  reconstruct FILE [--method serial|gd|hve] [--ranks N]\n"
                "             [--iterations N] [--step A] [--passes T] [--threads N]\n"
+               "             [--backend scalar|simd|auto]\n"
                "             [--mode sgd|full-batch] [--no-appp] [--refine-probe]\n"
                "             [--resume VOLUME|CKPT_DIR] [--save-volume FILE] [--image FILE]\n"
                "             [--checkpoint-dir DIR] [--checkpoint-every N]\n"
                "             [--restore CKPT_DIR]\n"
                "  --iterations is the TOTAL target; a restored run continues from the\n"
                "  snapshot's iteration. --ranks may differ from the checkpointed run\n"
-               "  (elastic restore re-tiles and redistributes the shards).\n");
+               "  (elastic restore re-tiles and redistributes the shards).\n"
+               "  --backend (any subcommand; also via PTYCHO_BACKEND) picks the SIMD\n"
+               "  kernel backend; results are bitwise identical across backends.\n");
   return 2;
 }
 
@@ -112,6 +115,7 @@ int cmd_reconstruct(const Options& opts) {
   // 0 = auto (hardware concurrency; divided across ranks for gd). The
   // full-batch sweep is bitwise identical for every thread count.
   request.threads = static_cast<int>(opts.get_int("threads", 0));
+  request.backend = opts.get_string("backend", "");
   request.mode = opts.get_string("mode", "sgd") == "full-batch" ? UpdateMode::kFullBatch
                                                                 : UpdateMode::kSgd;
   request.sync.appp = !opts.get_bool("no-appp", false);
@@ -144,8 +148,9 @@ int cmd_reconstruct(const Options& opts) {
     std::printf("resuming from %s\n", resume_path.c_str());
   }
 
-  std::printf("reconstructing with %s on %d rank(s), %d iterations...\n",
-              to_string(request.method), request.nranks, request.iterations);
+  std::printf("reconstructing with %s on %d rank(s), %d iterations (backend %s)...\n",
+              to_string(request.method), request.nranks, request.iterations,
+              request.backend.empty() ? backend::active_name() : request.backend.c_str());
   Reconstructor reconstructor(dataset);
   const ReconstructionOutcome outcome =
       reconstructor.run(request, resume_path.empty() ? nullptr : &resume);
@@ -178,6 +183,16 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Options opts = Options::parse(argc - 1, argv + 1);
   try {
+    // Select the kernel backend up front so every subcommand (simulate
+    // runs the same FFT/multislice kernels) honors the flag; an explicit
+    // request that cannot be satisfied is an error, unlike the permissive
+    // PTYCHO_BACKEND environment fallback.
+    const std::string backend = opts.get_string("backend", "");
+    if (!backend.empty()) {
+      PTYCHO_CHECK(backend::select(backend),
+                   "--backend " << backend << " is not available (want scalar|simd|auto; "
+                                << "simd requires CPU support)");
+    }
     if (command == "simulate") return cmd_simulate(opts);
     if (command == "info") return cmd_info(opts);
     if (command == "reconstruct") return cmd_reconstruct(opts);
