@@ -2,6 +2,8 @@
 // measured costs back the performance model's calibration.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "backend/kernels.hpp"
 #include "core/gradient_engine.hpp"
 #include "data/simulate.hpp"
@@ -188,6 +190,51 @@ void BM_BackendButterfly(benchmark::State& state, const backend::Kernels* kern) 
                           static_cast<std::int64_t>(4 * n * sizeof(cplx)));
 }
 
+void BM_BackendButterfly4(benchmark::State& state, const backend::Kernels* kern) {
+  const auto n = static_cast<usize>(state.range(0));
+  const std::vector<cplx> x0_0 = backend_signal(n, 9);
+  const std::vector<cplx> x1_0 = backend_signal(n, 10);
+  const std::vector<cplx> x2_0 = backend_signal(n, 11);
+  const std::vector<cplx> x3_0 = backend_signal(n, 12);
+  // Unit-magnitude twiddles, as in the real transform (and the radix-2
+  // bench): growth per application stays bounded by the 4-point sum, so
+  // the reset below fires long before float32 overflow.
+  const auto unit_twiddles = [n](int salt) {
+    std::vector<cplx> tw(n);
+    for (usize i = 0; i < n; ++i) {
+      const double angle = 0.1 * static_cast<double>(i + static_cast<usize>(salt));
+      tw[i] = cplx(static_cast<real>(std::cos(angle)), static_cast<real>(std::sin(angle)));
+    }
+    return tw;
+  };
+  const std::vector<cplx> tw1 = unit_twiddles(13);
+  const std::vector<cplx> tw2 = unit_twiddles(14);
+  const std::vector<cplx> tw3 = unit_twiddles(15);
+  std::vector<cplx> x0 = x0_0;
+  std::vector<cplx> x1 = x1_0;
+  std::vector<cplx> x2 = x2_0;
+  std::vector<cplx> x3 = x3_0;
+  int applications = 0;
+  for (auto _ : state) {
+    // Like the radix-2 butterfly, each application grows the signal; reset
+    // (untimed) before values can overflow.
+    if (++applications >= 50) {
+      state.PauseTiming();
+      x0 = x0_0;
+      x1 = x1_0;
+      x2 = x2_0;
+      x3 = x3_0;
+      applications = 0;
+      state.ResumeTiming();
+    }
+    kern->butterfly4_block(x0.data(), x1.data(), x2.data(), x3.data(), tw1.data(), tw2.data(),
+                           tw3.data(), false, n);
+    benchmark::DoNotOptimize(x0.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(8 * n * sizeof(cplx)));
+}
+
 void BM_BackendChirpMul(benchmark::State& state, const backend::Kernels* kern) {
   const auto n = static_cast<usize>(state.range(0));
   const std::vector<cplx> src = backend_signal(n, 7);
@@ -209,6 +256,7 @@ void register_backend_benches(const backend::Kernels* kern) {
       {"BM_BackendCmulConj", &BM_BackendCmulConj},
       {"BM_BackendAxpy", &BM_BackendAxpy},
       {"BM_BackendButterfly", &BM_BackendButterfly},
+      {"BM_BackendButterfly4", &BM_BackendButterfly4},
       {"BM_BackendChirpMul", &BM_BackendChirpMul},
   };
   for (const auto& [name, fn] : benches) {

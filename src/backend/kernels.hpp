@@ -64,6 +64,31 @@ struct Kernels {
   /// b[i] = a[i] - t; a[i] += t. a and b must not overlap.
   void (*butterfly_block)(cplx* a, cplx* b, const cplx* tw, bool conj_tw, usize n);
 
+  /// Radix-4 butterfly block with per-lane twiddles: the fusion of two
+  /// consecutive radix-2 stages (quarter-lengths h and 2h) over one
+  /// bit-reversal-ordered block. With w_j = conj_tw ? conj(tw_j[i]) : tw_j[i]:
+  ///   u1 = cmul(w1, x1[i]); u2 = cmul(w2, x2[i]); u3 = cmul(w3, x3[i])
+  ///   s0 = x0[i] + u1; s1 = x0[i] - u1; s2 = u2 + u3; s3 = u2 - u3
+  ///   r  = (conj_tw ? +i : -i) * s3   (exact re/im swap + sign flip)
+  ///   x0[i] = s0 + s2; x2[i] = s0 - s2; x1[i] = s1 + r; x3[i] = s1 - r
+  /// The four operand arrays must be pairwise non-overlapping.
+  void (*butterfly4_block)(cplx* x0, cplx* x1, cplx* x2, cplx* x3, const cplx* tw1,
+                           const cplx* tw2, const cplx* tw3, bool conj_tw, usize n);
+
+  /// Radix-4 butterfly block with twiddles shared across lanes (the strided
+  /// batched FFT). Callers pass already-conjugated twiddles for the inverse;
+  /// `conj_rot` selects the +i rotation (same exactness note as above).
+  void (*butterfly4_lanes)(cplx* x0, cplx* x1, cplx* x2, cplx* x3, cplx w1, cplx w2, cplx w3,
+                           bool conj_rot, usize n);
+
+  /// Row-tiled Hadamard product between two strided 2-D tiles (the fused
+  /// spectral multiply of the 2-D FFT): for r < rows, c < cols
+  ///   dst[r*dst_stride + c] = conj_b ? cmul_conj(a[...], b[...])
+  ///                                  : cmul(a[r*a_stride + c], b[r*b_stride + c]).
+  /// dst may alias a (same pointer and stride); b must not overlap dst.
+  void (*cmul_rows_tiled)(cplx* dst, usize dst_stride, const cplx* a, usize a_stride,
+                          const cplx* b, usize b_stride, bool conj_b, usize rows, usize cols);
+
   /// Bluestein chirp product: dst[i] = cmul(src[i] * s, chirp[i]).
   void (*chirp_mul_lanes)(cplx* dst, const cplx* src, const cplx* chirp, real s, usize n);
 

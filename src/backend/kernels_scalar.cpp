@@ -18,6 +18,9 @@ const Kernels& scalar_kernels() {
       &scalar::conj_scale_lanes,
       &scalar::butterfly_lanes,
       &scalar::butterfly_block,
+      &scalar::butterfly4_block,
+      &scalar::butterfly4_lanes,
+      &scalar::cmul_rows_tiled,
       &scalar::chirp_mul_lanes,
       &scalar::scale_chirp_lanes,
       &scalar::potential_backprop_lanes,

@@ -56,6 +56,60 @@ inline void butterfly_block(cplx* a, cplx* b, const cplx* tw, bool conj_tw, usiz
   }
 }
 
+inline void butterfly4_block(cplx* x0, cplx* x1, cplx* x2, cplx* x3, const cplx* tw1,
+                             const cplx* tw2, const cplx* tw3, bool conj_tw, usize n) {
+  for (usize i = 0; i < n; ++i) {
+    const cplx w1 = conj_tw ? std::conj(tw1[i]) : tw1[i];
+    const cplx w2 = conj_tw ? std::conj(tw2[i]) : tw2[i];
+    const cplx w3 = conj_tw ? std::conj(tw3[i]) : tw3[i];
+    const cplx u1 = cmul(w1, x1[i]);
+    const cplx u2 = cmul(w2, x2[i]);
+    const cplx u3 = cmul(w3, x3[i]);
+    const cplx z = x0[i];
+    const cplx s0 = z + u1;
+    const cplx s1 = z - u1;
+    const cplx s2 = u2 + u3;
+    const cplx s3 = u2 - u3;
+    // The +-i rotation is an exact re/im swap with one sign flip.
+    const cplx r = conj_tw ? cplx(-s3.imag(), s3.real()) : cplx(s3.imag(), -s3.real());
+    x0[i] = s0 + s2;
+    x2[i] = s0 - s2;
+    x1[i] = s1 + r;
+    x3[i] = s1 - r;
+  }
+}
+
+inline void butterfly4_lanes(cplx* x0, cplx* x1, cplx* x2, cplx* x3, cplx w1, cplx w2, cplx w3,
+                             bool conj_rot, usize n) {
+  for (usize i = 0; i < n; ++i) {
+    const cplx u1 = cmul(w1, x1[i]);
+    const cplx u2 = cmul(w2, x2[i]);
+    const cplx u3 = cmul(w3, x3[i]);
+    const cplx z = x0[i];
+    const cplx s0 = z + u1;
+    const cplx s1 = z - u1;
+    const cplx s2 = u2 + u3;
+    const cplx s3 = u2 - u3;
+    const cplx r = conj_rot ? cplx(-s3.imag(), s3.real()) : cplx(s3.imag(), -s3.real());
+    x0[i] = s0 + s2;
+    x2[i] = s0 - s2;
+    x1[i] = s1 + r;
+    x3[i] = s1 - r;
+  }
+}
+
+inline void cmul_rows_tiled(cplx* dst, usize dst_stride, const cplx* a, usize a_stride,
+                            const cplx* b, usize b_stride, bool conj_b, usize rows,
+                            usize cols) {
+  for (usize r = 0; r < rows; ++r) {
+    if (conj_b) {
+      cmul_conj_lanes(dst + r * dst_stride, a + r * a_stride, b + r * b_stride, cols);
+    } else {
+      cmul_lanes(dst + r * dst_stride, a + r * a_stride, b + r * b_stride, cols);
+    }
+  }
+}
+
 inline void chirp_mul_lanes(cplx* dst, const cplx* src, const cplx* chirp, real s, usize n) {
   for (usize i = 0; i < n; ++i) dst[i] = cmul(src[i] * s, chirp[i]);
 }

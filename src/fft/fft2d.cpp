@@ -2,13 +2,18 @@
 
 #include <algorithm>
 
+#include "backend/kernels.hpp"
 #include "common/error.hpp"
 #include "tensor/ops.hpp"
 
 namespace ptycho::fft {
 
 Fft2D::Fft2D(usize rows, usize cols)
-    : rows_(rows), cols_(cols), row_plan_(cols), col_plan_(rows) {
+    : rows_(rows),
+      cols_(cols),
+      batched_rows_(engine_flags().batched_rows),
+      row_plan_(cols),
+      col_plan_(rows) {
   PTYCHO_REQUIRE(rows >= 1 && cols >= 1, "Fft2D extents must be >= 1");
 }
 
@@ -29,68 +34,170 @@ Fft2D::ScratchLease Fft2D::acquire_scratch() const {
   auto scratch = std::make_unique<Scratch>();
   scratch->tile.resize(rows_ * static_cast<usize>(kColBlock));
   scratch->bluestein.resize(col_plan_.strided_scratch_size(static_cast<usize>(kColBlock)));
+  if (batched_rows_) {
+    scratch->row_tile.resize(cols_ * static_cast<usize>(kRowBatch));
+    scratch->row_bluestein.resize(row_plan_.strided_scratch_size(static_cast<usize>(kRowBatch)));
+  }
   return ScratchLease(*this, std::move(scratch));
 }
 
-void Fft2D::transform_rows(View2D<cplx> field, bool fwd) const {
-  for (index_t y = 0; y < field.rows(); ++y) {
-    cplx* row = field.row(y);
+void Fft2D::transform_rows(View2D<cplx> field, bool fwd, const cplx* post_scale) const {
+  const backend::Kernels& kern = backend::kernels();
+  const auto cols = static_cast<usize>(field.cols());
+  if (!batched_rows_) {
+    for (index_t y = 0; y < field.rows(); ++y) {
+      cplx* row = field.row(y);
+      if (fwd) {
+        row_plan_.forward(row);
+      } else {
+        row_plan_.inverse(row);
+      }
+      if (post_scale != nullptr) kern.scale_lanes(row, row, *post_scale, cols);
+    }
+    return;
+  }
+  // Batched: transpose kRowBatch rows into a lane-major tile, transform all
+  // of them through one strided call (every butterfly stage vectorizes
+  // across the row lanes, twiddle loads amortize over the batch), and
+  // transpose back. The tile stays cache-resident between the passes.
+  const ScratchLease lease = acquire_scratch();
+  cplx* tile = lease.get().row_tile.data();
+  cplx* pad = lease.get().row_bluestein.empty() ? nullptr : lease.get().row_bluestein.data();
+  const index_t rows = field.rows();
+  for (index_t y0 = 0; y0 < rows; y0 += kRowBatch) {
+    const index_t batch = std::min(kRowBatch, rows - y0);
+    const auto b = static_cast<usize>(batch);
+    for (index_t lane = 0; lane < batch; ++lane) {
+      const cplx* row = field.row(y0 + lane);
+      cplx* t = tile + static_cast<usize>(lane);
+      for (usize x = 0; x < cols; ++x) t[x * b] = row[x];
+    }
     if (fwd) {
-      row_plan_.forward(row);
+      row_plan_.forward_strided(tile, b, b, pad);
     } else {
-      row_plan_.inverse(row);
+      row_plan_.inverse_strided(tile, b, b, pad);
+    }
+    if (post_scale != nullptr) kern.scale_lanes(tile, tile, *post_scale, cols * b);
+    for (index_t lane = 0; lane < batch; ++lane) {
+      cplx* row = field.row(y0 + lane);
+      const cplx* t = tile + static_cast<usize>(lane);
+      for (usize x = 0; x < cols; ++x) row[x] = t[x * b];
     }
   }
 }
 
-void Fft2D::transform_cols(View2D<cplx> field, bool fwd) const {
+void Fft2D::transform_cols(View2D<cplx> field, bool fwd, const MultiplySpec* mul,
+                           const cplx* post_scale) const {
   const ScratchLease lease = acquire_scratch();
   cplx* tile = lease.get().tile.data();
   cplx* pad = lease.get().bluestein.empty() ? nullptr : lease.get().bluestein.data();
+  const backend::Kernels& kern = backend::kernels();
   const index_t rows = field.rows();
+  const auto urows = static_cast<usize>(rows);
+  const auto field_stride = static_cast<usize>(field.row_stride());
   for (index_t x0 = 0; x0 < field.cols(); x0 += kColBlock) {
     const index_t block = std::min(kColBlock, field.cols() - x0);
     const auto b = static_cast<usize>(block);
     // Gather the block: row y contributes `block` contiguous elements, so
     // the pass streams cache lines instead of touching one column stripe.
-    for (index_t y = 0; y < rows; ++y) {
-      std::copy_n(field.row(y) + x0, block, tile + static_cast<usize>(y) * b);
+    // A pre-multiply runs the point-wise kernel product in the same sweep.
+    if (mul != nullptr && mul->pre) {
+      kern.cmul_rows_tiled(tile, b, field.data() + x0, field_stride, mul->data + x0,
+                           mul->stride, mul->conj, urows, b);
+    } else {
+      for (index_t y = 0; y < rows; ++y) {
+        std::copy_n(field.row(y) + x0, block, tile + static_cast<usize>(y) * b);
+      }
     }
     if (fwd) {
       col_plan_.forward_strided(tile, b, b, pad);
     } else {
       col_plan_.inverse_strided(tile, b, b, pad);
     }
+    // Post-transform fusions act on the cache-resident tile, so the kernel
+    // product / scale costs no extra pass over the field.
+    if (mul != nullptr && !mul->pre) {
+      kern.cmul_rows_tiled(tile, b, tile, b, mul->data + x0, mul->stride, mul->conj, urows, b);
+    }
+    if (post_scale != nullptr) kern.scale_lanes(tile, tile, *post_scale, urows * b);
     for (index_t y = 0; y < rows; ++y) {
       std::copy_n(tile + static_cast<usize>(y) * b, block, field.row(y) + x0);
     }
   }
 }
 
+namespace {
+void check_shape(View2D<const cplx> field, usize rows, usize cols, const char* what) {
+  PTYCHO_CHECK(field.rows() == static_cast<index_t>(rows) &&
+                   field.cols() == static_cast<index_t>(cols),
+               what << " shape does not match plan");
+}
+}  // namespace
+
 void Fft2D::forward(View2D<cplx> field) const {
-  PTYCHO_CHECK(field.rows() == static_cast<index_t>(rows_) &&
-                   field.cols() == static_cast<index_t>(cols_),
-               "field shape does not match plan");
-  transform_rows(field, true);
-  transform_cols(field, true);
+  check_shape(field, rows_, cols_, "field");
+  transform_rows(field, true, nullptr);
+  transform_cols(field, true, nullptr, nullptr);
 }
 
 void Fft2D::inverse(View2D<cplx> field) const {
-  PTYCHO_CHECK(field.rows() == static_cast<index_t>(rows_) &&
-                   field.cols() == static_cast<index_t>(cols_),
-               "field shape does not match plan");
-  transform_rows(field, false);
-  transform_cols(field, false);
+  check_shape(field, rows_, cols_, "field");
+  transform_cols(field, false, nullptr, nullptr);
+  transform_rows(field, false, nullptr);
+}
+
+void Fft2D::forward_multiply(View2D<cplx> field, View2D<const cplx> kernel,
+                             bool conj_kernel) const {
+  check_shape(field, rows_, cols_, "field");
+  check_shape(kernel, rows_, cols_, "kernel");
+  transform_rows(field, true, nullptr);
+  const MultiplySpec mul{kernel.data(), static_cast<usize>(kernel.row_stride()), conj_kernel,
+                         /*pre=*/false};
+  transform_cols(field, true, &mul, nullptr);
+}
+
+void Fft2D::multiply_inverse(View2D<const cplx> kernel, View2D<cplx> field,
+                             bool conj_kernel) const {
+  check_shape(field, rows_, cols_, "field");
+  check_shape(kernel, rows_, cols_, "kernel");
+  const MultiplySpec mul{kernel.data(), static_cast<usize>(kernel.row_stride()), conj_kernel,
+                         /*pre=*/true};
+  transform_cols(field, false, &mul, nullptr);
+  transform_rows(field, false, nullptr);
+}
+
+void Fft2D::forward_scale(View2D<cplx> field, cplx alpha) const {
+  check_shape(field, rows_, cols_, "field");
+  transform_rows(field, true, nullptr);
+  transform_cols(field, true, nullptr, &alpha);
+}
+
+void Fft2D::inverse_scale(View2D<cplx> field, cplx alpha) const {
+  check_shape(field, rows_, cols_, "field");
+  transform_cols(field, false, nullptr, nullptr);
+  transform_rows(field, false, &alpha);
 }
 
 void Fft2D::adjoint_forward(View2D<cplx> field) const {
-  inverse(field);
-  scale(cplx(static_cast<real>(size()), 0), field);
+  const cplx alpha(static_cast<real>(size()), 0);
+  if (engine_flags().fused) {
+    inverse_scale(field, alpha);
+  } else {
+    // Honest escape hatch: PTYCHO_FFT_FUSED=0 must unfuse every folded
+    // pass, this normalization included, so A/B runs measure the fusion.
+    inverse(field);
+    scale(alpha, field);
+  }
 }
 
 void Fft2D::adjoint_inverse(View2D<cplx> field) const {
-  forward(field);
-  scale(cplx(real(1) / static_cast<real>(size()), 0), field);
+  const cplx alpha(real(1) / static_cast<real>(size()), 0);
+  if (engine_flags().fused) {
+    forward_scale(field, alpha);
+  } else {
+    forward(field);
+    scale(alpha, field);
+  }
 }
 
 namespace {

@@ -1,13 +1,26 @@
 // Two-dimensional planned FFT over View2D<cplx>, plus fftshift helpers.
 //
 // The multislice operator transforms each probe-sized wavefield twice per
-// slice, so Fft2D is the hottest kernel in the library. The column pass is
-// cache-blocked: columns are gathered kColBlock at a time into a compact
-// scratch tile and transformed through the batched strided Plan1D entry
-// point, so every pass over the field moves whole cache lines and the
-// butterfly inner loop vectorizes across columns. Scratch tiles live in a
-// small plan-owned pool (acquired per call), so a single Fft2D is safe to
-// share across concurrently executing worker threads.
+// slice, so Fft2D is the hottest kernel in the library. Both passes are
+// cache-blocked through the batched strided Plan1D entry point: columns
+// are gathered kColBlock at a time into a compact scratch tile, and rows
+// are transposed kRowBatch at a time into a lane-major tile, so every
+// butterfly inner loop vectorizes across the batch and every pass over
+// the field moves whole cache lines. The inverse runs columns first, then
+// rows, which lets the fused entry points below fold point-wise spectral
+// work into the tile that is already in cache:
+//
+//   forward_multiply  = forward  then field *= kernel   (multiply in the
+//                       last column-pass tile before scatter)
+//   multiply_inverse  = field *= kernel then inverse    (multiply in the
+//                       first column-pass gather)
+//   forward_scale / inverse_scale = the same fusion for a uniform scale
+//
+// Each fused call is bitwise identical to its composed two-step sequence
+// (the folded op runs the same dispatched per-element kernels, just on
+// tile-resident data) while costing zero extra full-field passes.
+// Scratch tiles live in a small plan-owned pool (acquired per call), so a
+// single Fft2D is safe to share across concurrently executing workers.
 #pragma once
 
 #include <memory>
@@ -23,6 +36,9 @@ class Fft2D {
  public:
   /// Columns per block of the cache-blocked column pass.
   static constexpr index_t kColBlock = 16;
+  /// Rows per batch of the transposed row pass (when engine_flags()
+  /// enables batched_rows; otherwise rows transform one at a time).
+  static constexpr index_t kRowBatch = 16;
 
   /// Plan for `rows x cols` transforms.
   Fft2D(usize rows, usize cols);
@@ -43,12 +59,42 @@ class Fft2D {
   /// Adjoint of `inverse` = (1/size()) * forward.
   void adjoint_inverse(View2D<cplx> field) const;
 
+  /// Fused forward(field); field[i] *= kernel[i] (conj(kernel[i]) when
+  /// `conj_kernel`). Bitwise identical to the composed sequence; the
+  /// multiply costs no extra pass over the field.
+  void forward_multiply(View2D<cplx> field, View2D<const cplx> kernel,
+                        bool conj_kernel = false) const;
+
+  /// Fused field[i] *= kernel[i] (in the spectrum); inverse(field).
+  /// Bitwise identical to the composed sequence.
+  void multiply_inverse(View2D<const cplx> kernel, View2D<cplx> field,
+                        bool conj_kernel = false) const;
+
+  /// Fused forward(field); field *= alpha.
+  void forward_scale(View2D<cplx> field, cplx alpha) const;
+
+  /// Fused inverse(field); field *= alpha.
+  void inverse_scale(View2D<cplx> field, cplx alpha) const;
+
  private:
-  /// Column-pass scratch: the gathered rows x kColBlock tile plus the
-  /// batched-Bluestein pad (empty for power-of-two row counts).
+  /// Point-wise kernel multiply folded into the column pass: `pre` applies
+  /// it during the gather (before the transform), otherwise before the
+  /// scatter. `data`/`stride` address the kernel's row-major storage.
+  struct MultiplySpec {
+    const cplx* data;
+    usize stride;
+    bool conj;
+    bool pre;
+  };
+
+  /// Pooled per-call scratch: the column tile (rows x kColBlock), the
+  /// transposed row tile (cols x kRowBatch, batched row pass only) and the
+  /// batched-Bluestein pads (empty for power-of-two extents).
   struct Scratch {
     std::vector<cplx> tile;
     std::vector<cplx> bluestein;
+    std::vector<cplx> row_tile;
+    std::vector<cplx> row_bluestein;
   };
 
   /// RAII lease of a pooled scratch buffer; returns it on destruction.
@@ -68,16 +114,18 @@ class Fft2D {
 
   [[nodiscard]] ScratchLease acquire_scratch() const;
 
-  void transform_rows(View2D<cplx> field, bool fwd) const;
-  void transform_cols(View2D<cplx> field, bool fwd) const;
+  void transform_rows(View2D<cplx> field, bool fwd, const cplx* post_scale) const;
+  void transform_cols(View2D<cplx> field, bool fwd, const MultiplySpec* mul,
+                      const cplx* post_scale) const;
 
   usize rows_ = 0;
   usize cols_ = 0;
-  Plan1D row_plan_;  // length cols_ (transforms along x)
-  Plan1D col_plan_;  // length rows_ (transforms along y)
+  bool batched_rows_ = true;  // engine_flags().batched_rows at construction
+  Plan1D row_plan_;           // length cols_ (transforms along x)
+  Plan1D col_plan_;           // length rows_ (transforms along y)
 
-  // Pool of column-pass scratch buffers. Concurrent transforms each lease
-  // one (allocating on first use), so sharing one plan across workers is
+  // Pool of scratch buffers. Concurrent transforms each lease one
+  // (allocating on first use), so sharing one plan across workers is
   // race-free and steady-state transforms allocate nothing.
   mutable std::mutex scratch_mutex_;
   mutable std::vector<std::unique_ptr<Scratch>> scratch_pool_;

@@ -19,6 +19,24 @@
 
 namespace ptycho::fft {
 
+/// Tunables of the fused spectral engine, initialized once from the
+/// environment (each defaults to on; set the variable to "0" to disable):
+///   PTYCHO_FFT_RADIX4       - fused radix-4 stage pairs on power-of-two sizes
+///   PTYCHO_FFT_FUSED        - fold spectral multiplies/scales into FFT passes
+///                             (the propagator/multislice escape hatch for A/B)
+///   PTYCHO_FFT_BATCHED_ROWS - run the 2-D row pass 16 rows per strided call
+/// Plans snapshot `radix4`/`batched_rows` at construction; `fused` is read
+/// at every propagator apply. Like backend::select, set_engine_flags is a
+/// startup knob: call it before plans are built and worker threads launch.
+struct EngineFlags {
+  bool radix4 = true;
+  bool fused = true;
+  bool batched_rows = true;
+};
+
+[[nodiscard]] const EngineFlags& engine_flags();
+void set_engine_flags(const EngineFlags& flags);
+
 [[nodiscard]] constexpr bool is_pow2(usize n) { return n != 0 && (n & (n - 1)) == 0; }
 
 /// Smallest power of two >= n.
@@ -85,6 +103,42 @@ void radix2_transform_strided(cplx* data, usize n, usize stride, usize count, in
 
 /// Twiddle table: for each stage, the roots exp(-2πi k / len).
 [[nodiscard]] std::vector<cplx> make_twiddles(usize n);
+
+/// Radix-4 stage schedule for a pow2 size: consecutive radix-2 stages fused
+/// in pairs over the same bit-reversal ordering and stage-block layout, so
+/// the permutation and twiddle conventions of radix2_transform carry over
+/// unchanged. For odd log2(n) a single radix-2 stage at half-length 1
+/// (twiddle 1, multiply-free) runs first, then every remaining stage pair is
+/// one radix-4 butterfly sweep: half the passes over the data and three
+/// complex multiplies per four outputs instead of four.
+struct Radix4Tables {
+  /// Quarter-length h and offset of this fused stage's twiddles in `tw`
+  /// (layout per stage: w1[0..h) | w2[0..h) | w3[0..h), where
+  /// w1 = exp(-2πi k/2h), w2 = exp(-2πi k/4h), w3 = exp(-2πi 3k/4h)).
+  struct Stage {
+    usize h;
+    usize offset;
+  };
+  bool leading_radix2 = false;  // log2(n) odd: one plain radix-2 stage first
+  std::vector<Stage> stages;
+  std::vector<cplx> tw;
+};
+
+/// Build the radix-4 schedule + twiddles for pow2 size n (n >= 1).
+[[nodiscard]] Radix4Tables make_radix4_tables(usize n);
+
+/// In-place DIT FFT on pow2-sized data through fused radix-4 stage pairs.
+/// Same conventions as radix2_transform (bit-reversal first, `sign` = -1
+/// forward / +1 inverse, unnormalized); only the association of the
+/// butterfly arithmetic differs, so results match radix2_transform to
+/// rounding, not bitwise.
+void radix4_transform(cplx* data, usize n, int sign, const std::vector<usize>& bitrev,
+                      const Radix4Tables& r4);
+
+/// Batched strided variant of radix4_transform (layout and conventions of
+/// radix2_transform_strided).
+void radix4_transform_strided(cplx* data, usize n, usize stride, usize count, int sign,
+                              const std::vector<usize>& bitrev, const Radix4Tables& r4);
 }  // namespace detail
 
 }  // namespace ptycho::fft

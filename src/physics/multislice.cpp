@@ -78,9 +78,15 @@ void MultisliceOperator::forward(const Probe& probe, const FramedVolume& volume,
   copy(ws.psi.view(), ws.far.view());
   // Unitary far-field transform: |far|^2 integrates to the exit-wave
   // energy (Parseval), so measurement magnitudes and gradients are
-  // independent of the window size.
-  propagator_.fft().forward(ws.far.view());
-  scale(cplx(real(1) / static_cast<real>(grid_.probe_n), 0), ws.far.view());
+  // independent of the window size. The 1/n normalization rides in the
+  // transform's last pass on the fused engine.
+  const cplx unitary(real(1) / static_cast<real>(grid_.probe_n), 0);
+  if (fft::engine_flags().fused) {
+    propagator_.fft().forward_scale(ws.far.view(), unitary);
+  } else {
+    propagator_.fft().forward(ws.far.view());
+    scale(unitary, ws.far.view());
+  }
 }
 
 void MultisliceOperator::simulate_magnitude(const Probe& probe, const FramedVolume& volume,
@@ -145,9 +151,16 @@ double MultisliceOperator::cost_and_gradient(const Probe& probe, const FramedVol
   }
 
   // Back through the unitary far-field transform: the adjoint of (1/n)*F
-  // is (1/n)*F^H = n * inverse.
-  propagator_.fft().adjoint_forward(ws.grad.view());
-  scale(cplx(real(1) / static_cast<real>(grid_.probe_n), 0), ws.grad.view());
+  // is (1/n)*F^H = n * inverse. The fused engine applies the combined
+  // factor in the inverse's last pass (n^2 * 1/n collapses to n, exact for
+  // the power-of-two probe windows).
+  if (fft::engine_flags().fused) {
+    propagator_.fft().inverse_scale(ws.grad.view(),
+                                    cplx(static_cast<real>(grid_.probe_n), 0));
+  } else {
+    propagator_.fft().adjoint_forward(ws.grad.view());
+    scale(cplx(real(1) / static_cast<real>(grid_.probe_n), 0), ws.grad.view());
+  }
 
   const index_t slices = volume.slices();
   const real sigma = config_.sigma;

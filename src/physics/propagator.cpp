@@ -28,18 +28,28 @@ Propagator::Propagator(const OpticsGrid& grid)
 }
 
 void Propagator::apply_kernel(View2D<cplx> psi, bool conjugate) const {
+  if (fft::engine_flags().fused) {
+    // Fused path: the H (or conj H) product rides in an FFT pass tile —
+    // `apply` folds it into the forward's last column pass, `apply_adjoint`
+    // into the inverse's first, so both fused entry points stay hot in the
+    // per-probe loop. Results are bitwise identical to the composed path.
+    if (conjugate) {
+      fft_.forward(psi);
+      fft_.multiply_inverse(kernel_.view(), psi, /*conj_kernel=*/true);
+    } else {
+      fft_.forward_multiply(psi, kernel_.view());
+      fft_.inverse(psi);
+    }
+    return;
+  }
+  // Unfused escape hatch (PTYCHO_FFT_FUSED=0): a standalone full-field
+  // spectral multiply between the two transforms, for A/B benchmarking.
   fft_.forward(psi);
   const backend::Kernels& kern = backend::kernels();
-  const auto cols = static_cast<usize>(psi.cols());
-  for (index_t y = 0; y < psi.rows(); ++y) {
-    cplx* row = psi.row(y);
-    const cplx* h = kernel_.row(y);
-    if (conjugate) {
-      kern.cmul_conj_lanes(row, row, h, cols);
-    } else {
-      kern.cmul_lanes(row, row, h, cols);
-    }
-  }
+  kern.cmul_rows_tiled(psi.data(), static_cast<usize>(psi.row_stride()), psi.data(),
+                       static_cast<usize>(psi.row_stride()), kernel_.data(),
+                       static_cast<usize>(kernel_.cols()), conjugate,
+                       static_cast<usize>(psi.rows()), static_cast<usize>(psi.cols()));
   fft_.inverse(psi);
 }
 

@@ -192,6 +192,108 @@ TEST(BackendBitwise, ButterflyBlock) {
   }
 }
 
+TEST(BackendBitwise, Butterfly4Block) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD backend on this CPU";
+  const Kernels& sc = scalar_kernels();
+  const Kernels& vec = *simd_kernels();
+  for (const usize n : kSizes) {
+    for (const usize offset : {usize{0}, usize{1}}) {
+      for (const bool conj_tw : {false, true}) {
+        const std::vector<cplx> tw1 = random_lanes(n + offset, 61 * n + 1);
+        const std::vector<cplx> tw2 = random_lanes(n + offset, 61 * n + 2);
+        const std::vector<cplx> tw3 = random_lanes(n + offset, 61 * n + 3);
+        const std::vector<cplx> x0 = random_lanes(n + offset, 67 * n + 1);
+        const std::vector<cplx> x1 = random_lanes(n + offset, 67 * n + 2);
+        const std::vector<cplx> x2 = random_lanes(n + offset, 67 * n + 3);
+        const std::vector<cplx> x3 = random_lanes(n + offset, 67 * n + 4);
+        std::vector<cplx> sc_out[4] = {x0, x1, x2, x3};
+        std::vector<cplx> vec_out[4] = {x0, x1, x2, x3};
+        sc.butterfly4_block(sc_out[0].data() + offset, sc_out[1].data() + offset,
+                            sc_out[2].data() + offset, sc_out[3].data() + offset,
+                            tw1.data() + offset, tw2.data() + offset, tw3.data() + offset,
+                            conj_tw, n);
+        vec.butterfly4_block(vec_out[0].data() + offset, vec_out[1].data() + offset,
+                             vec_out[2].data() + offset, vec_out[3].data() + offset,
+                             tw1.data() + offset, tw2.data() + offset, tw3.data() + offset,
+                             conj_tw, n);
+        for (int q = 0; q < 4; ++q) {
+          EXPECT_TRUE(bitwise_equal(sc_out[q].data(), vec_out[q].data(), n + offset))
+              << "n=" << n << " offset=" << offset << " conj=" << conj_tw << " quarter=" << q;
+        }
+      }
+    }
+  }
+}
+
+TEST(BackendBitwise, Butterfly4Lanes) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD backend on this CPU";
+  const Kernels& sc = scalar_kernels();
+  const Kernels& vec = *simd_kernels();
+  const cplx w1(real(0.92387953), real(-0.38268343));
+  const cplx w2(real(0.98078528), real(-0.19509032));
+  const cplx w3(real(0.83146961), real(-0.55557023));
+  for (const usize n : kSizes) {
+    for (const usize offset : {usize{0}, usize{1}}) {
+      for (const bool conj_rot : {false, true}) {
+        const std::vector<cplx> x0 = random_lanes(n + offset, 71 * n + 1);
+        const std::vector<cplx> x1 = random_lanes(n + offset, 71 * n + 2);
+        const std::vector<cplx> x2 = random_lanes(n + offset, 71 * n + 3);
+        const std::vector<cplx> x3 = random_lanes(n + offset, 71 * n + 4);
+        std::vector<cplx> sc_out[4] = {x0, x1, x2, x3};
+        std::vector<cplx> vec_out[4] = {x0, x1, x2, x3};
+        sc.butterfly4_lanes(sc_out[0].data() + offset, sc_out[1].data() + offset,
+                            sc_out[2].data() + offset, sc_out[3].data() + offset, w1, w2, w3,
+                            conj_rot, n);
+        vec.butterfly4_lanes(vec_out[0].data() + offset, vec_out[1].data() + offset,
+                             vec_out[2].data() + offset, vec_out[3].data() + offset, w1, w2, w3,
+                             conj_rot, n);
+        for (int q = 0; q < 4; ++q) {
+          EXPECT_TRUE(bitwise_equal(sc_out[q].data(), vec_out[q].data(), n + offset))
+              << "n=" << n << " offset=" << offset << " conj=" << conj_rot << " quarter=" << q;
+        }
+      }
+    }
+  }
+}
+
+TEST(BackendBitwise, CmulRowsTiled) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD backend on this CPU";
+  const Kernels& sc = scalar_kernels();
+  const Kernels& vec = *simd_kernels();
+  // Tile shapes exercise sub-width rows, exact vector multiples and tails;
+  // distinct strides per operand cover the gathered-tile and full-field
+  // call patterns of the fused Fft2D entry points.
+  const usize rows = 5;
+  for (const usize cols : kSizes) {
+    for (const bool conj_b : {false, true}) {
+      const usize dst_stride = cols + 2;
+      const usize a_stride = cols + 3;
+      const usize b_stride = cols + 1;
+      const std::vector<cplx> a = random_lanes(rows * a_stride + 1, 73 * cols + 1);
+      const std::vector<cplx> b = random_lanes(rows * b_stride + 1, 73 * cols + 2);
+      const std::vector<cplx> dst0 = random_lanes(rows * dst_stride + 1, 73 * cols + 3);
+      std::vector<cplx> dst_sc = dst0;
+      std::vector<cplx> dst_vec = dst0;
+      sc.cmul_rows_tiled(dst_sc.data(), dst_stride, a.data(), a_stride, b.data(), b_stride,
+                         conj_b, rows, cols);
+      vec.cmul_rows_tiled(dst_vec.data(), dst_stride, a.data(), a_stride, b.data(), b_stride,
+                          conj_b, rows, cols);
+      EXPECT_TRUE(bitwise_equal(dst_sc.data(), dst_vec.data(), dst_sc.size()))
+          << "cols=" << cols << " conj=" << conj_b;
+      // Aliased in-place form (dst == a), as used by the post-transform
+      // tile multiply and the unfused propagator pass.
+      std::vector<cplx> alias_sc = dst0;
+      std::vector<cplx> alias_vec = dst0;
+      sc.cmul_rows_tiled(alias_sc.data(), dst_stride, alias_sc.data(), dst_stride, b.data(),
+                         b_stride, conj_b, rows, cols);
+      vec.cmul_rows_tiled(alias_vec.data(), dst_stride, alias_vec.data(), dst_stride, b.data(),
+                          b_stride, conj_b, rows, cols);
+      EXPECT_TRUE(bitwise_equal(alias_sc.data(), alias_vec.data(), alias_sc.size()))
+          << "aliased cols=" << cols << " conj=" << conj_b;
+    }
+  }
+}
+
 TEST(BackendBitwise, ChirpMulLanes) {
   if (!simd_available()) GTEST_SKIP() << "no SIMD backend on this CPU";
   for (const real s : {real(1), real(1) / real(512)}) {

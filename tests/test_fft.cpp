@@ -1,16 +1,19 @@
 // Unit/property tests for src/fft: fast transforms vs the O(n^2)
 // reference, roundtrips, adjoint identities, shifts, the blocked/batched
-// column paths, and allocation-freedom of the shift helpers.
+// column paths, the radix-4 stage schedule, the fused spectral entry
+// points, and allocation-freedom of the shift helpers.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <new>
 #include <thread>
 #include <vector>
 
+#include "backend/kernels.hpp"
 #include "common/error.hpp"
 #include "common/random.hpp"
 #include "fft/fft2d.hpp"
@@ -375,6 +378,184 @@ TEST_P(BlockedColumns, Fft2DMatchesNaivePerColumnPath) {
 
 INSTANTIATE_TEST_SUITE_P(Pow2AndBluestein, BlockedColumns,
                          ::testing::Values(8, 64, 100));  // radix-2 and chirp-z paths
+
+// ---- radix-4 stage schedule and the fused spectral entry points ------------
+
+/// Restores the process-wide engine flags when a test exits (plans snapshot
+/// them at construction, so each test builds its plans after setting them).
+struct EngineFlagsGuard {
+  EngineFlags saved = engine_flags();
+  ~EngineFlagsGuard() { set_engine_flags(saved); }
+};
+
+bool bitwise_equal(const cplx* a, const cplx* b, usize n) {
+  return n == 0 || std::memcmp(a, b, n * sizeof(cplx)) == 0;
+}
+
+CArray2D random_field(index_t rows, index_t cols, std::uint64_t seed) {
+  CArray2D field(rows, cols);
+  Rng rng(seed);
+  for (index_t y = 0; y < rows; ++y) {
+    for (index_t x = 0; x < cols; ++x) {
+      field(y, x) = cplx(static_cast<real>(rng.normal()), static_cast<real>(rng.normal()));
+    }
+  }
+  return field;
+}
+
+// Radix-4 vs the direct DFT across every power of two 4..1024 — both log2
+// parities, so the leading radix-2 fallback stage is covered.
+class Radix4MatchesReference : public ::testing::TestWithParam<usize> {};
+
+TEST_P(Radix4MatchesReference, ForwardAndRoundtrip) {
+  EngineFlagsGuard guard;
+  EngineFlags flags = engine_flags();
+  flags.radix4 = true;
+  set_engine_flags(flags);
+  const usize n = GetParam();
+  Plan1D plan(n);
+  const std::vector<cplx> original = random_signal(n, 4000 + n);
+  std::vector<cplx> x = original;
+  const std::vector<cplx> expected = reference_dft(x, -1);
+  plan.forward(x.data());
+  EXPECT_LT(rel_error(x, expected), 2e-5) << "n=" << n;
+  plan.inverse(x.data());
+  EXPECT_LT(rel_error(x, original), 2e-5) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sizes4To1024, Radix4MatchesReference,
+                         ::testing::Values(4, 8, 16, 32, 64, 128, 256, 512, 1024));
+
+TEST(Radix4, AgreesWithRadix2OnBluesteinAdjacentSizes) {
+  // Non-pow2 sizes run Bluestein whose padded inner transforms also switch
+  // to radix-4; the two stage schedules must agree to rounding for the
+  // same input — pow2 of both parities, primes and odd composites.
+  EngineFlagsGuard guard;
+  for (const usize n : {usize{4}, usize{8}, usize{12}, usize{16}, usize{97}, usize{100},
+                        usize{128}, usize{513}}) {
+    EngineFlags flags = engine_flags();
+    flags.radix4 = true;
+    set_engine_flags(flags);
+    Plan1D plan4(n);
+    flags.radix4 = false;
+    set_engine_flags(flags);
+    Plan1D plan2(n);
+    const std::vector<cplx> input = random_signal(n, 5000 + n);
+    std::vector<cplx> via4 = input;
+    std::vector<cplx> via2 = input;
+    plan4.forward(via4.data());
+    plan2.forward(via2.data());
+    EXPECT_LT(rel_error(via4, via2), 2e-5) << "n=" << n;
+  }
+}
+
+// The fused entry points must be bitwise-equal to their composed two-step
+// sequences under the same radix configuration: the fold moves the same
+// dispatched per-element ops into a tile, it must not change one bit.
+// Shapes cover pow2, Bluestein and mixed extents, including partial
+// kColBlock / kRowBatch edge tiles.
+class FusedEntryPoints : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(FusedEntryPoints, ForwardMultiplyBitwiseEqualsComposed) {
+  const auto [rows, cols] = GetParam();
+  Fft2D plan(static_cast<usize>(rows), static_cast<usize>(cols));
+  const CArray2D input = random_field(rows, cols, 900 + static_cast<usize>(rows * cols));
+  const CArray2D kernel = random_field(rows, cols, 901 + static_cast<usize>(rows * cols));
+  const backend::Kernels& kern = backend::kernels();
+  for (const bool conj : {false, true}) {
+    CArray2D composed = input.clone();
+    plan.forward(composed.view());
+    kern.cmul_rows_tiled(composed.data(), static_cast<usize>(cols), composed.data(),
+                         static_cast<usize>(cols), kernel.data(), static_cast<usize>(cols),
+                         conj, static_cast<usize>(rows), static_cast<usize>(cols));
+    CArray2D fused = input.clone();
+    plan.forward_multiply(fused.view(), kernel.view(), conj);
+    EXPECT_TRUE(bitwise_equal(fused.data(), composed.data(),
+                              static_cast<usize>(rows * cols)))
+        << rows << "x" << cols << " conj=" << conj;
+  }
+}
+
+TEST_P(FusedEntryPoints, MultiplyInverseBitwiseEqualsComposed) {
+  const auto [rows, cols] = GetParam();
+  Fft2D plan(static_cast<usize>(rows), static_cast<usize>(cols));
+  const CArray2D input = random_field(rows, cols, 910 + static_cast<usize>(rows * cols));
+  const CArray2D kernel = random_field(rows, cols, 911 + static_cast<usize>(rows * cols));
+  const backend::Kernels& kern = backend::kernels();
+  for (const bool conj : {false, true}) {
+    CArray2D composed = input.clone();
+    kern.cmul_rows_tiled(composed.data(), static_cast<usize>(cols), composed.data(),
+                         static_cast<usize>(cols), kernel.data(), static_cast<usize>(cols),
+                         conj, static_cast<usize>(rows), static_cast<usize>(cols));
+    plan.inverse(composed.view());
+    CArray2D fused = input.clone();
+    plan.multiply_inverse(kernel.view(), fused.view(), conj);
+    EXPECT_TRUE(bitwise_equal(fused.data(), composed.data(),
+                              static_cast<usize>(rows * cols)))
+        << rows << "x" << cols << " conj=" << conj;
+  }
+}
+
+TEST_P(FusedEntryPoints, ScaleVariantsBitwiseEqualComposed) {
+  const auto [rows, cols] = GetParam();
+  Fft2D plan(static_cast<usize>(rows), static_cast<usize>(cols));
+  const CArray2D input = random_field(rows, cols, 920 + static_cast<usize>(rows * cols));
+  const cplx alpha(real(0.37), real(-0.81));
+  {
+    CArray2D composed = input.clone();
+    plan.forward(composed.view());
+    scale(alpha, composed.view());
+    CArray2D fused = input.clone();
+    plan.forward_scale(fused.view(), alpha);
+    EXPECT_TRUE(
+        bitwise_equal(fused.data(), composed.data(), static_cast<usize>(rows * cols)))
+        << "forward_scale " << rows << "x" << cols;
+  }
+  {
+    CArray2D composed = input.clone();
+    plan.inverse(composed.view());
+    scale(alpha, composed.view());
+    CArray2D fused = input.clone();
+    plan.inverse_scale(fused.view(), alpha);
+    EXPECT_TRUE(
+        bitwise_equal(fused.data(), composed.data(), static_cast<usize>(rows * cols)))
+        << "inverse_scale " << rows << "x" << cols;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FusedEntryPoints,
+                         ::testing::Values(std::pair<index_t, index_t>{32, 16},
+                                           std::pair<index_t, index_t>{24, 20},
+                                           std::pair<index_t, index_t>{8, 100},
+                                           std::pair<index_t, index_t>{17, 64}));
+
+TEST(Fft2DBatchedRows, BitwiseMatchesPerRowPath) {
+  // The transposed batched row pass runs the same per-element operation
+  // sequence as the one-row-at-a-time path (same stage schedule, same
+  // dispatched kernels), so it must agree bitwise on generic data.
+  EngineFlagsGuard guard;
+  for (const auto& [rows, cols] :
+       {std::pair<index_t, index_t>{16, 16}, {20, 8}, {12, 100}, {33, 32}}) {
+    EngineFlags flags = engine_flags();
+    flags.batched_rows = true;
+    set_engine_flags(flags);
+    Fft2D batched(static_cast<usize>(rows), static_cast<usize>(cols));
+    flags.batched_rows = false;
+    set_engine_flags(flags);
+    Fft2D per_row(static_cast<usize>(rows), static_cast<usize>(cols));
+    const CArray2D input = random_field(rows, cols, 930 + static_cast<usize>(rows * cols));
+    CArray2D a = input.clone();
+    CArray2D b = input.clone();
+    batched.forward(a.view());
+    per_row.forward(b.view());
+    EXPECT_TRUE(bitwise_equal(a.data(), b.data(), static_cast<usize>(rows * cols)))
+        << "forward " << rows << "x" << cols;
+    batched.inverse(a.view());
+    per_row.inverse(b.view());
+    EXPECT_TRUE(bitwise_equal(a.data(), b.data(), static_cast<usize>(rows * cols)))
+        << "inverse " << rows << "x" << cols;
+  }
+}
 
 TEST(Fft2D, OnePlanSharedAcrossConcurrentThreads) {
   // One plan, four threads, each transforming its own field: the pooled

@@ -6,12 +6,18 @@ the tolerance.
     check_bench_regression.py --baseline BENCH_sweep.json --fresh fresh.json \
         [--tolerance 0.25] [--keys sweep_probes_per_sec_1t,fft2d_256_mb_per_sec]
 
-The guarded metrics default to the two single-thread throughputs (gradient
-sweep probes/sec and 256x256 FFT MB/s): they are the least noisy numbers
-bench_sweep emits — no thread-scheduling variance — so a tolerance as
-tight as 25% is meaningful on shared CI runners. Keys missing from either
-file are reported and skipped, so adding metrics to bench_sweep never
-breaks older baselines.
+The guarded metrics default to the single-thread throughputs (gradient
+sweep probes/sec and 256x256 FFT MB/s, each also in its fallback-engine
+variant): they are the least noisy numbers bench_sweep emits — no
+thread-scheduling variance, and since PR 4 every one is a warmed
+best-of-N measurement, so a tolerance as tight as 25% is meaningful on
+shared CI runners. The fused-engine numbers (sweep_probes_per_sec_1t,
+fft2d_256_mb_per_sec) guard the hot path; the *_unfused and *_radix2
+variants guard the PTYCHO_FFT_FUSED=0 / PTYCHO_FFT_RADIX4=0 escape
+hatches so the A/B baseline itself cannot silently rot. Keys missing
+from either file are reported and skipped, so adding metrics to
+bench_sweep never breaks older baselines (the pre-PR-4 baseline simply
+skips the new keys).
 
 Exit status: 0 when every guarded metric is within tolerance, 1 otherwise.
 """
@@ -20,7 +26,10 @@ import argparse
 import json
 import sys
 
-DEFAULT_KEYS = "sweep_probes_per_sec_1t,fft2d_256_mb_per_sec"
+DEFAULT_KEYS = (
+    "sweep_probes_per_sec_1t,fft2d_256_mb_per_sec,"
+    "sweep_probes_per_sec_1t_unfused,fft2d_256_mb_per_sec_radix2"
+)
 
 
 def main() -> int:
