@@ -22,6 +22,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,12 +39,15 @@ using namespace ptycho;
 namespace {
 
 /// Probes/sec sweeping every probe of `dataset`: best of `repeat` full
-/// sweeps on `threads`, after one untimed warm-up sweep. Engine flags are
-/// snapshotted by the plans built here, so callers can A/B them.
-double sweep_rate(const Dataset& dataset, int threads, int repeat) {
+/// sweeps on `threads` through `schedule`, after one untimed warm-up
+/// sweep. Engine flags are snapshotted by the plans built here, so
+/// callers can A/B them.
+double sweep_rate(const Dataset& dataset, int threads, int repeat,
+                  SweepSchedule schedule = SweepSchedule::kStatic) {
   GradientEngine engine(dataset);
   ThreadPool pool(threads);
-  BatchSweeper sweeper(engine, pool);
+  const std::unique_ptr<SweepScheduler> scheduler = make_sweep_scheduler(schedule, pool);
+  BatchSweeper sweeper(engine, *scheduler);
   FramedVolume volume = make_vacuum_volume(dataset.field(), dataset.spec.slices);
   AccumulationBuffer accbuf(dataset.spec.slices, volume.frame);
   Probe probe = dataset.probe.clone();
@@ -198,6 +202,17 @@ int main(int argc, char** argv) {
   const double rate_nt = sweep_rate(dataset, threads, repeat);
   std::printf("  %d threads: %8.1f probes/s (%.2fx)\n", threads, rate_nt, rate_nt / rate_1t);
 
+  // Static-vs-work-stealing A/B on the same pool sizes. At 1 thread the
+  // schedulers run the identical sequential fast path, so `ws` doubles as
+  // a sanity column (within noise of static); at N threads the delta is
+  // the stealing overhead vs the load-balance win.
+  const double rate_1t_ws = sweep_rate(dataset, 1, repeat, SweepSchedule::kWorkStealing);
+  std::printf("  1 thread ws: %8.1f probes/s (vs static %.2fx)\n", rate_1t_ws,
+              rate_1t_ws / rate_1t);
+  const double rate_nt_ws = sweep_rate(dataset, threads, repeat, SweepSchedule::kWorkStealing);
+  std::printf("  %d threads ws: %8.1f probes/s (vs static %.2fx)\n", threads, rate_nt_ws,
+              rate_nt_ws / rate_nt);
+
   // Fused-vs-unfused A/B, end to end: same dataset and thread count, with
   // only the spectral fusion (propagator/multislice folded passes) off.
   fft::EngineFlags unfused = entry_flags;
@@ -283,6 +298,10 @@ int main(int argc, char** argv) {
        << "  \"sweep_fusion_speedup\": " << rate_1t / rate_1t_unfused << ",\n"
        << "  \"sweep_probes_per_sec_nt\": " << rate_nt << ",\n"
        << "  \"sweep_speedup\": " << rate_nt / rate_1t << ",\n"
+       << "  \"sweep_probes_per_sec_ws\": " << rate_1t_ws << ",\n"
+       << "  \"sweep_probes_per_sec_ws_nt\": " << rate_nt_ws << ",\n"
+       << "  \"sweep_ws_vs_static_1t\": " << rate_1t_ws / rate_1t << ",\n"
+       << "  \"sweep_ws_vs_static_nt\": " << rate_nt_ws / rate_nt << ",\n"
        << "  \"fft2d_256_us_per_pair\": " << fft.us_per_pair << ",\n"
        << "  \"fft2d_256_mb_per_sec\": " << fft.mb_per_sec << ",\n"
        << "  \"fft2d_256_mb_per_sec_radix2\": " << fft_radix2.mb_per_sec << ",\n"

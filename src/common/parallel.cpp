@@ -32,7 +32,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run_slot(const Region& region, int slot) {
   const index_t lo = region.begin + static_cast<index_t>(slot) * region.chunk;
   const index_t hi = std::min(region.end, lo + region.chunk);
-  for (index_t i = lo; i < hi; ++i) (*region.fn)(i, slot);
+  for (index_t i = lo; i < hi; ++i) region.fn(i, slot);
 }
 
 void ThreadPool::worker_loop(int slot) {
@@ -64,8 +64,7 @@ void ThreadPool::worker_loop(int slot) {
   }
 }
 
-void ThreadPool::parallel_for(index_t begin, index_t end,
-                              const std::function<void(index_t, int)>& fn) {
+void ThreadPool::parallel_for(index_t begin, index_t end, function_ref<void(index_t, int)> fn) {
   const index_t n = end - begin;
   if (n <= 0) return;
   const auto slots = static_cast<index_t>(threads());
@@ -74,7 +73,7 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
     return;
   }
   Region region;
-  region.fn = &fn;
+  region.fn = fn;
   region.begin = begin;
   region.end = end;
   region.chunk = (n + slots - 1) / slots;
@@ -99,6 +98,124 @@ void ThreadPool::parallel_for(index_t begin, index_t end,
   std::exception_ptr error = caller_error != nullptr ? caller_error : first_error_;
   lock.unlock();
   if (error != nullptr) std::rethrow_exception(error);
+}
+
+// ---- sweep scheduling -------------------------------------------------------
+
+const char* to_string(SweepSchedule schedule) {
+  switch (schedule) {
+    case SweepSchedule::kStatic: return "static";
+    case SweepSchedule::kWorkStealing: return "work-stealing";
+  }
+  return "?";
+}
+
+SweepSchedule sweep_schedule_from_string(const std::string& name) {
+  if (name == "static") return SweepSchedule::kStatic;
+  PTYCHO_CHECK(name == "work-stealing" || name == "ws",
+               "unknown sweep scheduler '" << name << "' (want static|work-stealing)");
+  return SweepSchedule::kWorkStealing;
+}
+
+namespace {
+
+constexpr std::uint64_t pack_range(std::uint64_t lo, std::uint64_t hi) {
+  return (lo << 32) | hi;
+}
+constexpr index_t range_lo(std::uint64_t bits) { return static_cast<index_t>(bits >> 32); }
+constexpr index_t range_hi(std::uint64_t bits) {
+  return static_cast<index_t>(bits & 0xffffffffu);
+}
+
+}  // namespace
+
+WorkStealingScheduler::WorkStealingScheduler(ThreadPool& pool, index_t chunk)
+    : pool_(pool), chunk_(std::max<index_t>(1, chunk)) {
+  ranges_ = std::make_unique<PackedRange[]>(static_cast<usize>(pool_.threads()));
+}
+
+void WorkStealingScheduler::dispatch(index_t begin, index_t end,
+                                     function_ref<void(index_t, int)> fn) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  const auto nslots = static_cast<index_t>(slots());
+  if (nslots == 1 || n == 1) {
+    for (index_t i = begin; i < end; ++i) fn(i, 0);
+    return;
+  }
+  // Ranges are packed as two 32-bit halves; sweep batches are tiny (a
+  // handful of probes per dispatch), so this bound is structural only.
+  PTYCHO_REQUIRE(n < (index_t{1} << 31), "work-stealing range exceeds 2^31 items");
+
+  // Seed each slot with the static partition's block, offsets in [0, n).
+  const index_t block = (n + nslots - 1) / nslots;
+  for (index_t s = 0; s < nslots; ++s) {
+    const index_t lo = std::min(n, s * block);
+    const index_t hi = std::min(n, lo + block);
+    ranges_[static_cast<usize>(s)].bits.store(
+        pack_range(static_cast<std::uint64_t>(lo), static_cast<std::uint64_t>(hi)),
+        std::memory_order_relaxed);
+  }
+
+  const index_t chunk = chunk_;
+  auto& ranges = ranges_;
+  const auto worker = [&ranges, nslots, chunk, begin, fn](index_t s, int slot) {
+    (void)s;  // with n == nslots parallel_for maps item s onto slot s
+    // Drain our own block from the front, `chunk` items per CAS.
+    auto& own = ranges[static_cast<usize>(slot)].bits;
+    for (;;) {
+      std::uint64_t bits = own.load(std::memory_order_acquire);
+      const index_t lo = range_lo(bits);
+      const index_t hi = range_hi(bits);
+      if (lo >= hi) break;
+      const index_t take = std::min(chunk, hi - lo);
+      if (!own.compare_exchange_weak(
+              bits, pack_range(static_cast<std::uint64_t>(lo + take),
+                               static_cast<std::uint64_t>(hi)),
+              std::memory_order_acq_rel)) {
+        continue;  // a thief moved hi (or a retry raced); re-read
+      }
+      for (index_t i = lo; i < lo + take; ++i) fn(begin + i, slot);
+    }
+    // Steal: scan the other slots until a full pass finds everyone dry.
+    // Thieves take the back half (at least `chunk`), leaving the owner's
+    // front-pop end untouched — owner and thief only collide on the CAS
+    // when a range is nearly empty.
+    for (;;) {
+      bool any_left = false;
+      for (index_t k = 1; k < nslots; ++k) {
+        const index_t victim = (static_cast<index_t>(slot) + k) % nslots;
+        auto& bits_ref = ranges[static_cast<usize>(victim)].bits;
+        std::uint64_t bits = bits_ref.load(std::memory_order_acquire);
+        const index_t lo = range_lo(bits);
+        const index_t hi = range_hi(bits);
+        if (lo >= hi) continue;
+        any_left = true;
+        const index_t remaining = hi - lo;
+        const index_t take = std::min(remaining, std::max(chunk, remaining / 2));
+        const index_t new_hi = hi - take;
+        if (!bits_ref.compare_exchange_weak(
+                bits, pack_range(static_cast<std::uint64_t>(lo),
+                                 static_cast<std::uint64_t>(new_hi)),
+                std::memory_order_acq_rel)) {
+          continue;  // raced; the rescan will retry this victim
+        }
+        for (index_t i = new_hi; i < hi; ++i) fn(begin + i, slot);
+      }
+      if (!any_left) return;
+    }
+  };
+  // One "item" per slot: parallel_for's static map runs worker s on slot s,
+  // reusing the pool's alloc-hook propagation and exception rethrow.
+  pool_.parallel_for(0, nslots, worker);
+}
+
+std::unique_ptr<SweepScheduler> make_sweep_scheduler(SweepSchedule schedule, ThreadPool& pool) {
+  switch (schedule) {
+    case SweepSchedule::kStatic: return std::make_unique<StaticScheduler>(pool);
+    case SweepSchedule::kWorkStealing: return std::make_unique<WorkStealingScheduler>(pool);
+  }
+  PTYCHO_UNREACHABLE("unknown sweep schedule");
 }
 
 }  // namespace ptycho

@@ -1,23 +1,39 @@
-// Intra-rank parallel execution: a reusable thread pool with a static,
-// thread-count-independent work partition.
+// Intra-rank parallel execution: a reusable thread pool plus the pluggable
+// sweep schedulers that decide how a batch of independent items is divided
+// across the pool's slots.
 //
 // The pool exists so the per-probe gradient sweep (the hot path of every
-// solver) can scale with cores *without* changing results: parallel_for
-// hands item i to a fixed slot derived only from (range, slot count), and
-// callers that need a reduction merge per-item results in ascending item
-// order — see core/sweep.hpp for the canonical pattern. Worker threads
+// solver) can scale with cores *without* changing results. Two scheduling
+// policies implement the SweepScheduler interface:
+//
+//  * StaticScheduler — parallel_for's fixed partition: item i runs on a
+//    slot derived only from (range, slot count). Zero coordination, but a
+//    straggler slot serializes the tail.
+//  * WorkStealingScheduler — each slot starts with the same contiguous
+//    block and, when it runs dry, steals the back half of a victim's
+//    remaining range (lock-free packed-range CAS). Load-balances uneven
+//    per-item cost at the price of a few atomics per chunk.
+//
+// Both are deterministic where it matters: they only decide WHICH slot
+// computes an item, never the order results are combined — callers that
+// need a reduction merge per-item results in ascending item order (see
+// core/sweep.hpp for the canonical pattern), so reconstructions are
+// bitwise identical across schedulers AND thread counts. Worker threads
 // temporarily adopt the submitting thread's allocation hooks, so tensor
 // allocations made inside a parallel region are charged to the owning
 // virtual-cluster rank exactly as sequential allocations are.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <exception>
-#include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/function_ref.hpp"
 #include "common/memory.hpp"
 #include "common/types.hpp"
 
@@ -45,13 +61,13 @@ class ThreadPool {
   /// [begin + s*chunk, begin + (s+1)*chunk) with chunk = ceil(n/slots).
   /// `slot` (in [0, threads())) identifies the per-worker scratch the call
   /// may use. Blocks until every item ran; the first exception thrown by
-  /// any item is rethrown on the caller after the region completes.
-  void parallel_for(index_t begin, index_t end,
-                    const std::function<void(index_t item, int slot)>& fn);
+  /// any item is rethrown on the caller after the region completes. The
+  /// callable only needs to live for the duration of the call.
+  void parallel_for(index_t begin, index_t end, function_ref<void(index_t item, int slot)> fn);
 
  private:
   struct Region {
-    const std::function<void(index_t, int)>* fn = nullptr;
+    function_ref<void(index_t, int)> fn;
     index_t begin = 0;
     index_t end = 0;
     index_t chunk = 0;
@@ -72,5 +88,90 @@ class ThreadPool {
   bool stop_ = false;
   std::exception_ptr first_error_;
 };
+
+// ---- sweep scheduling -------------------------------------------------------
+
+/// Which SweepScheduler a solver's batched gradient sweep dispatches
+/// through. Output is bitwise identical across the two (the item-indexed
+/// merge contract); the choice is purely a load-balancing knob.
+enum class SweepSchedule {
+  kStatic,        ///< fixed contiguous partition (parallel_for)
+  kWorkStealing,  ///< chunked self-scheduling with back-half stealing
+};
+
+[[nodiscard]] const char* to_string(SweepSchedule schedule);
+
+/// Parse "static" / "work-stealing" (also accepts "ws"); throws on others.
+[[nodiscard]] SweepSchedule sweep_schedule_from_string(const std::string& name);
+
+/// How a batch of independent, identically-merged items is divided across
+/// a pool's slots. Implementations guarantee: fn(i, slot) runs exactly
+/// once per item, slot is in [0, slots()), and the call blocks until every
+/// item ran (exceptions propagate per ThreadPool::parallel_for). They
+/// never combine results — callers own the (item-ordered) reduction, which
+/// is what keeps every scheduler bitwise-equivalent.
+class SweepScheduler {
+ public:
+  virtual ~SweepScheduler() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Execution slots; callers size per-slot scratch (e.g. workspaces) off
+  /// this.
+  [[nodiscard]] virtual int slots() const = 0;
+
+  /// Run fn(i, slot) for every i in [begin, end).
+  virtual void dispatch(index_t begin, index_t end,
+                        function_ref<void(index_t item, int slot)> fn) = 0;
+};
+
+/// The historical policy: ThreadPool::parallel_for's static partition.
+class StaticScheduler final : public SweepScheduler {
+ public:
+  explicit StaticScheduler(ThreadPool& pool) : pool_(pool) {}
+
+  [[nodiscard]] const char* name() const override { return "static"; }
+  [[nodiscard]] int slots() const override { return pool_.threads(); }
+  void dispatch(index_t begin, index_t end,
+                function_ref<void(index_t, int)> fn) override {
+    pool_.parallel_for(begin, end, fn);
+  }
+
+ private:
+  ThreadPool& pool_;
+};
+
+/// Chunked work-stealing over the same pool. Every slot starts with the
+/// static partition's contiguous block, pops `chunk` items at a time from
+/// its front, and — once dry — scans the other slots in rotation order and
+/// steals the back half of the first non-empty victim range it finds.
+/// Ranges are packed {lo,hi} in one 64-bit atomic, so both
+/// the owner's pop and a thief's steal are single CAS operations and the
+/// two ends never contend on the same boundary until a range is nearly
+/// empty.
+class WorkStealingScheduler final : public SweepScheduler {
+ public:
+  /// `chunk` is the owner-pop granularity (and the minimum steal size);
+  /// 1 maximizes balance, larger values amortize the CAS per item.
+  explicit WorkStealingScheduler(ThreadPool& pool, index_t chunk = 1);
+
+  [[nodiscard]] const char* name() const override { return "work-stealing"; }
+  [[nodiscard]] int slots() const override { return pool_.threads(); }
+  void dispatch(index_t begin, index_t end,
+                function_ref<void(index_t, int)> fn) override;
+
+ private:
+  struct alignas(64) PackedRange {  // one cache line per slot: no false sharing
+    std::atomic<std::uint64_t> bits{0};
+  };
+
+  ThreadPool& pool_;
+  index_t chunk_;
+  std::unique_ptr<PackedRange[]> ranges_;
+};
+
+/// Factory used by the solver layer (config enum -> scheduler instance).
+[[nodiscard]] std::unique_ptr<SweepScheduler> make_sweep_scheduler(SweepSchedule schedule,
+                                                                   ThreadPool& pool);
 
 }  // namespace ptycho

@@ -1,20 +1,14 @@
 #include "core/gradient_decomposition.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <filesystem>
 #include <mutex>
-#include <optional>
 
-#include "common/parallel.hpp"
+#include "common/log.hpp"
 #include "common/timer.hpp"
 #include "core/accbuf.hpp"
+#include "core/pipeline.hpp"
 #include "core/stitcher.hpp"
-#include "core/sweep.hpp"
-#include "data/synthetic.hpp"
-#include "common/log.hpp"
 #include "partition/assignment.hpp"
-#include "runtime/collectives.hpp"
 
 namespace ptycho {
 
@@ -79,7 +73,6 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
   }
 
   const index_t slices = dataset.spec.slices;
-  const auto n = static_cast<index_t>(dataset.spec.grid.probe_n);
   const int chunks = config.passes_per_iteration;
 
   // --- restore validation (once, before the ranks spin up) -------------------
@@ -137,27 +130,6 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
 
     GradientEngine engine(dataset);
     const real step = config.step * engine.step_scale();
-    // Full-batch: a per-rank worker pool for the local sweep (auto divides
-    // the host's cores across ranks so K ranks x T threads ~= hardware).
-    // SGD: one sequential workspace + window-sized gradient scratch. Only
-    // the active mode's buffers are allocated (they count toward the
-    // rank's tracked memory footprint).
-    std::optional<ThreadPool> pool;
-    std::optional<BatchSweeper> sweeper;
-    std::optional<MultisliceWorkspace> ws;
-    std::optional<FramedVolume> probe_grad;
-    if (config.mode == UpdateMode::kFullBatch) {
-      const int threads = config.threads != 0
-                              ? config.threads
-                              : std::max(1, ThreadPool::hardware_threads() / ctx.nranks());
-      pool.emplace(threads);
-      sweeper.emplace(engine, *pool);
-    } else {
-      ws.emplace(engine.make_workspace());
-      ws->cache_transmittance = true;  // sweep mutations all go through apply_gradient
-      probe_grad.emplace(slices, Rect{0, 0, n, n});
-    }
-    GradientSynchronizer sync(partition, ctx.rank(), config.sync);
     Probe local_probe = dataset.probe.clone();
     const double probe_energy = local_probe.total_intensity();
     CArray2D probe_grad_field(local_probe.n(), local_probe.n());
@@ -187,127 +159,46 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
       volume.data.fill(cplx(1, 0));
     }
 
-    const auto probe_count = static_cast<index_t>(tile.own_probes.size());
+    // Per-rank pass graph (identical structure on every rank — the sync
+    // and checkpoint passes are collective): sweep -> gradient sync ->
+    // update -> fault point -> mid-iteration checkpoint, then per
+    // iteration probe refinement -> convergence record -> checkpoint.
+    // Full-batch sweeps auto-divide the host's cores across ranks so
+    // K ranks x T threads ~= hardware; buffers allocate inside this rank's
+    // tracked scope.
+    const int threads = config.threads != 0
+                            ? config.threads
+                            : std::max(1, ThreadPool::hardware_threads() / ctx.nranks());
+    const RefineSchedule refine{config.refine_probe, config.probe_warmup_iterations};
+    ReconstructionPipeline pipeline;
+    pipeline.emplace<SweepPass>(engine, config.mode, threads, config.schedule,
+                                SweepPass::Items{&tile.own_probes, &local_meas}, refine);
+    pipeline.emplace<SyncGradientsPass>(partition, ctx.rank(), config.sync, config.mode);
+    pipeline.emplace<ApplyUpdatePass>(config.mode, /*apply_in_sgd=*/true);
+    pipeline.emplace<FaultPointPass>();
+    pipeline.emplace<ProbeRefinePass>(refine, config.probe_step, dataset.probe_count(),
+                                      probe_energy);
+    pipeline.emplace<CostRecordPass>(config.record_cost);
+    pipeline.emplace<CheckpointPass>(config.checkpoint, run_info);
 
-    // Periodic snapshot: shards in parallel, manifest last (rank 0) so a
-    // snapshot is complete iff its manifest exists and parses.
-    const auto maybe_checkpoint = [&](int next_iter, int next_chunk, double partial_cost) {
-      const std::uint64_t step_count = ckpt::chunk_step(next_iter, next_chunk, chunks);
-      if (!ckpt::snapshot_due(config.checkpoint, step_count)) return;
-      ScopedPhase ckpt_phase(ctx.profiler(), phase::kCheckpoint);
-      const std::string dir = ckpt::step_dir(config.checkpoint.directory, step_count);
-      if (ctx.rank() == 0) std::filesystem::create_directories(dir);
-      ctx.barrier();
-      ckpt::write_shard(dir, ckpt::ShardView{ctx.rank(), partial_cost, ctx.rng().state(),
-                                             &volume, &accbuf.volume(), &local_probe.field(),
-                                             &probe_grad_field});
-      ctx.barrier();
-      if (ctx.rank() != 0) return;
-      std::vector<double> cost_values;
-      {
-        std::lock_guard<std::mutex> lock(result_mutex);
-        cost_values = result.cost.values();
-      }
-      ckpt::write_manifest(
-          dir, ckpt::make_manifest(run_info, next_iter, next_chunk, std::move(cost_values)));
-    };
+    SolverState state;
+    state.volume = &volume;
+    state.probe = &local_probe;
+    state.accbuf = &accbuf;
+    state.probe_grad_field = &probe_grad_field;
+    state.step = step;
+    state.ctx = &ctx;
+    state.cost = &result.cost;
+    state.cost_mutex = &result_mutex;
 
-    for (int iter = start_iteration; iter < config.iterations; ++iter) {
-      double sweep_cost = iter == start_iteration ? restored_partial_cost : 0.0;
-      const int first_chunk = iter == start_iteration ? start_chunk : 0;
-      for (int chunk = first_chunk; chunk < chunks; ++chunk) {
-        const index_t begin = probe_count * chunk / chunks;
-        const index_t end = probe_count * (chunk + 1) / chunks;
-        {
-          ScopedPhase compute(ctx.profiler(), phase::kCompute);
-          const bool refine_now =
-              config.refine_probe && iter >= config.probe_warmup_iterations;
-          if (config.mode == UpdateMode::kFullBatch) {
-            View2D<cplx> pg_view = probe_grad_field.view();
-            sweeper->sweep(
-                begin, end, local_probe, volume, accbuf, sweep_cost,
-                refine_now ? &pg_view : nullptr,
-                [&](index_t p) { return tile.own_probes[static_cast<usize>(p)]; },
-                [&](index_t p) { return local_meas[static_cast<usize>(p)].view(); });
-          } else {
-            for (index_t p = begin; p < end; ++p) {
-              const index_t id = tile.own_probes[static_cast<usize>(p)];
-              probe_grad->frame = engine.window(id);
-              probe_grad->data.fill(cplx{});
-              View2D<cplx> pg_view = probe_grad_field.view();
-              sweep_cost += engine.probe_gradient_joint(
-                  id, local_probe, local_meas[static_cast<usize>(p)].view(), volume,
-                  *probe_grad, *ws, refine_now ? &pg_view : nullptr);
-              accbuf.accumulate(*probe_grad, probe_grad->frame);
-              apply_gradient(volume, *probe_grad, probe_grad->frame, step);
-            }
-          }
-        }
-        // Reconcile the accumulated gradients across tiles (Alg. 1
-        // steps 10-13) and apply them (steps 14-16).
-        //
-        // Update semantics: a literal reading of Alg. 1 applies each local
-        // gradient twice (step 8 and again inside the accumulated buffer
-        // at step 15), which makes overlap copies of V diverge by
-        // alpha*(g_own - g_neighbor) every chunk — i.e. it would *create*
-        // the seam artifacts the paper's method eliminates. We therefore
-        // implement the consistency-preserving reading: in SGD mode the
-        // accumulated update applies only the *delta* (neighbour
-        // contributions the local steps have not seen), so each rank's net
-        // chunk update is exactly -alpha * (total gradient) and overlap
-        // copies of V remain identical across ranks — the property behind
-        // the paper's "no seams" claim (Sec. III) and Fig. 8.
-        if (config.mode == UpdateMode::kSgd) {
-          // Undo the chunk's local updates now, while AccBuf still holds
-          // exactly the own contributions (no extra buffer needed); the
-          // post-pass apply below then installs the full total once.
-          ScopedPhase update(ctx.profiler(), phase::kUpdate);
-          apply_gradient(volume, accbuf.volume(), tile.extended, -step);
-        }
-        sync.synchronize(ctx, accbuf.volume());
-        {
-          ScopedPhase update(ctx.profiler(), phase::kUpdate);
-          apply_gradient(volume, accbuf.volume(), tile.extended, step);
-          accbuf.reset();
-        }
-        // Chunk boundary: overlap copies of V are consistent again — the
-        // only states a snapshot may capture, and the natural place to
-        // lose a rank recoverably.
-        ctx.fault_point(static_cast<std::uint64_t>(iter) * static_cast<std::uint64_t>(chunks) +
-                        static_cast<std::uint64_t>(chunk) + 1);
-        if (chunk + 1 < chunks) maybe_checkpoint(iter, chunk + 1, sweep_cost);
-      }
-      if (config.refine_probe && iter >= config.probe_warmup_iterations) {
-        // The probe is global: sum gradient contributions across ranks and
-        // apply the identical update everywhere.
-        std::vector<cplx> flat(static_cast<usize>(probe_grad_field.size()));
-        std::copy_n(probe_grad_field.data(), probe_grad_field.size(), flat.data());
-        rt::allreduce_sum(ctx, flat, comm_phase::kProbe);
-        std::copy_n(flat.data(), probe_grad_field.size(), probe_grad_field.data());
-        const real probe_step =
-            config.probe_step /
-            static_cast<real>(std::max<index_t>(1, dataset.probe_count()));
-        axpy(cplx(-probe_step, 0), probe_grad_field.view(),
-             local_probe.mutable_field().view());
-        const double energy = local_probe.total_intensity();
-        if (energy > 0.0) {
-          scale(cplx(static_cast<real>(std::sqrt(probe_energy / energy)), 0),
-                local_probe.mutable_field().view());
-        }
-        probe_grad_field.fill(cplx{});
-      }
-      if (config.record_cost) {
-        const double global_cost =
-            rt::allreduce_sum_scalar(ctx, sweep_cost, comm_phase::kCost);
-        if (ctx.rank() == 0) {
-          std::lock_guard<std::mutex> lock(result_mutex);
-          result.cost.record(global_cost);
-        }
-      }
-      // Iteration boundary (after the cost record, so the manifest carries
-      // the full completed-iteration history).
-      maybe_checkpoint(iter + 1, 0, 0.0);
-    }
+    PipelineSchedule schedule;
+    schedule.iterations = config.iterations;
+    schedule.chunks_per_iteration = chunks;
+    schedule.start_iteration = start_iteration;
+    schedule.start_chunk = start_chunk;
+    schedule.restored_partial_cost = restored_partial_cost;
+    schedule.items = static_cast<index_t>(tile.own_probes.size());
+    pipeline.run(state, schedule);
 
     FramedVolume stitched = stitch_on_root(ctx, partition, volume);
     if (ctx.rank() == 0) {

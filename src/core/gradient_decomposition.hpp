@@ -15,7 +15,7 @@
 #include "core/convergence.hpp"
 #include "core/gradient_engine.hpp"
 #include "core/optimizer.hpp"
-#include "core/pipeline.hpp"
+#include "core/passes.hpp"
 #include "runtime/perfmodel.hpp"
 
 namespace ptycho {
@@ -40,6 +40,9 @@ struct GdConfig {
   /// SGD sweeps are inherently sequential and ignore this (see
   /// SerialConfig::threads for the argument).
   int threads = 0;
+  /// Per-rank sweep scheduler (static or work-stealing); bitwise identical
+  /// output either way — see SerialConfig::schedule.
+  SweepSchedule schedule = SweepSchedule::kStatic;
   bool record_cost = true;
   /// Joint object+probe refinement. The probe is a *global* quantity, so
   /// each iteration the ranks all-reduce their probe-gradient buffers

@@ -3,10 +3,10 @@
 #include <mutex>
 
 #include "common/timer.hpp"
+#include "core/pipeline.hpp"
 #include "core/stitcher.hpp"
 #include "partition/assignment.hpp"
 #include "partition/overlap.hpp"
-#include "runtime/collectives.hpp"
 
 namespace ptycho {
 
@@ -59,7 +59,6 @@ ParallelResult reconstruct_hve(const Dataset& dataset, const HveConfig& config,
                "(the paper's 'NA' regime) — use fewer ranks or Gradient Decomposition");
 
   const index_t slices = dataset.spec.slices;
-  const auto n = static_cast<index_t>(dataset.spec.grid.probe_n);
   const std::vector<PasteEdge> pastes = paste_schedule(partition);
 
   rt::VirtualCluster cluster(partition.nranks());
@@ -85,58 +84,29 @@ ParallelResult reconstruct_hve(const Dataset& dataset, const HveConfig& config,
     } else {
       volume.data.fill(cplx(1, 0));
     }
-    FramedVolume probe_grad(slices, Rect{0, 0, n, n});
     GradientEngine engine(dataset);
-    const real step = config.step * engine.step_scale();
-    MultisliceWorkspace ws = engine.make_workspace();
 
-    std::int64_t paste_round = 0;
-    for (int iter = 0; iter < config.iterations; ++iter) {
-      double sweep_cost = 0.0;
-      // Embarrassingly parallel local reconstruction.
-      {
-        ScopedPhase compute(ctx.profiler(), phase::kCompute);
-        for (int epoch = 0; epoch < config.local_epochs; ++epoch) {
-          for (usize p = 0; p < probes.size(); ++p) {
-            const index_t id = probes[p];
-            probe_grad.frame = engine.window(id);
-            probe_grad.data.fill(cplx{});
-            const double f =
-                engine.probe_gradient_with(id, local_meas[p].view(), volume, probe_grad, ws);
-            // Count the cost of *owned* probes only so the recorded global
-            // cost sums each f_i exactly once.
-            if (p < tile.own_probes.size() && epoch == 0) sweep_cost += f;
-            apply_gradient(volume, probe_grad, probe_grad.frame, step);
-          }
-        }
-      }
+    // The HVE pass graph: local SGD epochs, synchronous halo pastes, then
+    // the per-iteration cost record. Same pipeline as the other solvers —
+    // what differs is only which passes are inserted (no gradient sync,
+    // no accumulation buffer: updates are immediate and halos are
+    // overwritten wholesale).
+    ReconstructionPipeline pipeline;
+    pipeline.emplace<HveLocalSweepPass>(engine, probes, local_meas, tile.own_probes.size(),
+                                        config.local_epochs);
+    pipeline.emplace<HaloPastePass>(pastes);
+    pipeline.emplace<CostRecordPass>(config.record_cost);
 
-      // Synchronous halo pastes: owned voxels overwrite neighbour halos.
-      ctx.barrier();
-      const std::int64_t stage = paste_round++;
-      for (const PasteEdge& edge : pastes) {
-        if (edge.src == ctx.rank()) {
-          ctx.isend(edge.dst, rt::make_tag(comm_phase::kPaste, stage),
-                    pack_region(volume, edge.region));
-        }
-      }
-      for (const PasteEdge& edge : pastes) {
-        if (edge.dst == ctx.rank()) {
-          std::vector<cplx> payload =
-              ctx.recv(edge.src, rt::make_tag(comm_phase::kPaste, stage));
-          unpack_replace_region(payload, volume, edge.region);
-        }
-      }
+    SolverState state;
+    state.volume = &volume;
+    state.step = config.step * engine.step_scale();
+    state.ctx = &ctx;
+    state.cost = &result.cost;
+    state.cost_mutex = &result_mutex;
 
-      if (config.record_cost) {
-        const double global_cost =
-            rt::allreduce_sum_scalar(ctx, sweep_cost, comm_phase::kCost);
-        if (ctx.rank() == 0) {
-          std::lock_guard<std::mutex> lock(result_mutex);
-          result.cost.record(global_cost);
-        }
-      }
-    }
+    PipelineSchedule schedule;
+    schedule.iterations = config.iterations;
+    pipeline.run(state, schedule);
 
     FramedVolume stitched = stitch_on_root(ctx, partition, volume);
     if (ctx.rank() == 0) {

@@ -1,5 +1,10 @@
 #include "core/passes.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "common/timer.hpp"
 #include "runtime/collectives.hpp"
 
 namespace ptycho {
@@ -118,6 +123,210 @@ void PassEngine::run_allreduce(rt::RankContext& ctx, FramedVolume& buf) {
         const index_t gx = ext.x0 + x - field.x0;
         buf.data(s, y, x) = dense[base + static_cast<usize>(gx)];
       }
+    }
+  }
+}
+
+// ---- pipeline passes --------------------------------------------------------
+
+SweepPass::SweepPass(const GradientEngine& engine, UpdateMode mode, int threads,
+                     SweepSchedule schedule, Items items, RefineSchedule refine)
+    : engine_(engine), mode_(mode), items_(items), refine_(refine) {
+  if (mode_ == UpdateMode::kFullBatch) {
+    pool_.emplace(threads);
+    scheduler_ = make_sweep_scheduler(schedule, *pool_);
+    sweeper_.emplace(engine_, *scheduler_);
+  } else {
+    // SGD sweeps only ever mutate the volume through apply_gradient, so
+    // the transmittance cache contract holds.
+    workspace_.emplace(engine_.make_workspace());
+    workspace_->cache_transmittance = true;
+    const auto n = static_cast<index_t>(engine_.dataset().spec.grid.probe_n);
+    grad_scratch_.emplace(engine_.dataset().spec.slices, Rect{0, 0, n, n});
+  }
+}
+
+void SweepPass::on_chunk(SolverState& state, const StepPoint& point) {
+  std::optional<ScopedPhase> compute;
+  if (state.ctx != nullptr) compute.emplace(state.ctx->profiler(), phase::kCompute);
+  const bool refine_now = refine_.due(point.iteration);
+  if (mode_ == UpdateMode::kFullBatch) {
+    View2D<cplx> pg_view = state.probe_grad_field->view();
+    sweeper_->sweep(
+        point.begin, point.end, *state.probe, *state.volume, *state.accbuf, state.sweep_cost,
+        refine_now ? &pg_view : nullptr, [this](index_t item) { return probe_id(item); },
+        [this](index_t item) { return measurement(item); });
+  } else {
+    for (index_t i = point.begin; i < point.end; ++i) {
+      const index_t id = probe_id(i);
+      grad_scratch_->frame = engine_.window(id);
+      grad_scratch_->data.fill(cplx{});
+      View2D<cplx> pg_view = state.probe_grad_field->view();
+      state.sweep_cost += engine_.probe_gradient_joint(
+          id, *state.probe, measurement(i), *state.volume, *grad_scratch_, *workspace_,
+          refine_now ? &pg_view : nullptr);
+      state.accbuf->accumulate(*grad_scratch_, grad_scratch_->frame);
+      apply_gradient(*state.volume, *grad_scratch_, grad_scratch_->frame, state.step);
+    }
+  }
+}
+
+void SyncGradientsPass::on_chunk(SolverState& state, const StepPoint& point) {
+  (void)point;
+  if (mode_ == UpdateMode::kSgd) {
+    // Undo the chunk's local updates now, while AccBuf still holds exactly
+    // the own contributions (no extra buffer needed); the post-sync apply
+    // then installs the full total once.
+    ScopedPhase update(state.ctx->profiler(), phase::kUpdate);
+    apply_gradient(*state.volume, state.accbuf->volume(), state.accbuf->frame(), -state.step);
+  }
+  sync_.synchronize(*state.ctx, state.accbuf->volume());
+}
+
+void ApplyUpdatePass::on_chunk(SolverState& state, const StepPoint& point) {
+  (void)point;
+  std::optional<ScopedPhase> update;
+  if (state.ctx != nullptr) update.emplace(state.ctx->profiler(), phase::kUpdate);
+  if (mode_ == UpdateMode::kFullBatch || apply_in_sgd_) {
+    apply_gradient(*state.volume, state.accbuf->volume(), state.accbuf->frame(), state.step);
+  }
+  state.accbuf->reset();
+}
+
+void FaultPointPass::on_chunk(SolverState& state, const StepPoint& point) {
+  state.ctx->fault_point(static_cast<std::uint64_t>(point.iteration) *
+                             static_cast<std::uint64_t>(point.chunks) +
+                         static_cast<std::uint64_t>(point.chunk) + 1);
+}
+
+void ProbeRefinePass::on_iteration(SolverState& state, int iteration) {
+  if (!refine_.due(iteration)) return;
+  CArray2D& grad = *state.probe_grad_field;
+  if (state.ctx != nullptr) {
+    // The probe is global: sum gradient contributions across ranks and
+    // apply the identical update everywhere.
+    std::vector<cplx> flat(static_cast<usize>(grad.size()));
+    std::copy_n(grad.data(), grad.size(), flat.data());
+    rt::allreduce_sum(*state.ctx, flat, comm_phase::kProbe);
+    std::copy_n(flat.data(), grad.size(), grad.data());
+  }
+  const real probe_step =
+      probe_step_ / static_cast<real>(std::max<index_t>(1, probe_count_));
+  axpy(cplx(-probe_step, 0), grad.view(), state.probe->mutable_field().view());
+  const double energy = state.probe->total_intensity();
+  if (energy > 0.0) {
+    scale(cplx(static_cast<real>(std::sqrt(initial_energy_ / energy)), 0),
+          state.probe->mutable_field().view());
+  }
+  grad.fill(cplx{});
+}
+
+void CostRecordPass::on_iteration(SolverState& state, int iteration) {
+  (void)iteration;
+  if (!record_) return;
+  if (state.ctx != nullptr) {
+    const double global_cost =
+        rt::allreduce_sum_scalar(*state.ctx, state.sweep_cost, comm_phase::kCost);
+    if (state.ctx->rank() != 0) return;
+    std::lock_guard<std::mutex> lock(*state.cost_mutex);
+    state.cost->record(global_cost);
+    return;
+  }
+  state.cost->record(state.sweep_cost);
+}
+
+void CheckpointPass::on_chunk(SolverState& state, const StepPoint& point) {
+  // Mid-iteration boundary only; the iteration hook takes the last one
+  // (after the cost record, so the manifest carries the full
+  // completed-iteration history).
+  if (point.chunk + 1 < point.chunks) {
+    maybe_write(state, point.iteration, point.chunk + 1, state.sweep_cost);
+  }
+}
+
+void CheckpointPass::on_iteration(SolverState& state, int iteration) {
+  maybe_write(state, iteration + 1, 0, 0.0);
+}
+
+void CheckpointPass::maybe_write(SolverState& state, int next_iteration, int next_chunk,
+                                 double partial_cost) {
+  // `next_iteration`/`next_chunk` name the position a restored run would
+  // resume at; the global step counter (completed chunks) keys the
+  // snapshot dir.
+  const std::uint64_t step_count =
+      ckpt::chunk_step(next_iteration, next_chunk, run_.chunks_per_iteration);
+  if (!ckpt::snapshot_due(policy_, step_count)) return;
+  std::optional<ScopedPhase> ckpt_phase;
+  if (state.ctx != nullptr) ckpt_phase.emplace(state.ctx->profiler(), phase::kCheckpoint);
+  const std::string dir = ckpt::step_dir(policy_.directory, step_count);
+  const int rank = state.ctx != nullptr ? state.ctx->rank() : 0;
+  if (rank == 0) std::filesystem::create_directories(dir);
+  if (state.ctx != nullptr) state.ctx->barrier();
+  ckpt::write_shard(dir, ckpt::ShardView{rank, partial_cost,
+                                         state.ctx != nullptr ? state.ctx->rng().state()
+                                                              : RngState{},
+                                         state.volume, &state.accbuf->volume(),
+                                         &state.probe->field(), state.probe_grad_field});
+  if (state.ctx != nullptr) state.ctx->barrier();
+  // Written last (by rank 0): marks the snapshot complete.
+  if (rank != 0) return;
+  std::vector<double> cost_values;
+  {
+    std::unique_lock<std::mutex> lock;
+    if (state.cost_mutex != nullptr) lock = std::unique_lock<std::mutex>(*state.cost_mutex);
+    cost_values = state.cost->values();
+  }
+  ckpt::write_manifest(
+      dir, ckpt::make_manifest(run_, next_iteration, next_chunk, std::move(cost_values)));
+}
+
+HveLocalSweepPass::HveLocalSweepPass(const GradientEngine& engine,
+                                     const std::vector<index_t>& probes,
+                                     const std::vector<RArray2D>& measurements,
+                                     usize own_count, int epochs)
+    : engine_(engine),
+      probes_(probes),
+      measurements_(measurements),
+      own_count_(own_count),
+      epochs_(epochs),
+      workspace_(engine.make_workspace()),
+      grad_scratch_(engine.dataset().spec.slices,
+                    Rect{0, 0, static_cast<index_t>(engine.dataset().spec.grid.probe_n),
+                         static_cast<index_t>(engine.dataset().spec.grid.probe_n)}) {}
+
+void HveLocalSweepPass::on_chunk(SolverState& state, const StepPoint& point) {
+  (void)point;
+  ScopedPhase compute(state.ctx->profiler(), phase::kCompute);
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    for (usize p = 0; p < probes_.size(); ++p) {
+      const index_t id = probes_[p];
+      grad_scratch_.frame = engine_.window(id);
+      grad_scratch_.data.fill(cplx{});
+      const double f = engine_.probe_gradient_with(id, measurements_[p].view(), *state.volume,
+                                                   grad_scratch_, workspace_);
+      // Count the cost of *owned* probes only so the recorded global cost
+      // sums each f_i exactly once.
+      if (p < own_count_ && epoch == 0) state.sweep_cost += f;
+      apply_gradient(*state.volume, grad_scratch_, grad_scratch_.frame, state.step);
+    }
+  }
+}
+
+void HaloPastePass::on_chunk(SolverState& state, const StepPoint& point) {
+  (void)point;
+  rt::RankContext& ctx = *state.ctx;
+  ctx.barrier();
+  const std::int64_t stage = round_++;
+  for (const PasteEdge& edge : pastes_) {
+    if (edge.src == ctx.rank()) {
+      ctx.isend(edge.dst, rt::make_tag(comm_phase::kPaste, stage),
+                pack_region(*state.volume, edge.region));
+    }
+  }
+  for (const PasteEdge& edge : pastes_) {
+    if (edge.dst == ctx.rank()) {
+      std::vector<cplx> payload = ctx.recv(edge.src, rt::make_tag(comm_phase::kPaste, stage));
+      unpack_replace_region(payload, *state.volume, edge.region);
     }
   }
 }

@@ -1,6 +1,15 @@
-// Forward/backward accumulated-gradient passes (paper Secs. III-V).
+// The pass layer: every stage a ReconstructionPipeline can be built from,
+// plus the communication engine the synchronization passes run on.
 //
-// Three gradient-synchronization schemes, selectable per run:
+// Layering: PassEngine (bottom of this file) implements the paper's
+// forward/backward accumulated-gradient passes over the fabric — raw
+// communication schedules. The Pass subclasses above it are pipeline
+// stages (core/pipeline.hpp): sweep, gradient synchronization, optimizer
+// update, probe refinement, convergence recording, checkpointing, fault
+// points and HVE's halo pastes. Solvers compose these into a pass graph
+// instead of hand-rolling iteration loops.
+//
+// The communication schemes (paper Secs. III-V), selectable per run:
 //
 //  * kSweep (the paper's method, Sec. IV + V): four directional chain
 //    passes — vertical forward (each tile *adds* its buffer into the tile
@@ -21,6 +30,13 @@
 //    the without-APPP baseline of Fig. 7b.
 #pragma once
 
+#include <optional>
+#include <vector>
+
+#include "ckpt/snapshot.hpp"
+#include "core/optimizer.hpp"
+#include "core/pipeline.hpp"
+#include "core/sweep.hpp"
 #include "partition/overlap.hpp"
 #include "runtime/cluster.hpp"
 #include "tensor/framed.hpp"
@@ -76,5 +92,253 @@ inline constexpr int kProbe = 10;
 inline constexpr int kRestore = 11;       ///< elastic checkpoint redistribution
 inline constexpr int kRestoreProbe = 12;  ///< probe broadcast on restore
 }  // namespace comm_phase
+
+/// GradientSynchronizer: the policy object that decides *how* a rank's
+/// accumulated gradients are reconciled with its neighbours each time
+/// Alg. 1 reaches step 9 — the paper's APPP sweep, the Sec. III direct
+/// scheme, or the rejected global all-reduce (the without-APPP baseline).
+struct SyncPolicy {
+  PassScheme scheme = PassScheme::kSweep;
+  /// false = replace the pipelined passes with a barrier + global
+  /// all-reduce (the "w/o APPP" configuration of Fig. 7b).
+  bool appp = true;
+};
+
+class GradientSynchronizer {
+ public:
+  GradientSynchronizer(const Partition& partition, int rank, SyncPolicy policy)
+      : engine_(partition, rank), policy_(policy) {}
+
+  /// Reconcile `accbuf` across ranks according to the policy. Collective:
+  /// all ranks must call the same number of times.
+  void synchronize(rt::RankContext& ctx, FramedVolume& accbuf) {
+    if (!policy_.appp) {
+      ctx.barrier();
+      engine_.run_allreduce(ctx, accbuf);
+      return;
+    }
+    switch (policy_.scheme) {
+      case PassScheme::kSweep:
+        engine_.run_sweep(ctx, accbuf);
+        return;
+      case PassScheme::kDirectNeighbors:
+        engine_.run_direct(ctx, accbuf);
+        return;
+    }
+  }
+
+  [[nodiscard]] const SyncPolicy& policy() const { return policy_; }
+
+ private:
+  PassEngine engine_;
+  SyncPolicy policy_;
+};
+
+// ---- pipeline passes --------------------------------------------------------
+
+/// When joint object+probe refinement contributes to an iteration.
+struct RefineSchedule {
+  bool enabled = false;
+  int warmup_iterations = 1;
+
+  [[nodiscard]] bool due(int iteration) const {
+    return enabled && iteration >= warmup_iterations;
+  }
+};
+
+/// The gradient sweep of Alg. 1 steps 5-8: evaluates this rank's item
+/// range for the chunk. Full-batch mode dispatches through a BatchSweeper
+/// on the configured scheduler (accumulate only); SGD mode runs the
+/// inherently sequential per-probe loop with immediate local updates.
+/// Only the active mode's machinery is allocated (it counts toward the
+/// rank's tracked memory footprint).
+class SweepPass final : public Pass {
+ public:
+  /// How sweep items map to dataset probes and measurements. Defaults
+  /// (null pointers) mean the identity mapping over the engine's dataset —
+  /// the serial solver. Tiled solvers point these at the tile's own-probe
+  /// ids and its rank-local measurement copies.
+  struct Items {
+    const std::vector<index_t>* ids = nullptr;
+    const std::vector<RArray2D>* measurements = nullptr;
+  };
+
+  /// `threads` is the resolved worker count for the full-batch scheduler
+  /// (callers apply their own auto-division policy before constructing).
+  SweepPass(const GradientEngine& engine, UpdateMode mode, int threads,
+            SweepSchedule schedule, Items items, RefineSchedule refine);
+
+  [[nodiscard]] const char* name() const override { return "sweep"; }
+  void on_chunk(SolverState& state, const StepPoint& point) override;
+
+ private:
+  [[nodiscard]] index_t probe_id(index_t item) const {
+    return items_.ids != nullptr ? (*items_.ids)[static_cast<usize>(item)] : item;
+  }
+  [[nodiscard]] View2D<const real> measurement(index_t item) const {
+    return items_.measurements != nullptr
+               ? (*items_.measurements)[static_cast<usize>(item)].view()
+               : engine_.dataset().measurements[static_cast<usize>(probe_id(item))].view();
+  }
+
+  const GradientEngine& engine_;
+  UpdateMode mode_;
+  Items items_;
+  RefineSchedule refine_;
+  // Full-batch machinery (unset in SGD mode).
+  std::optional<ThreadPool> pool_;
+  std::unique_ptr<SweepScheduler> scheduler_;
+  std::optional<BatchSweeper> sweeper_;
+  // SGD machinery (unset in full-batch mode).
+  std::optional<MultisliceWorkspace> workspace_;
+  std::optional<FramedVolume> grad_scratch_;
+};
+
+/// Alg. 1 steps 9-13 on the tiled path: reconcile AccBuf across ranks.
+/// In SGD mode the chunk's local updates are first undone (while AccBuf
+/// still holds exactly the own contributions) so the post-sync apply
+/// installs the full total once — the consistency-preserving reading that
+/// keeps overlap copies of V identical across ranks (see
+/// gradient_decomposition.hpp for the argument).
+class SyncGradientsPass final : public Pass {
+ public:
+  SyncGradientsPass(const Partition& partition, int rank, SyncPolicy policy, UpdateMode mode)
+      : sync_(partition, rank, policy), mode_(mode) {}
+
+  [[nodiscard]] const char* name() const override { return "sync"; }
+  void on_chunk(SolverState& state, const StepPoint& point) override;
+
+ private:
+  GradientSynchronizer sync_;
+  UpdateMode mode_;
+};
+
+/// Alg. 1 steps 14-16: apply the accumulated (and, tiled, reconciled)
+/// gradient, then clear AccBuf. On the single-rank SGD path every local
+/// gradient was already applied in step 8 and there are no neighbour
+/// contributions, so the delta is zero and the apply is skipped entirely
+/// (an undo/redo round-trip would perturb fp state); tiled SGD applies the
+/// synchronized delta unconditionally.
+class ApplyUpdatePass final : public Pass {
+ public:
+  ApplyUpdatePass(UpdateMode mode, bool apply_in_sgd)
+      : mode_(mode), apply_in_sgd_(apply_in_sgd) {}
+
+  [[nodiscard]] const char* name() const override { return "update"; }
+  void on_chunk(SolverState& state, const StepPoint& point) override;
+
+ private:
+  UpdateMode mode_;
+  bool apply_in_sgd_;
+};
+
+/// Recoverable-boundary marker for fault-injection testing: chunk
+/// boundaries are exactly where overlap copies of V are consistent again —
+/// the only states a snapshot may capture, and the natural place to lose a
+/// rank recoverably.
+class FaultPointPass final : public Pass {
+ public:
+  [[nodiscard]] const char* name() const override { return "fault-point"; }
+  void on_chunk(SolverState& state, const StepPoint& point) override;
+};
+
+/// Joint probe refinement: once per iteration past the warmup, descend the
+/// probe wavefield along its accumulated sweep gradient, then restore the
+/// total intensity (the object absorbs the scale). The probe is a *global*
+/// quantity, so tiled runs all-reduce the gradient buffers first (one
+/// probe_n^2 message — negligible next to the tile passes) and apply the
+/// identical update everywhere, keeping probe copies consistent.
+class ProbeRefinePass final : public Pass {
+ public:
+  ProbeRefinePass(RefineSchedule refine, real probe_step, index_t global_probe_count,
+                  double initial_probe_energy)
+      : refine_(refine),
+        probe_step_(probe_step),
+        probe_count_(global_probe_count),
+        initial_energy_(initial_probe_energy) {}
+
+  [[nodiscard]] const char* name() const override { return "probe-refine"; }
+  void on_iteration(SolverState& state, int iteration) override;
+
+ private:
+  RefineSchedule refine_;
+  real probe_step_;
+  index_t probe_count_;
+  double initial_energy_;
+};
+
+/// Convergence recording: per-iteration values of the global cost F(V).
+/// Tiled runs all-reduce the per-rank sweep costs and record on rank 0
+/// (under the shared result mutex).
+class CostRecordPass final : public Pass {
+ public:
+  explicit CostRecordPass(bool record) : record_(record) {}
+
+  [[nodiscard]] const char* name() const override { return "cost-record"; }
+  void on_iteration(SolverState& state, int iteration) override;
+
+ private:
+  bool record_;
+};
+
+/// Periodic checkpointing as a pipeline stage: mid-iteration snapshots at
+/// chunk boundaries (carrying the partial sweep cost) and one at each
+/// iteration boundary. The write protocol is the subsystem's
+/// manifest-last completion contract: every rank writes its shard, all
+/// ranks barrier, rank 0 writes the manifest — identical shape on the
+/// single-rank path with the barriers elided.
+class CheckpointPass final : public Pass {
+ public:
+  CheckpointPass(ckpt::Policy policy, ckpt::RunInfo run)
+      : policy_(std::move(policy)), run_(std::move(run)) {}
+
+  [[nodiscard]] const char* name() const override { return "checkpoint"; }
+  void on_chunk(SolverState& state, const StepPoint& point) override;
+  void on_iteration(SolverState& state, int iteration) override;
+
+ private:
+  void maybe_write(SolverState& state, int next_iteration, int next_chunk,
+                   double partial_cost);
+
+  ckpt::Policy policy_;
+  ckpt::RunInfo run_;
+};
+
+/// HVE's embarrassingly parallel local reconstruction: `epochs` sequential
+/// SGD sweeps over the tile's assigned probes (own + replicated) with
+/// immediate updates. Only *owned* probes' first-epoch costs are counted,
+/// so the recorded global cost sums each f_i exactly once.
+class HveLocalSweepPass final : public Pass {
+ public:
+  HveLocalSweepPass(const GradientEngine& engine, const std::vector<index_t>& probes,
+                    const std::vector<RArray2D>& measurements, usize own_count, int epochs);
+
+  [[nodiscard]] const char* name() const override { return "hve-local-sweep"; }
+  void on_chunk(SolverState& state, const StepPoint& point) override;
+
+ private:
+  const GradientEngine& engine_;
+  const std::vector<index_t>& probes_;
+  const std::vector<RArray2D>& measurements_;
+  usize own_count_;
+  int epochs_;
+  MultisliceWorkspace workspace_;
+  FramedVolume grad_scratch_;
+};
+
+/// HVE's synchronous halo exchange: owned voxels overwrite neighbour
+/// halos along the precomputed paste schedule. The pastes are what create
+/// the seam artifacts measured in the Fig. 8 experiment.
+class HaloPastePass final : public Pass {
+ public:
+  explicit HaloPastePass(std::vector<PasteEdge> pastes) : pastes_(std::move(pastes)) {}
+
+  [[nodiscard]] const char* name() const override { return "halo-paste"; }
+  void on_chunk(SolverState& state, const StepPoint& point) override;
+
+ private:
+  std::vector<PasteEdge> pastes_;
+  std::int64_t round_ = 0;
+};
 
 }  // namespace ptycho

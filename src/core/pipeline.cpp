@@ -1,5 +1,44 @@
 #include "core/pipeline.hpp"
 
-// Header-only; TU anchors the module.
+#include "common/error.hpp"
 
-namespace ptycho {}
+namespace ptycho {
+
+Pass& ReconstructionPipeline::add(std::unique_ptr<Pass> pass) {
+  PTYCHO_REQUIRE(pass != nullptr, "cannot add a null pass");
+  passes_.push_back(std::move(pass));
+  return *passes_.back();
+}
+
+std::string ReconstructionPipeline::describe() const {
+  std::string out;
+  for (const auto& pass : passes_) {
+    if (!out.empty()) out += " -> ";
+    out += pass->name();
+  }
+  return out;
+}
+
+void ReconstructionPipeline::run(SolverState& state, const PipelineSchedule& schedule) {
+  PTYCHO_REQUIRE(!passes_.empty(), "pipeline has no passes");
+  PTYCHO_REQUIRE(schedule.chunks_per_iteration >= 1, "need at least one chunk per iteration");
+  for (int iter = schedule.start_iteration; iter < schedule.iterations; ++iter) {
+    // A resumed run re-enters mid-iteration with the sweep cost its
+    // snapshot had already accumulated; every later iteration starts at 0.
+    state.sweep_cost =
+        iter == schedule.start_iteration ? schedule.restored_partial_cost : 0.0;
+    const int first_chunk = iter == schedule.start_iteration ? schedule.start_chunk : 0;
+    for (int chunk = first_chunk; chunk < schedule.chunks_per_iteration; ++chunk) {
+      StepPoint point;
+      point.iteration = iter;
+      point.chunk = chunk;
+      point.chunks = schedule.chunks_per_iteration;
+      point.begin = schedule.items * chunk / schedule.chunks_per_iteration;
+      point.end = schedule.items * (chunk + 1) / schedule.chunks_per_iteration;
+      for (const auto& pass : passes_) pass->on_chunk(state, point);
+    }
+    for (const auto& pass : passes_) pass->on_iteration(state, iter);
+  }
+}
+
+}  // namespace ptycho

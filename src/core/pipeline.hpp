@@ -1,48 +1,128 @@
-// GradientSynchronizer: the policy object that decides *how* a rank's
-// accumulated gradients are reconciled with its neighbours each time
-// Alg. 1 reaches step 9 — the paper's APPP sweep, the Sec. III direct
-// scheme, or the rejected global all-reduce (the without-APPP baseline).
+// ReconstructionPipeline: the single execution layer every solver runs on.
+//
+// A reconstruction is an ordered pass graph driven over a fixed
+// iteration/chunk schedule:
+//
+//   per chunk:      sweep -> [sync] -> optimizer update -> [fault point]
+//                   -> checkpoint
+//   per iteration:  probe refinement -> convergence record -> checkpoint
+//
+// The serial solver, the gradient-decomposition solver and the HVE
+// baseline all instantiate this pipeline with different pass lists
+// instead of hand-rolling their own loops: the tiled paths insert the
+// gradient-synchronization / halo-exchange and fault-point passes, the
+// serial path omits them, and the checkpoint hook is itself a pass. The
+// pipeline owns the loop structure (chunk ranges, restored start
+// positions, the per-iteration running cost) so restart/convergence
+// semantics cannot drift between solvers.
+//
+// Passes mutate shared per-rank state through SolverState, which carries
+// raw pointers into the owning solver's buffers (the pipeline borrows,
+// never owns). `ctx` is null on the single-rank path; passes that need a
+// fabric (sync, halo paste, fault points) are simply not added there.
 #pragma once
 
-#include "core/passes.hpp"
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/accbuf.hpp"
+#include "core/convergence.hpp"
+#include "physics/probe.hpp"
+#include "tensor/framed.hpp"
 
 namespace ptycho {
 
-struct SyncPolicy {
-  PassScheme scheme = PassScheme::kSweep;
-  /// false = replace the pipelined passes with a barrier + global
-  /// all-reduce (the "w/o APPP" configuration of Fig. 7b).
-  bool appp = true;
+namespace rt {
+class RankContext;
+}  // namespace rt
+
+/// Shared mutable solver state the passes operate on. All pointers borrow
+/// from the owning solver; optional members are null when the pass list
+/// does not use them (e.g. accbuf/probe on the HVE path).
+struct SolverState {
+  FramedVolume* volume = nullptr;
+  Probe* probe = nullptr;
+  AccumulationBuffer* accbuf = nullptr;
+  CArray2D* probe_grad_field = nullptr;  ///< accumulated probe gradient
+  real step = real(0);                   ///< preconditioned object descent step
+  double sweep_cost = 0.0;               ///< running cost of the current iteration
+  rt::RankContext* ctx = nullptr;        ///< null on the single-rank path
+  CostHistory* cost = nullptr;           ///< recorded history sink
+  std::mutex* cost_mutex = nullptr;      ///< guards *cost on tiled runs (else null)
 };
 
-class GradientSynchronizer {
- public:
-  GradientSynchronizer(const Partition& partition, int rank, SyncPolicy policy)
-      : engine_(partition, rank), policy_(policy) {}
+/// Position of one chunk inside the schedule, including its item range
+/// (the probe-sweep slice this chunk evaluates).
+struct StepPoint {
+  int iteration = 0;
+  int chunk = 0;
+  int chunks = 1;      ///< chunks per iteration
+  index_t begin = 0;   ///< first sweep item of this chunk
+  index_t end = 0;     ///< one past the last sweep item
+};
 
-  /// Reconcile `accbuf` across ranks according to the policy. Collective:
-  /// all ranks must call the same number of times.
-  void synchronize(rt::RankContext& ctx, FramedVolume& accbuf) {
-    if (!policy_.appp) {
-      ctx.barrier();
-      engine_.run_allreduce(ctx, accbuf);
-      return;
-    }
-    switch (policy_.scheme) {
-      case PassScheme::kSweep:
-        engine_.run_sweep(ctx, accbuf);
-        return;
-      case PassScheme::kDirectNeighbors:
-        engine_.run_direct(ctx, accbuf);
-        return;
-    }
+/// One stage of the pass graph. A pass may act per chunk, per iteration,
+/// or both; the pipeline invokes the hooks of every pass in list order at
+/// each point, so the list order IS the execution order of the graph.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Runs once per chunk, in pass-list order.
+  virtual void on_chunk(SolverState& state, const StepPoint& point) {
+    (void)state;
+    (void)point;
   }
 
-  [[nodiscard]] const SyncPolicy& policy() const { return policy_; }
+  /// Runs once per completed iteration, in pass-list order (after the
+  /// iteration's last chunk hooks).
+  virtual void on_iteration(SolverState& state, int iteration) {
+    (void)state;
+    (void)iteration;
+  }
+};
+
+/// The iteration/chunk schedule a pipeline runs: total extent plus the
+/// restored start position of a resumed run.
+struct PipelineSchedule {
+  int iterations = 1;
+  int chunks_per_iteration = 1;
+  int start_iteration = 0;
+  int start_chunk = 0;                  ///< within start_iteration (exact resume)
+  double restored_partial_cost = 0.0;   ///< sweep cost already accumulated there
+  index_t items = 0;                    ///< local sweep items per full iteration
+};
+
+class ReconstructionPipeline {
+ public:
+  /// Append a pass; returns it for further configuration. List order is
+  /// execution order for both hooks.
+  Pass& add(std::unique_ptr<Pass> pass);
+
+  /// Construct-and-append convenience.
+  template <class P, class... Args>
+  P& emplace(Args&&... args) {
+    return static_cast<P&>(add(std::make_unique<P>(std::forward<Args>(args)...)));
+  }
+
+  [[nodiscard]] usize size() const { return passes_.size(); }
+
+  /// "sweep -> update -> checkpoint" — the graph as a human-readable
+  /// string (logging and tests).
+  [[nodiscard]] std::string describe() const;
+
+  /// Drive the pass graph over the schedule. Collective on tiled runs:
+  /// every rank must run the same schedule with a structurally identical
+  /// pass list.
+  void run(SolverState& state, const PipelineSchedule& schedule);
 
  private:
-  PassEngine engine_;
-  SyncPolicy policy_;
+  std::vector<std::unique_ptr<Pass>> passes_;
 };
 
 }  // namespace ptycho

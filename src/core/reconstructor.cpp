@@ -29,7 +29,9 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.step = request.step;
       config.chunks_per_iteration = request.passes_per_iteration;
       config.threads = request.threads;
+      config.schedule = request.schedule;
       config.mode = request.mode;
+      config.refine_probe = request.refine_probe;
       config.record_cost = request.record_cost;
       config.checkpoint = request.checkpoint;
       config.restore = request.restore;
@@ -46,8 +48,10 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.step = request.step;
       config.passes_per_iteration = request.passes_per_iteration;
       config.threads = request.threads;
+      config.schedule = request.schedule;
       config.mode = request.mode;
       config.sync = request.sync;
+      config.refine_probe = request.refine_probe;
       config.record_cost = request.record_cost;
       config.checkpoint = request.checkpoint;
       config.restore = request.restore;

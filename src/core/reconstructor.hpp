@@ -28,6 +28,10 @@ struct ReconstructionRequest {
   /// divided across ranks for GD). Full-batch output is bitwise identical
   /// for any value; SGD sweeps ignore it (sequential by construction).
   int threads = 0;
+  /// Sweep scheduler for full-batch sweeps (static partition or
+  /// work-stealing). Like `threads` and `backend`, a pure performance
+  /// knob: output is bitwise identical across schedulers.
+  SweepSchedule schedule = SweepSchedule::kStatic;
   /// Kernel backend: "auto" (CPU detection), "simd" or "scalar". Applied
   /// before the solver spawns workers; "" leaves the process-wide selection
   /// untouched. Output is bitwise identical across backends (the backend
@@ -35,6 +39,9 @@ struct ReconstructionRequest {
   std::string backend;
   UpdateMode mode = UpdateMode::kSgd;
   SyncPolicy sync;               ///< GD only
+  /// Joint object+probe refinement (serial and GD; the probe-refinement
+  /// pass is inserted into the pipeline when set).
+  bool refine_probe = false;
   int hve_local_epochs = 1;      ///< HVE only
   int hve_extra_rings = 2;       ///< HVE only
   bool record_cost = true;

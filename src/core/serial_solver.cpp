@@ -1,14 +1,12 @@
 #include "core/serial_solver.hpp"
 
 #include <cmath>
-#include <filesystem>
 #include <numeric>
-#include <optional>
 
-#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "core/accbuf.hpp"
-#include "core/sweep.hpp"
+#include "core/passes.hpp"
+#include "core/pipeline.hpp"
 #include "data/synthetic.hpp"
 
 namespace ptycho {
@@ -66,29 +64,8 @@ SerialResult reconstruct_serial(const Dataset& dataset, const SerialConfig& conf
   const real step = config.step * engine.step_scale();
   const double probe_energy = probe.total_intensity();
   AccumulationBuffer accbuf(slices, result.volume.frame);
-  const auto n = static_cast<index_t>(dataset.spec.grid.probe_n);
 
-  // Full-batch sweeps run on the pool with an ordered (thread-count-
-  // independent) reduction; SGD stays sequential (see SerialConfig) and
-  // uses a single workspace plus one window-sized gradient scratch,
-  // re-aimed at each probe location. Only the active mode's buffers are
-  // allocated.
-  std::optional<ThreadPool> pool;
-  std::optional<BatchSweeper> sweeper;
-  std::optional<MultisliceWorkspace> ws;
-  std::optional<FramedVolume> probe_grad;
-  if (config.mode == UpdateMode::kFullBatch) {
-    pool.emplace(config.threads);
-    sweeper.emplace(engine, *pool);
-  } else {
-    ws.emplace(engine.make_workspace());
-    // SGD sweeps only ever mutate the volume through apply_gradient, so
-    // the transmittance cache contract holds.
-    ws->cache_transmittance = true;
-    probe_grad.emplace(slices, Rect{0, 0, n, n});
-  }
-
-  // --- periodic checkpointing ------------------------------------------------
+  // Run-constant manifest fields, shared by every snapshot this run takes.
   ckpt::RunInfo run;
   run.dataset_name = dataset.spec.name;
   run.probe_count = probe_count;
@@ -106,73 +83,36 @@ SerialResult reconstruct_serial(const Dataset& dataset, const SerialConfig& conf
     std::iota(tile.own_probes.begin(), tile.own_probes.end(), index_t{0});
     run.tiles.push_back(std::move(tile));
   }
-  // `next_iter`/`next_chunk` name the position a restored run would resume
-  // at; the global step counter (completed chunks) keys the snapshot dir.
-  const auto maybe_checkpoint = [&](int next_iter, int next_chunk, double partial_cost) {
-    const std::uint64_t step_count = ckpt::chunk_step(next_iter, next_chunk, chunks);
-    if (!ckpt::snapshot_due(config.checkpoint, step_count)) return;
-    const std::string dir = ckpt::step_dir(config.checkpoint.directory, step_count);
-    std::filesystem::create_directories(dir);
-    ckpt::write_shard(dir, ckpt::ShardView{0, partial_cost, RngState{}, &result.volume,
-                                           &accbuf.volume(), &probe.field(),
-                                           &probe_grad_field});
-    // Written last: marks the snapshot complete.
-    ckpt::write_manifest(dir,
-                         ckpt::make_manifest(run, next_iter, next_chunk, result.cost.values()));
-  };
 
-  for (int iter = start_iteration; iter < config.iterations; ++iter) {
-    double sweep_cost = iter == start_iteration ? restored_partial_cost : 0.0;
-    const int first_chunk = iter == start_iteration ? start_chunk : 0;
-    for (int chunk = first_chunk; chunk < chunks; ++chunk) {
-      const index_t begin = probe_count * chunk / chunks;
-      const index_t end = probe_count * (chunk + 1) / chunks;
-      const bool refine_now = config.refine_probe && iter >= config.probe_warmup_iterations;
-      if (config.mode == UpdateMode::kFullBatch) {
-        View2D<cplx> probe_grad_view = probe_grad_field.view();
-        sweeper->sweep(
-            begin, end, probe, result.volume, accbuf, sweep_cost,
-            refine_now ? &probe_grad_view : nullptr, [](index_t item) { return item; },
-            [&](index_t item) { return dataset.measurements[static_cast<usize>(item)].view(); });
-      } else {
-        for (index_t i = begin; i < end; ++i) {
-          probe_grad->frame = engine.window(i);
-          probe_grad->data.fill(cplx{});
-          View2D<cplx> probe_grad_view = probe_grad_field.view();
-          sweep_cost += engine.probe_gradient_joint(
-              i, probe, dataset.measurements[static_cast<usize>(i)].view(), result.volume,
-              *probe_grad, *ws, refine_now ? &probe_grad_view : nullptr);
-          accbuf.accumulate(*probe_grad, probe_grad->frame);
-          apply_gradient(result.volume, *probe_grad, probe_grad->frame, step);
-        }
-      }
-      // Accumulated update (Alg. 1 steps 14-16). In SGD mode every local
-      // gradient has already been applied in step 8, and with a single
-      // rank there are no neighbour contributions, so the delta is zero —
-      // matching the decomposed solver's delta-update semantics (see
-      // gradient_decomposition.cpp for the consistency argument).
-      if (config.mode == UpdateMode::kFullBatch) {
-        apply_gradient(result.volume, accbuf.volume(), accbuf.frame(), step);
-      }
-      accbuf.reset();
-      if (chunk + 1 < chunks) maybe_checkpoint(iter, chunk + 1, sweep_cost);
-    }
-    if (config.refine_probe && iter >= config.probe_warmup_iterations) {
-      // Descend the probe along its accumulated sweep gradient, then
-      // restore the total intensity (the object absorbs the scale).
-      const real probe_step =
-          config.probe_step / static_cast<real>(std::max<index_t>(1, probe_count));
-      axpy(cplx(-probe_step, 0), probe_grad_field.view(), probe.mutable_field().view());
-      const double energy = probe.total_intensity();
-      if (energy > 0.0) {
-        scale(cplx(static_cast<real>(std::sqrt(probe_energy / energy)), 0),
-              probe.mutable_field().view());
-      }
-      probe_grad_field.fill(cplx{});
-    }
-    if (config.record_cost) result.cost.record(sweep_cost);
-    maybe_checkpoint(iter + 1, 0, 0.0);
-  }
+  // Single-rank pass graph: sweep -> update -> probe refinement ->
+  // convergence record -> checkpoint. No sync/fault passes — there is no
+  // fabric — and the SGD update delta is zero with one rank, so the
+  // update pass only applies in full-batch mode.
+  const RefineSchedule refine{config.refine_probe, config.probe_warmup_iterations};
+  ReconstructionPipeline pipeline;
+  pipeline.emplace<SweepPass>(engine, config.mode, config.threads, config.schedule,
+                              SweepPass::Items{}, refine);
+  pipeline.emplace<ApplyUpdatePass>(config.mode, /*apply_in_sgd=*/false);
+  pipeline.emplace<ProbeRefinePass>(refine, config.probe_step, probe_count, probe_energy);
+  pipeline.emplace<CostRecordPass>(config.record_cost);
+  pipeline.emplace<CheckpointPass>(config.checkpoint, std::move(run));
+
+  SolverState state;
+  state.volume = &result.volume;
+  state.probe = &probe;
+  state.accbuf = &accbuf;
+  state.probe_grad_field = &probe_grad_field;
+  state.step = step;
+  state.cost = &result.cost;
+
+  PipelineSchedule schedule;
+  schedule.iterations = config.iterations;
+  schedule.chunks_per_iteration = chunks;
+  schedule.start_iteration = start_iteration;
+  schedule.start_chunk = start_chunk;
+  schedule.restored_partial_cost = restored_partial_cost;
+  schedule.items = probe_count;
+  pipeline.run(state, schedule);
 
   if (config.refine_probe) result.probe_field = probe.field().clone();
   result.wall_seconds = timer.seconds();

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "ckpt/snapshot.hpp"
+#include "common/parallel.hpp"
 #include "core/convergence.hpp"
 #include "core/gradient_engine.hpp"
 #include "core/optimizer.hpp"
@@ -32,6 +33,10 @@ struct SerialConfig {
   /// feeds the next probe's forward model), so it always runs on one
   /// thread regardless of this setting.
   int threads = 0;
+  /// How the full-batch sweep divides its batches across the pool's slots
+  /// (static partition or work-stealing). Output is bitwise identical for
+  /// either — a pure load-balancing knob, like `threads`.
+  SweepSchedule schedule = SweepSchedule::kStatic;
   bool record_cost = true;
   /// Joint object+probe refinement: after `probe_warmup_iterations`, each
   /// iteration also descends the probe wavefield along its accumulated

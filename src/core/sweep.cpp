@@ -4,16 +4,15 @@
 
 namespace ptycho {
 
-BatchSweeper::BatchSweeper(const GradientEngine& engine, ThreadPool& pool)
-    : engine_(engine), pool_(pool) {
-  const int slots = pool_.threads();
-  workspaces_.reserve(static_cast<usize>(slots));
-  for (int s = 0; s < slots; ++s) {
-    workspaces_.push_back(engine_.make_workspace());
-    // The sweep's only volume mutations go through apply_gradient, which
-    // bumps the revision — the cache's validity contract holds here.
-    workspaces_.back().cache_transmittance = true;
-  }
+BatchSweeper::BatchSweeper(const GradientEngine& engine, SweepScheduler& scheduler)
+    : engine_(engine),
+      scheduler_(scheduler),
+      // The sweep's only volume mutations go through apply_gradient, which
+      // bumps the revision — the transmittance cache's validity contract
+      // holds here, for every slot of the pool.
+      workspaces_(static_cast<index_t>(engine.dataset().spec.grid.probe_n),
+                  engine.dataset().spec.slices, scheduler.slots(),
+                  /*cache_transmittance=*/true) {
   const auto n = static_cast<index_t>(engine_.dataset().spec.grid.probe_n);
   const index_t slices = engine_.dataset().spec.slices;
   item_grad_.reserve(static_cast<usize>(kBatch));
@@ -27,11 +26,11 @@ BatchSweeper::BatchSweeper(const GradientEngine& engine, ThreadPool& pool)
 
 void BatchSweeper::sweep(index_t begin, index_t end, const Probe& probe,
                          const FramedVolume& volume, AccumulationBuffer& accbuf, double& cost,
-                         View2D<cplx>* probe_grad, const ProbeIdFn& probe_id_of,
-                         const MeasurementFn& measurement_of) {
+                         View2D<cplx>* probe_grad, ProbeIdFn probe_id_of,
+                         MeasurementFn measurement_of) {
   for (index_t batch = begin; batch < end; batch += kBatch) {
     const index_t count = std::min(kBatch, end - batch);
-    pool_.parallel_for(0, count, [&](index_t k, int slot) {
+    const auto evaluate = [&](index_t k, int slot) {
       const index_t item = batch + k;
       const index_t id = probe_id_of(item);
       const auto uk = static_cast<usize>(k);
@@ -45,12 +44,13 @@ void BatchSweeper::sweep(index_t begin, index_t end, const Probe& probe,
         pg_view = item_probe_grad_[uk].view();
         pg = &pg_view;
       }
-      item_cost_[uk] = engine_.probe_gradient_joint(id, probe, measurement_of(item), volume,
-                                                    grad, workspaces_[static_cast<usize>(slot)],
-                                                    pg);
-    });
+      item_cost_[uk] =
+          engine_.probe_gradient_joint(id, probe, measurement_of(item), volume, grad,
+                                       workspaces_[slot], pg);
+    };
+    scheduler_.dispatch(0, count, evaluate);
     // Ordered merge: identical association to the sequential per-probe
-    // loop, so results do not depend on the thread count.
+    // loop, so results do not depend on the thread count or scheduler.
     for (index_t k = 0; k < count; ++k) {
       const auto uk = static_cast<usize>(k);
       accbuf.accumulate(item_grad_[uk], item_grad_[uk].frame);

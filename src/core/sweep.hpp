@@ -5,9 +5,15 @@
 // items; each item writes into its own (item-indexed, not thread-indexed)
 // gradient buffer, and the batch is then merged into the accumulation
 // buffer in ascending item order. Because the batch structure and the
-// merge order depend only on the item range — never on the pool's thread
-// count — a full-batch sweep is bitwise identical for any --threads value,
-// and bitwise identical to the historical sequential loop.
+// merge order depend only on the item range — never on the scheduler's
+// thread count or which slot evaluated an item — a full-batch sweep is
+// bitwise identical for any --threads value and any SweepScheduler, and
+// bitwise identical to the historical sequential loop.
+//
+// The scheduler decides only WHICH slot computes an item (and therefore
+// which pooled workspace it scratches in); workspaces are pure scratch,
+// so per-item results are slot-independent. Per-item callbacks cross the
+// hot path as non-allocating function_refs.
 //
 // SGD mode is NOT routed through this class: its per-probe update feeds
 // probe i+1's forward model from probe i's descent step, an inherently
@@ -15,9 +21,9 @@
 // SerialConfig::threads).
 #pragma once
 
-#include <functional>
 #include <vector>
 
+#include "common/function_ref.hpp"
 #include "common/parallel.hpp"
 #include "core/accbuf.hpp"
 #include "core/gradient_engine.hpp"
@@ -31,31 +37,33 @@ class BatchSweeper {
   static constexpr index_t kBatch = 16;
 
   /// Maps a sweep item index to the dataset probe id it evaluates.
-  using ProbeIdFn = std::function<index_t(index_t item)>;
+  using ProbeIdFn = function_ref<index_t(index_t item)>;
   /// Maps a sweep item index to its measured magnitudes.
-  using MeasurementFn = std::function<View2D<const real>(index_t item)>;
+  using MeasurementFn = function_ref<View2D<const real>(index_t item)>;
 
-  /// Allocates one workspace per pool slot and kBatch item-gradient
+  /// Allocates one workspace per scheduler slot and kBatch item-gradient
   /// buffers up front (on the calling thread, so per-rank memory tracking
   /// sees them); sweeps reuse them.
-  BatchSweeper(const GradientEngine& engine, ThreadPool& pool);
+  BatchSweeper(const GradientEngine& engine, SweepScheduler& scheduler);
 
   /// Evaluate items [begin, end): per-item object gradients are merged
   /// into `accbuf` in item order, per-item probe gradients (when
   /// `probe_grad` is non-null) are added into it in item order, and the
   /// per-item costs are accumulated onto `cost` in item order — folding
   /// onto the caller's running value keeps the fp association identical to
-  /// the historical per-probe loop across chunk boundaries too.
+  /// the historical per-probe loop across chunk boundaries too. The
+  /// callbacks are only invoked during the call (function_ref lifetime
+  /// contract).
   void sweep(index_t begin, index_t end, const Probe& probe, const FramedVolume& volume,
              AccumulationBuffer& accbuf, double& cost, View2D<cplx>* probe_grad,
-             const ProbeIdFn& probe_id_of, const MeasurementFn& measurement_of);
+             ProbeIdFn probe_id_of, MeasurementFn measurement_of);
 
  private:
   const GradientEngine& engine_;
-  ThreadPool& pool_;
-  std::vector<MultisliceWorkspace> workspaces_;  ///< one per pool slot
-  std::vector<FramedVolume> item_grad_;          ///< kBatch window gradients
-  std::vector<CArray2D> item_probe_grad_;        ///< kBatch probe gradients
+  SweepScheduler& scheduler_;
+  WorkspacePool workspaces_;             ///< one per scheduler slot
+  std::vector<FramedVolume> item_grad_;  ///< kBatch window gradients
+  std::vector<CArray2D> item_probe_grad_;  ///< kBatch probe gradients
   std::vector<double> item_cost_;
 };
 

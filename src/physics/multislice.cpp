@@ -20,6 +20,16 @@ MultisliceWorkspace::MultisliceWorkspace(index_t probe_n, index_t slices)
   }
 }
 
+WorkspacePool::WorkspacePool(index_t probe_n, index_t slices, int slots,
+                             bool cache_transmittance) {
+  PTYCHO_REQUIRE(slots >= 1, "workspace pool needs at least one slot");
+  workspaces_.reserve(static_cast<usize>(slots));
+  for (int s = 0; s < slots; ++s) {
+    workspaces_.emplace_back(probe_n, slices);
+    workspaces_.back().cache_transmittance = cache_transmittance;
+  }
+}
+
 MultisliceOperator::MultisliceOperator(const OpticsGrid& grid, MultisliceConfig config)
     : grid_(grid), config_(config), propagator_(grid) {}
 

@@ -49,6 +49,25 @@ struct MultisliceWorkspace {
   MultisliceWorkspace(index_t probe_n, index_t slices);
 };
 
+/// One workspace per execution slot of a sweep scheduler. The pool is
+/// sized once (on the constructing thread, so per-rank memory tracking
+/// charges every buffer to the owning rank) and handed out by slot index —
+/// workspace identity follows the slot, not the item, which is safe
+/// because a workspace is pure scratch: per-item results never depend on
+/// which slot (and therefore which workspace) evaluated them.
+class WorkspacePool {
+ public:
+  WorkspacePool(index_t probe_n, index_t slices, int slots, bool cache_transmittance);
+
+  [[nodiscard]] int slots() const { return static_cast<int>(workspaces_.size()); }
+  [[nodiscard]] MultisliceWorkspace& operator[](int slot) {
+    return workspaces_[static_cast<usize>(slot)];
+  }
+
+ private:
+  std::vector<MultisliceWorkspace> workspaces_;
+};
+
 struct MultisliceConfig {
   ObjectModel model = ObjectModel::kTransmittance;
   real sigma = real(1);  ///< interaction constant for ObjectModel::kPotential

@@ -48,6 +48,8 @@
 #include "core/gradient_decomposition.hpp"
 #include "core/halo_voxel_exchange.hpp"
 #include "core/memory_model.hpp"
+#include "core/passes.hpp"
+#include "core/pipeline.hpp"
 #include "core/reconstructor.hpp"
 #include "core/seam_metric.hpp"
 #include "core/serial_solver.hpp"

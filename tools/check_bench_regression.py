@@ -14,7 +14,9 @@ best-of-N measurement, so a tolerance as tight as 25% is meaningful on
 shared CI runners. The fused-engine numbers (sweep_probes_per_sec_1t,
 fft2d_256_mb_per_sec) guard the hot path; the *_unfused and *_radix2
 variants guard the PTYCHO_FFT_FUSED=0 / PTYCHO_FFT_RADIX4=0 escape
-hatches so the A/B baseline itself cannot silently rot. Keys missing
+hatches so the A/B baseline itself cannot silently rot, and
+sweep_probes_per_sec_ws guards the work-stealing scheduler (at 1 thread
+it must stay within noise of the static path). Keys missing
 from either file are reported and skipped, so adding metrics to
 bench_sweep never breaks older baselines (the pre-PR-4 baseline simply
 skips the new keys).
@@ -28,7 +30,8 @@ import sys
 
 DEFAULT_KEYS = (
     "sweep_probes_per_sec_1t,fft2d_256_mb_per_sec,"
-    "sweep_probes_per_sec_1t_unfused,fft2d_256_mb_per_sec_radix2"
+    "sweep_probes_per_sec_1t_unfused,fft2d_256_mb_per_sec_radix2,"
+    "sweep_probes_per_sec_ws"
 )
 
 

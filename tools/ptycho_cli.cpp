@@ -34,6 +34,7 @@ int usage() {
                "  info       FILE\n"
                "  reconstruct FILE [--method serial|gd|hve] [--ranks N]\n"
                "             [--iterations N] [--step A] [--passes T] [--threads N]\n"
+               "             [--scheduler static|work-stealing]\n"
                "             [--backend scalar|simd|auto]\n"
                "             [--mode sgd|full-batch] [--no-appp] [--refine-probe]\n"
                "             [--resume VOLUME|CKPT_DIR] [--save-volume FILE] [--image FILE]\n"
@@ -43,7 +44,8 @@ int usage() {
                "  snapshot's iteration. --ranks may differ from the checkpointed run\n"
                "  (elastic restore re-tiles and redistributes the shards).\n"
                "  --backend (any subcommand; also via PTYCHO_BACKEND) picks the SIMD\n"
-               "  kernel backend; results are bitwise identical across backends.\n");
+               "  kernel backend; --scheduler picks the full-batch sweep scheduler;\n"
+               "  results are bitwise identical across backends and schedulers.\n");
   return 2;
 }
 
@@ -115,10 +117,12 @@ int cmd_reconstruct(const Options& opts) {
   // 0 = auto (hardware concurrency; divided across ranks for gd). The
   // full-batch sweep is bitwise identical for every thread count.
   request.threads = static_cast<int>(opts.get_int("threads", 0));
+  request.schedule = sweep_schedule_from_string(opts.get_string("scheduler", "static"));
   request.backend = opts.get_string("backend", "");
   request.mode = opts.get_string("mode", "sgd") == "full-batch" ? UpdateMode::kFullBatch
                                                                 : UpdateMode::kSgd;
   request.sync.appp = !opts.get_bool("no-appp", false);
+  request.refine_probe = opts.get_bool("refine-probe", false);
   request.checkpoint.directory = opts.get_string("checkpoint-dir", "");
   request.checkpoint.every_chunks = static_cast<int>(opts.get_int("checkpoint-every", 0));
   PTYCHO_CHECK(request.checkpoint.directory.empty() == (request.checkpoint.every_chunks == 0),
