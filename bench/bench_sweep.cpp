@@ -33,6 +33,8 @@
 #include "core/sweep.hpp"
 #include "data/synthetic.hpp"
 #include "fft/fft2d.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace ptycho;
 
@@ -223,6 +225,20 @@ int main(int argc, char** argv) {
   std::printf("  1 thread unfused: %8.1f probes/s (fusion %.2fx)\n", rate_1t_unfused,
               rate_1t / rate_1t_unfused);
 
+  // Traced-vs-untraced A/B: the same 1-thread sweep with the telemetry
+  // flags on (spans + counters live). The untraced column above is the
+  // regression-gated number; this one bounds what --trace-out costs and
+  // guards the "disabled instrumentation is a cached-flag branch" claim.
+  obs::set_tracing_enabled(true);
+  obs::set_metrics_enabled(true);
+  const double rate_1t_traced = sweep_rate(dataset, 1, repeat);
+  obs::set_tracing_enabled(false);
+  obs::set_metrics_enabled(false);
+  obs::Tracer::instance().clear();
+  obs::registry().reset();
+  std::printf("  1 thread traced: %8.1f probes/s (overhead %.1f%%)\n", rate_1t_traced,
+              (rate_1t / rate_1t_traced - 1.0) * 100.0);
+
   const FftResult fft = fft_rate(fft_iters, repeat);
   std::printf("fft 256x256 fwd+inv (%s): %.1f us/pair, %.1f MB/s\n", active_backend.c_str(),
               fft.us_per_pair, fft.mb_per_sec);
@@ -296,6 +312,8 @@ int main(int argc, char** argv) {
        << "  \"sweep_probes_per_sec_1t\": " << rate_1t << ",\n"
        << "  \"sweep_probes_per_sec_1t_unfused\": " << rate_1t_unfused << ",\n"
        << "  \"sweep_fusion_speedup\": " << rate_1t / rate_1t_unfused << ",\n"
+       << "  \"sweep_probes_per_sec_1t_traced\": " << rate_1t_traced << ",\n"
+       << "  \"sweep_trace_overhead\": " << rate_1t / rate_1t_traced << ",\n"
        << "  \"sweep_probes_per_sec_nt\": " << rate_nt << ",\n"
        << "  \"sweep_speedup\": " << rate_nt / rate_1t << ",\n"
        << "  \"sweep_probes_per_sec_ws\": " << rate_1t_ws << ",\n"

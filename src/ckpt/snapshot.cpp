@@ -152,23 +152,27 @@ Manifest read_manifest(const std::string& dir) {
   return m;
 }
 
-void write_shard(const std::string& dir, const ShardView& shard) {
-  Writer w((fs::path(dir) / shard_name(shard.rank)).string(), kShardMagic, kFormatVersion);
-  w.u32(static_cast<std::uint32_t>(shard.rank));
-  w.f64(shard.partial_cost);
-  for (std::uint64_t s : shard.rng.s) w.u64(s);
-  w.u64(shard.rng.cached_normal_bits);
-  w.u8(shard.rng.have_cached_normal ? 1 : 0);
-  write_framed(w, *shard.volume);
-  write_framed(w, *shard.accbuf);
-  write_square(w, *shard.probe);
-  write_square(w, *shard.probe_grad);
-  w.finish();
+std::uint64_t write_shard(const std::string& dir, const ShardView& shard) {
+  const std::string path = (fs::path(dir) / shard_name(shard.rank)).string();
+  {
+    Writer w(path, kShardMagic, kFormatVersion);
+    w.u32(static_cast<std::uint32_t>(shard.rank));
+    w.f64(shard.partial_cost);
+    for (std::uint64_t s : shard.rng.s) w.u64(s);
+    w.u64(shard.rng.cached_normal_bits);
+    w.u8(shard.rng.have_cached_normal ? 1 : 0);
+    write_framed(w, *shard.volume);
+    write_framed(w, *shard.accbuf);
+    write_square(w, *shard.probe);
+    write_square(w, *shard.probe_grad);
+    w.finish();
+  }
+  return static_cast<std::uint64_t>(fs::file_size(path));
 }
 
-void write_shard(const std::string& dir, const Shard& shard) {
-  write_shard(dir, ShardView{shard.rank, shard.partial_cost, shard.rng, &shard.volume,
-                             &shard.accbuf, &shard.probe, &shard.probe_grad});
+std::uint64_t write_shard(const std::string& dir, const Shard& shard) {
+  return write_shard(dir, ShardView{shard.rank, shard.partial_cost, shard.rng, &shard.volume,
+                                    &shard.accbuf, &shard.probe, &shard.probe_grad});
 }
 
 Shard read_shard(const std::string& dir, int rank) {

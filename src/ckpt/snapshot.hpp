@@ -133,8 +133,10 @@ struct RunInfo {
 void write_manifest(const std::string& dir, const Manifest& manifest);
 [[nodiscard]] Manifest read_manifest(const std::string& dir);
 
-void write_shard(const std::string& dir, const ShardView& shard);
-void write_shard(const std::string& dir, const Shard& shard);
+/// Write one rank's shard; returns the bytes written (for the
+/// checkpoint_shard_bytes_total metric).
+std::uint64_t write_shard(const std::string& dir, const ShardView& shard);
+std::uint64_t write_shard(const std::string& dir, const Shard& shard);
 [[nodiscard]] Shard read_shard(const std::string& dir, int rank);
 
 /// Step of the most advanced complete snapshot under `root` (ranked by

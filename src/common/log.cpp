@@ -1,6 +1,8 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 
 namespace ptycho::log {
@@ -8,6 +10,9 @@ namespace ptycho::log {
 namespace {
 std::atomic<int> g_threshold{static_cast<int>(Level::kInfo)};
 std::mutex g_emit_mutex;
+Sink g_sink;  // guarded by g_emit_mutex
+
+thread_local int t_rank = -1;
 
 const char* prefix(Level level) {
   switch (level) {
@@ -19,6 +24,28 @@ const char* prefix(Level level) {
   }
   return "";
 }
+
+/// Seconds since the first emission (monotonic clock); keeps lines
+/// correlatable with trace timestamps without wall-clock skew.
+double uptime_seconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch).count();
+}
+
+std::string format_line(Level level, const std::string& message) {
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "[%9.3fs] ", uptime_seconds());
+  std::string line = stamp;
+  line += prefix(level);
+  if (t_rank >= 0) {
+    char rank[16];
+    std::snprintf(rank, sizeof rank, "[r%d] ", t_rank);
+    line += rank;
+  }
+  line += message;
+  return line;
+}
+
 }  // namespace
 
 Level threshold() noexcept { return static_cast<Level>(g_threshold.load(std::memory_order_relaxed)); }
@@ -27,11 +54,32 @@ void set_threshold(Level level) noexcept {
   g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+int set_thread_rank(int rank) noexcept {
+  const int previous = t_rank;
+  t_rank = rank;
+  return previous;
+}
+
+int thread_rank() noexcept { return t_rank; }
+
+void set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
+
 void emit(Level level, const std::string& message) {
   if (static_cast<int>(level) < g_threshold.load(std::memory_order_relaxed)) return;
+  const std::string line = format_line(level, message);
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::ostream& os = (level >= Level::kWarn) ? std::cerr : std::clog;
-  os << prefix(level) << message << '\n';
+  if (g_sink) {
+    g_sink(level, line);
+    return;
+  }
+  // Diagnostics (Warn/Error) go to stderr; progress/info shares stdout
+  // with the program's own output.
+  std::ostream& os = (level >= Level::kWarn) ? std::cerr : std::cout;
+  os << line << '\n';
+  os.flush();
 }
 
 }  // namespace ptycho::log

@@ -2,8 +2,15 @@
 //
 // Thread-safe (a single mutex around emission), cheap when the level is
 // filtered out. Bench harnesses set the level from --verbose flags.
+//
+// Emitted lines carry a monotonic timestamp (seconds since the first
+// emission), the level, and — on virtual-cluster rank threads — a rank
+// tag: "[   1.042s] [info ] [r2] message". Debug/Info go to stdout,
+// Warn/Error to stderr; tests can capture everything with set_sink()
+// instead of scraping the process streams.
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -16,7 +23,19 @@ enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 
 Level threshold() noexcept;
 void set_threshold(Level level) noexcept;
 
-/// Emit one line at `level` (no-op if filtered). Adds a level prefix.
+/// Thread-local rank tag included in emitted lines (-1 = no tag). The
+/// virtual cluster installs the rank on each rank thread. Returns the
+/// previous value so scopes can restore it.
+int set_thread_rank(int rank) noexcept;
+[[nodiscard]] int thread_rank() noexcept;
+
+/// Replace stream output with `sink` (called with the level and the fully
+/// formatted line, no trailing newline). An empty function restores the
+/// default stdout/stderr routing. Threshold filtering still applies.
+using Sink = std::function<void(Level level, const std::string& line)>;
+void set_sink(Sink sink);
+
+/// Emit one line at `level` (no-op if filtered). Adds the prefix.
 void emit(Level level, const std::string& message);
 
 namespace detail {

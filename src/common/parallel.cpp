@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace ptycho {
 
@@ -47,14 +49,20 @@ void ThreadPool::worker_loop(int slot) {
       region = region_;
     }
     // Account this worker's allocations to the submitting thread's tracker
-    // (per-rank device-memory accounting must not depend on thread count).
+    // (per-rank device-memory accounting must not depend on thread count),
+    // and adopt its observability identity so spans emitted inside the
+    // region carry the owning rank and phase time lands in its ledger.
     const AllocHooks previous = set_thread_alloc_hooks(region.hooks);
+    const obs::ThreadContext prev_octx = obs::set_thread_context(region.octx);
+    const int prev_rank = log::set_thread_rank(region.octx.rank);
     std::exception_ptr error;
     try {
       run_slot(region, slot);
     } catch (...) {
       error = std::current_exception();
     }
+    log::set_thread_rank(prev_rank);
+    obs::set_thread_context(prev_octx);
     set_thread_alloc_hooks(previous);
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -78,6 +86,7 @@ void ThreadPool::parallel_for(index_t begin, index_t end, function_ref<void(inde
   region.end = end;
   region.chunk = (n + slots - 1) / slots;
   region.hooks = thread_alloc_hooks();
+  region.octx = obs::thread_context();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     region_ = region;
@@ -159,7 +168,14 @@ void WorkStealingScheduler::dispatch(index_t begin, index_t end,
 
   const index_t chunk = chunk_;
   auto& ranges = ranges_;
-  const auto worker = [&ranges, nslots, chunk, begin, fn](index_t s, int slot) {
+  // Flags are sampled once per dispatch so the hot loops below pay a plain
+  // bool test, not an atomic load per chunk.
+  const bool count = obs::metrics_enabled();
+  const bool traced = obs::tracing_enabled();
+  std::atomic<std::uint64_t> pops{0};
+  std::atomic<std::uint64_t> steals{0};
+  const auto worker = [&ranges, nslots, chunk, begin, fn, count, traced, &pops,
+                       &steals](index_t s, int slot) {
     (void)s;  // with n == nslots parallel_for maps item s onto slot s
     // Drain our own block from the front, `chunk` items per CAS.
     auto& own = ranges[static_cast<usize>(slot)].bits;
@@ -175,6 +191,7 @@ void WorkStealingScheduler::dispatch(index_t begin, index_t end,
               std::memory_order_acq_rel)) {
         continue;  // a thief moved hi (or a retry raced); re-read
       }
+      if (count) pops.fetch_add(1, std::memory_order_relaxed);
       for (index_t i = lo; i < lo + take; ++i) fn(begin + i, slot);
     }
     // Steal: scan the other slots until a full pass finds everyone dry.
@@ -200,6 +217,8 @@ void WorkStealingScheduler::dispatch(index_t begin, index_t end,
                 std::memory_order_acq_rel)) {
           continue;  // raced; the rescan will retry this victim
         }
+        if (count) steals.fetch_add(1, std::memory_order_relaxed);
+        if (traced) obs::instant("steal");
         for (index_t i = new_hi; i < hi; ++i) fn(begin + i, slot);
       }
       if (!any_left) return;
@@ -208,6 +227,12 @@ void WorkStealingScheduler::dispatch(index_t begin, index_t end,
   // One "item" per slot: parallel_for's static map runs worker s on slot s,
   // reusing the pool's alloc-hook propagation and exception rethrow.
   pool_.parallel_for(0, nslots, worker);
+  if (count) {
+    static obs::Counter& pop_counter = obs::registry().counter("scheduler_pops_total");
+    static obs::Counter& steal_counter = obs::registry().counter("scheduler_steals_total");
+    pop_counter.add(pops.load(std::memory_order_relaxed));
+    steal_counter.add(steals.load(std::memory_order_relaxed));
+  }
 }
 
 std::unique_ptr<SweepScheduler> make_sweep_scheduler(SweepSchedule schedule, ThreadPool& pool) {

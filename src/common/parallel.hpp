@@ -36,6 +36,7 @@
 #include "common/function_ref.hpp"
 #include "common/memory.hpp"
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 
 namespace ptycho {
 
@@ -71,7 +72,8 @@ class ThreadPool {
     index_t begin = 0;
     index_t end = 0;
     index_t chunk = 0;
-    AllocHooks hooks;  ///< submitting thread's hooks, adopted by workers
+    AllocHooks hooks;        ///< submitting thread's hooks, adopted by workers
+    obs::ThreadContext octx;  ///< submitting thread's obs identity, ditto
   };
 
   void worker_loop(int slot);

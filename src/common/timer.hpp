@@ -30,7 +30,15 @@ class WallTimer {
 };
 
 /// Accumulates wall time into named phases; one instance per rank.
-/// Not thread-safe by design — each rank owns its profiler.
+///
+/// Not itself thread-safe: add()/merge() must come from one thread at a
+/// time. On cluster runs the totals are no longer accumulated here
+/// directly — pass hooks (which may run on scheduler worker slots) time
+/// themselves through obs::SpanScope into a per-rank obs::PhaseLedger of
+/// padded atomics, and the ledger is merged into this profiler at chunk
+/// boundaries from the rank's own thread (src/obs/trace.hpp). The Fig. 7b
+/// breakdown is therefore span-derived; this class remains the stable
+/// aggregation/reporting surface.
 class PhaseProfiler {
  public:
   /// Add `seconds` to phase `name`.

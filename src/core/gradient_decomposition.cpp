@@ -179,6 +179,10 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
     pipeline.emplace<ProbeRefinePass>(refine, config.probe_step, dataset.probe_count(),
                                       probe_energy);
     pipeline.emplace<CostRecordPass>(config.record_cost);
+    if (config.progress_every > 0) {
+      pipeline.emplace<ProgressPass>(config.progress_every, dataset.probe_count(),
+                                     config.iterations);
+    }
     pipeline.emplace<CheckpointPass>(config.checkpoint, run_info);
 
     SolverState state;

@@ -44,6 +44,8 @@ struct GdConfig {
   /// output either way — see SerialConfig::schedule.
   SweepSchedule schedule = SweepSchedule::kStatic;
   bool record_cost = true;
+  /// Log a one-line progress report (rank 0 only) every N iterations.
+  int progress_every = 0;
   /// Joint object+probe refinement. The probe is a *global* quantity, so
   /// each iteration the ranks all-reduce their probe-gradient buffers
   /// (one probe_n^2 message — negligible next to the tile passes) and

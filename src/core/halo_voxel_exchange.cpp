@@ -96,6 +96,10 @@ ParallelResult reconstruct_hve(const Dataset& dataset, const HveConfig& config,
                                         config.local_epochs);
     pipeline.emplace<HaloPastePass>(pastes);
     pipeline.emplace<CostRecordPass>(config.record_cost);
+    if (config.progress_every > 0) {
+      pipeline.emplace<ProgressPass>(config.progress_every, dataset.probe_count(),
+                                     config.iterations);
+    }
 
     SolverState state;
     state.volume = &volume;

@@ -24,6 +24,8 @@ struct HveConfig {
   /// Rings of replicated neighbour probes ("two extra rows", Sec. VI-A).
   int extra_rings = 2;
   bool record_cost = true;
+  /// Log a one-line progress report (rank 0 only) every N iterations.
+  int progress_every = 0;
 };
 
 /// Throws ptycho::Error if the partition violates the paste-feasibility

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <filesystem>
 
+#include "common/log.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/collectives.hpp"
 
 namespace ptycho {
@@ -147,8 +150,8 @@ SweepPass::SweepPass(const GradientEngine& engine, UpdateMode mode, int threads,
 }
 
 void SweepPass::on_chunk(SolverState& state, const StepPoint& point) {
-  std::optional<ScopedPhase> compute;
-  if (state.ctx != nullptr) compute.emplace(state.ctx->profiler(), phase::kCompute);
+  // Phase accounting (kCompute) comes from the pipeline's SpanScope around
+  // this hook — see Pass::phase().
   const bool refine_now = refine_.due(point.iteration);
   if (mode_ == UpdateMode::kFullBatch) {
     View2D<cplx> pg_view = state.probe_grad_field->view();
@@ -157,6 +160,11 @@ void SweepPass::on_chunk(SolverState& state, const StepPoint& point) {
         refine_now ? &pg_view : nullptr, [this](index_t item) { return probe_id(item); },
         [this](index_t item) { return measurement(item); });
   } else {
+    if (point.end > point.begin && obs::metrics_enabled()) {
+      // Full-batch sweeps are counted inside BatchSweeper.
+      static obs::Counter& probes = obs::registry().counter("sweep_probes_total");
+      probes.add(static_cast<std::uint64_t>(point.end - point.begin));
+    }
     for (index_t i = point.begin; i < point.end; ++i) {
       const index_t id = probe_id(i);
       grad_scratch_->frame = engine_.window(id);
@@ -172,12 +180,11 @@ void SweepPass::on_chunk(SolverState& state, const StepPoint& point) {
 }
 
 void SyncGradientsPass::on_chunk(SolverState& state, const StepPoint& point) {
-  (void)point;
   if (mode_ == UpdateMode::kSgd) {
     // Undo the chunk's local updates now, while AccBuf still holds exactly
     // the own contributions (no extra buffer needed); the post-sync apply
     // then installs the full total once.
-    ScopedPhase update(state.ctx->profiler(), phase::kUpdate);
+    obs::SpanScope undo("sgd-undo", obs::Phase::kUpdate, point.iteration, point.chunk);
     apply_gradient(*state.volume, state.accbuf->volume(), state.accbuf->frame(), -state.step);
   }
   sync_.synchronize(*state.ctx, state.accbuf->volume());
@@ -185,8 +192,7 @@ void SyncGradientsPass::on_chunk(SolverState& state, const StepPoint& point) {
 
 void ApplyUpdatePass::on_chunk(SolverState& state, const StepPoint& point) {
   (void)point;
-  std::optional<ScopedPhase> update;
-  if (state.ctx != nullptr) update.emplace(state.ctx->profiler(), phase::kUpdate);
+  // kUpdate accounting comes from the pipeline's SpanScope (Pass::phase()).
   if (mode_ == UpdateMode::kFullBatch || apply_in_sgd_) {
     apply_gradient(*state.volume, state.accbuf->volume(), state.accbuf->frame(), state.step);
   }
@@ -235,6 +241,33 @@ void CostRecordPass::on_iteration(SolverState& state, int iteration) {
   state.cost->record(state.sweep_cost);
 }
 
+void ProgressPass::on_iteration(SolverState& state, int iteration) {
+  if (every_ <= 0) return;
+  if (state.ctx != nullptr && state.ctx->rank() != 0) return;
+  ++iterations_since_last_;
+  if ((iteration + 1) % every_ != 0) return;
+  // Latest recorded global cost when available (CostRecordPass runs
+  // earlier in the list), else this rank's running sweep cost.
+  double cost = state.sweep_cost;
+  bool have_cost = false;
+  if (state.cost != nullptr) {
+    std::unique_lock<std::mutex> lock;
+    if (state.cost_mutex != nullptr) lock = std::unique_lock<std::mutex>(*state.cost_mutex);
+    if (!state.cost->values().empty()) {
+      cost = state.cost->last();
+      have_cost = true;
+    }
+  }
+  const double elapsed = since_last_.seconds();
+  const double rate = elapsed > 0.0
+                          ? static_cast<double>(probes_) * iterations_since_last_ / elapsed
+                          : 0.0;
+  log::info() << "iteration " << (iteration + 1) << "/" << total_ << "  cost "
+              << (have_cost ? "" : "~") << cost << "  " << rate << " probes/s";
+  since_last_.reset();
+  iterations_since_last_ = 0;
+}
+
 void CheckpointPass::on_chunk(SolverState& state, const StepPoint& point) {
   // Mid-iteration boundary only; the iteration hook takes the last one
   // (after the cost record, so the manifest carries the full
@@ -256,17 +289,23 @@ void CheckpointPass::maybe_write(SolverState& state, int next_iteration, int nex
   const std::uint64_t step_count =
       ckpt::chunk_step(next_iteration, next_chunk, run_.chunks_per_iteration);
   if (!ckpt::snapshot_due(policy_, step_count)) return;
-  std::optional<ScopedPhase> ckpt_phase;
-  if (state.ctx != nullptr) ckpt_phase.emplace(state.ctx->profiler(), phase::kCheckpoint);
+  obs::SpanScope ckpt_span("snapshot-write", obs::Phase::kCheckpoint, next_iteration,
+                           next_chunk);
   const std::string dir = ckpt::step_dir(policy_.directory, step_count);
   const int rank = state.ctx != nullptr ? state.ctx->rank() : 0;
   if (rank == 0) std::filesystem::create_directories(dir);
   if (state.ctx != nullptr) state.ctx->barrier();
-  ckpt::write_shard(dir, ckpt::ShardView{rank, partial_cost,
-                                         state.ctx != nullptr ? state.ctx->rng().state()
-                                                              : RngState{},
-                                         state.volume, &state.accbuf->volume(),
-                                         &state.probe->field(), state.probe_grad_field});
+  const std::uint64_t shard_bytes = ckpt::write_shard(
+      dir, ckpt::ShardView{rank, partial_cost,
+                           state.ctx != nullptr ? state.ctx->rng().state() : RngState{},
+                           state.volume, &state.accbuf->volume(), &state.probe->field(),
+                           state.probe_grad_field});
+  {
+    static obs::Counter& shards = obs::registry().counter("checkpoint_shards_total");
+    static obs::Counter& bytes = obs::registry().counter("checkpoint_shard_bytes_total");
+    shards.add(1);
+    bytes.add(shard_bytes);
+  }
   if (state.ctx != nullptr) state.ctx->barrier();
   // Written last (by rank 0): marks the snapshot complete.
   if (rank != 0) return;
@@ -276,8 +315,14 @@ void CheckpointPass::maybe_write(SolverState& state, int next_iteration, int nex
     if (state.cost_mutex != nullptr) lock = std::unique_lock<std::mutex>(*state.cost_mutex);
     cost_values = state.cost->values();
   }
+  WallTimer manifest_timer;
   ckpt::write_manifest(
       dir, ckpt::make_manifest(run_, next_iteration, next_chunk, std::move(cost_values)));
+  static obs::Counter& snapshots = obs::registry().counter("checkpoint_snapshots_total");
+  snapshots.add(1);
+  static obs::Histogram& manifest_seconds =
+      obs::registry().histogram("checkpoint_manifest_seconds");
+  manifest_seconds.observe(manifest_timer.seconds());
 }
 
 HveLocalSweepPass::HveLocalSweepPass(const GradientEngine& engine,
@@ -296,7 +341,12 @@ HveLocalSweepPass::HveLocalSweepPass(const GradientEngine& engine,
 
 void HveLocalSweepPass::on_chunk(SolverState& state, const StepPoint& point) {
   (void)point;
-  ScopedPhase compute(state.ctx->profiler(), phase::kCompute);
+  // kCompute accounting comes from the pipeline's SpanScope (Pass::phase()).
+  if (obs::metrics_enabled() && !probes_.empty()) {
+    static obs::Counter& probes = obs::registry().counter("sweep_probes_total");
+    probes.add(static_cast<std::uint64_t>(probes_.size()) *
+               static_cast<std::uint64_t>(std::max(1, epochs_)));
+  }
   for (int epoch = 0; epoch < epochs_; ++epoch) {
     for (usize p = 0; p < probes_.size(); ++p) {
       const index_t id = probes_[p];

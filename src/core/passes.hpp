@@ -169,6 +169,7 @@ class SweepPass final : public Pass {
             SweepSchedule schedule, Items items, RefineSchedule refine);
 
   [[nodiscard]] const char* name() const override { return "sweep"; }
+  [[nodiscard]] obs::Phase phase() const override { return obs::Phase::kCompute; }
   void on_chunk(SolverState& state, const StepPoint& point) override;
 
  private:
@@ -225,6 +226,7 @@ class ApplyUpdatePass final : public Pass {
       : mode_(mode), apply_in_sgd_(apply_in_sgd) {}
 
   [[nodiscard]] const char* name() const override { return "update"; }
+  [[nodiscard]] obs::Phase phase() const override { return obs::Phase::kUpdate; }
   void on_chunk(SolverState& state, const StepPoint& point) override;
 
  private:
@@ -281,6 +283,27 @@ class CostRecordPass final : public Pass {
   bool record_;
 };
 
+/// Periodic one-line progress report (--progress N): every N completed
+/// iterations, rank 0 (or the serial solver) logs iteration position, the
+/// latest recorded cost (falling back to the running sweep cost) and the
+/// probe throughput since the previous report. Pure observation — no
+/// state mutation, no communication.
+class ProgressPass final : public Pass {
+ public:
+  ProgressPass(int every, index_t probes_per_iteration, int total_iterations)
+      : every_(every), probes_(probes_per_iteration), total_(total_iterations) {}
+
+  [[nodiscard]] const char* name() const override { return "progress"; }
+  void on_iteration(SolverState& state, int iteration) override;
+
+ private:
+  int every_;
+  index_t probes_;
+  int total_;
+  WallTimer since_last_;
+  int iterations_since_last_ = 0;
+};
+
 /// Periodic checkpointing as a pipeline stage: mid-iteration snapshots at
 /// chunk boundaries (carrying the partial sweep cost) and one at each
 /// iteration boundary. The write protocol is the subsystem's
@@ -314,6 +337,7 @@ class HveLocalSweepPass final : public Pass {
                     const std::vector<RArray2D>& measurements, usize own_count, int epochs);
 
   [[nodiscard]] const char* name() const override { return "hve-local-sweep"; }
+  [[nodiscard]] obs::Phase phase() const override { return obs::Phase::kCompute; }
   void on_chunk(SolverState& state, const StepPoint& point) override;
 
  private:

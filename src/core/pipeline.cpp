@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include "common/error.hpp"
+#include "runtime/cluster.hpp"
 
 namespace ptycho {
 
@@ -35,9 +36,30 @@ void ReconstructionPipeline::run(SolverState& state, const PipelineSchedule& sch
       point.chunks = schedule.chunks_per_iteration;
       point.begin = schedule.items * chunk / schedule.chunks_per_iteration;
       point.end = schedule.items * (chunk + 1) / schedule.chunks_per_iteration;
-      for (const auto& pass : passes_) pass->on_chunk(state, point);
+      {
+        obs::SpanScope chunk_span("chunk", obs::Phase::kNone, iter, chunk);
+        for (const auto& pass : passes_) {
+          obs::SpanScope span(pass->name(), pass->phase(), iter, chunk);
+          pass->on_chunk(state, point);
+        }
+      }
+      // Chunk boundary: fold this rank's span durations into its profiler
+      // and move pending trace records out of the bounded rings.
+      if (state.ctx != nullptr) state.ctx->merge_phases();
+      if (obs::tracing_enabled()) obs::Tracer::instance().drain_all();
     }
-    for (const auto& pass : passes_) pass->on_iteration(state, iter);
+    {
+      // Iteration hooks carry no pass phase: probe refinement and cost
+      // recording were never phase-accounted, and the checkpoint pass
+      // times its actual writes internally (snapshot-write spans).
+      obs::SpanScope iter_span("iteration-hooks", obs::Phase::kNone, iter);
+      for (const auto& pass : passes_) {
+        obs::SpanScope span(pass->name(), obs::Phase::kNone, iter);
+        pass->on_iteration(state, iter);
+      }
+    }
+    if (state.ctx != nullptr) state.ctx->merge_phases();
+    if (obs::tracing_enabled()) obs::Tracer::instance().drain_all();
   }
 }
 

@@ -30,6 +30,7 @@
 
 #include "core/accbuf.hpp"
 #include "core/convergence.hpp"
+#include "obs/trace.hpp"
 #include "physics/probe.hpp"
 #include "tensor/framed.hpp"
 
@@ -72,6 +73,14 @@ class Pass {
   virtual ~Pass() = default;
 
   [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Which Fig. 7b phase this pass's chunk hook is accounted under. The
+  /// pipeline wraps every hook in an obs::SpanScope carrying this phase,
+  /// so phase totals are derived from the same spans the tracer exports.
+  /// kNone (the default) still traces the hook but attributes no phase —
+  /// right for passes whose time is accounted at a finer grain inside
+  /// (communication, waits, checkpoint writes).
+  [[nodiscard]] virtual obs::Phase phase() const { return obs::Phase::kNone; }
 
   /// Runs once per chunk, in pass-list order.
   virtual void on_chunk(SolverState& state, const StepPoint& point) {

@@ -1,8 +1,21 @@
 #include "core/reconstructor.hpp"
 
 #include "backend/kernels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
 
 namespace ptycho {
+
+namespace {
+// Post-run roll-up of the facade-level observables shared by both
+// decomposed solvers.
+void record_parallel_gauges(const ParallelResult& result) {
+  if (!obs::metrics_enabled()) return;
+  obs::registry().gauge("mem_peak_bytes_max").set(static_cast<double>(result.max_peak_bytes));
+  obs::registry().gauge("mem_peak_bytes_mean").set(result.mean_peak_bytes);
+  obs::registry().gauge("wall_seconds").set(result.wall_seconds);
+}
+}  // namespace
 
 const char* to_string(Method method) {
   switch (method) {
@@ -21,6 +34,7 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
                                << "' is not available (want scalar|simd|auto; simd requires "
                                   "CPU support)");
   }
+  obs::Session session(obs::SessionConfig{request.trace_out, request.metrics_out});
   ReconstructionOutcome outcome;
   switch (request.method) {
     case Method::kSerial: {
@@ -33,12 +47,17 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.mode = request.mode;
       config.refine_probe = request.refine_probe;
       config.record_cost = request.record_cost;
+      config.progress_every = request.progress_every;
       config.checkpoint = request.checkpoint;
       config.restore = request.restore;
       SerialResult result = reconstruct_serial(dataset_, config, initial);
       outcome.volume = std::move(result.volume);
       outcome.cost = std::move(result.cost);
       outcome.wall_seconds = result.wall_seconds;
+      if (obs::metrics_enabled()) {
+        obs::registry().gauge("wall_seconds").set(result.wall_seconds);
+      }
+      session.finish();
       return outcome;
     }
     case Method::kGradientDecomposition: {
@@ -53,6 +72,7 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.sync = request.sync;
       config.refine_probe = request.refine_probe;
       config.record_cost = request.record_cost;
+      config.progress_every = request.progress_every;
       config.checkpoint = request.checkpoint;
       config.restore = request.restore;
       config.fault = request.fault;
@@ -62,6 +82,8 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       outcome.wall_seconds = result.wall_seconds;
       outcome.mean_peak_bytes = result.mean_peak_bytes;
       outcome.breakdown = std::move(result.breakdown);
+      record_parallel_gauges(result);
+      session.finish();
       return outcome;
     }
     case Method::kHaloVoxelExchange: {
@@ -74,12 +96,15 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.local_epochs = request.hve_local_epochs;
       config.extra_rings = request.hve_extra_rings;
       config.record_cost = request.record_cost;
+      config.progress_every = request.progress_every;
       ParallelResult result = reconstruct_hve(dataset_, config, initial);
       outcome.volume = std::move(result.volume);
       outcome.cost = std::move(result.cost);
       outcome.wall_seconds = result.wall_seconds;
       outcome.mean_peak_bytes = result.mean_peak_bytes;
       outcome.breakdown = std::move(result.breakdown);
+      record_parallel_gauges(result);
+      session.finish();
       return outcome;
     }
   }

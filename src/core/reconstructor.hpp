@@ -52,6 +52,14 @@ struct ReconstructionRequest {
   const ckpt::Snapshot* restore = nullptr;
   /// Fault injection for recovery testing (GD only).
   rt::FaultPlan fault;
+  /// Write a Chrome trace_event JSON (Perfetto-loadable) of the run's
+  /// spans to this path ("" disables tracing).
+  std::string trace_out;
+  /// Write the metrics-registry snapshot (ptycho.metrics.v1 JSON) to this
+  /// path ("" disables metrics collection).
+  std::string metrics_out;
+  /// Log a one-line progress report every N iterations (0 disables).
+  int progress_every = 0;
 };
 
 struct ReconstructionOutcome {

@@ -95,6 +95,9 @@ SerialResult reconstruct_serial(const Dataset& dataset, const SerialConfig& conf
   pipeline.emplace<ApplyUpdatePass>(config.mode, /*apply_in_sgd=*/false);
   pipeline.emplace<ProbeRefinePass>(refine, config.probe_step, probe_count, probe_energy);
   pipeline.emplace<CostRecordPass>(config.record_cost);
+  if (config.progress_every > 0) {
+    pipeline.emplace<ProgressPass>(config.progress_every, probe_count, config.iterations);
+  }
   pipeline.emplace<CheckpointPass>(config.checkpoint, std::move(run));
 
   SolverState state;

@@ -38,6 +38,8 @@ struct SerialConfig {
   /// either — a pure load-balancing knob, like `threads`.
   SweepSchedule schedule = SweepSchedule::kStatic;
   bool record_cost = true;
+  /// Log a one-line progress report every N iterations (0 disables).
+  int progress_every = 0;
   /// Joint object+probe refinement: after `probe_warmup_iterations`, each
   /// iteration also descends the probe wavefield along its accumulated
   /// gradient (then renormalizes to the initial total intensity, removing

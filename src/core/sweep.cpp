@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace ptycho {
 
 BatchSweeper::BatchSweeper(const GradientEngine& engine, SweepScheduler& scheduler)
@@ -28,6 +31,10 @@ void BatchSweeper::sweep(index_t begin, index_t end, const Probe& probe,
                          const FramedVolume& volume, AccumulationBuffer& accbuf, double& cost,
                          View2D<cplx>* probe_grad, ProbeIdFn probe_id_of,
                          MeasurementFn measurement_of) {
+  if (end > begin) {
+    static obs::Counter& probes = obs::registry().counter("sweep_probes_total");
+    probes.add(static_cast<std::uint64_t>(end - begin));
+  }
   for (index_t batch = begin; batch < end; batch += kBatch) {
     const index_t count = std::min(kBatch, end - batch);
     const auto evaluate = [&](index_t k, int slot) {
@@ -48,7 +55,12 @@ void BatchSweeper::sweep(index_t begin, index_t end, const Probe& probe,
           engine_.probe_gradient_joint(id, probe, measurement_of(item), volume, grad,
                                        workspaces_[slot], pg);
     };
-    scheduler_.dispatch(0, count, evaluate);
+    {
+      // Phase is kNone: the pipeline's SweepPass span already owns the
+      // compute attribution; this one only adds batch granularity to traces.
+      obs::SpanScope batch_span("sweep-batch");
+      scheduler_.dispatch(0, count, evaluate);
+    }
     // Ordered merge: identical association to the sequential per-probe
     // loop, so results do not depend on the thread count or scheduler.
     for (index_t k = 0; k < count; ++k) {

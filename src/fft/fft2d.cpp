@@ -4,9 +4,21 @@
 
 #include "backend/kernels.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/ops.hpp"
 
 namespace ptycho::fft {
+
+namespace {
+// One full 2-D transform of a rows x cols field (any fusion variant).
+void note_transform(usize rows, usize cols) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& transforms = obs::registry().counter("fft2d_transforms_total");
+  static obs::Counter& bytes = obs::registry().counter("fft2d_bytes_total");
+  transforms.add(1);
+  bytes.add(static_cast<std::uint64_t>(rows) * cols * sizeof(cplx));
+}
+}  // namespace
 
 Fft2D::Fft2D(usize rows, usize cols)
     : rows_(rows),
@@ -136,12 +148,14 @@ void check_shape(View2D<const cplx> field, usize rows, usize cols, const char* w
 
 void Fft2D::forward(View2D<cplx> field) const {
   check_shape(field, rows_, cols_, "field");
+  note_transform(rows_, cols_);
   transform_rows(field, true, nullptr);
   transform_cols(field, true, nullptr, nullptr);
 }
 
 void Fft2D::inverse(View2D<cplx> field) const {
   check_shape(field, rows_, cols_, "field");
+  note_transform(rows_, cols_);
   transform_cols(field, false, nullptr, nullptr);
   transform_rows(field, false, nullptr);
 }
@@ -150,6 +164,7 @@ void Fft2D::forward_multiply(View2D<cplx> field, View2D<const cplx> kernel,
                              bool conj_kernel) const {
   check_shape(field, rows_, cols_, "field");
   check_shape(kernel, rows_, cols_, "kernel");
+  note_transform(rows_, cols_);
   transform_rows(field, true, nullptr);
   const MultiplySpec mul{kernel.data(), static_cast<usize>(kernel.row_stride()), conj_kernel,
                          /*pre=*/false};
@@ -160,6 +175,7 @@ void Fft2D::multiply_inverse(View2D<const cplx> kernel, View2D<cplx> field,
                              bool conj_kernel) const {
   check_shape(field, rows_, cols_, "field");
   check_shape(kernel, rows_, cols_, "kernel");
+  note_transform(rows_, cols_);
   const MultiplySpec mul{kernel.data(), static_cast<usize>(kernel.row_stride()), conj_kernel,
                          /*pre=*/true};
   transform_cols(field, false, &mul, nullptr);
@@ -168,12 +184,14 @@ void Fft2D::multiply_inverse(View2D<const cplx> kernel, View2D<cplx> field,
 
 void Fft2D::forward_scale(View2D<cplx> field, cplx alpha) const {
   check_shape(field, rows_, cols_, "field");
+  note_transform(rows_, cols_);
   transform_rows(field, true, nullptr);
   transform_cols(field, true, nullptr, &alpha);
 }
 
 void Fft2D::inverse_scale(View2D<cplx> field, cplx alpha) const {
   check_shape(field, rows_, cols_, "field");
+  note_transform(rows_, cols_);
   transform_cols(field, false, nullptr, nullptr);
   transform_rows(field, false, &alpha);
 }

@@ -1,0 +1,132 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ptycho::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics{false};
+}  // namespace detail
+
+void set_metrics_enabled(bool on) noexcept {
+  detail::g_metrics.store(on, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!metrics_enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (summary_.count == 0) {
+    summary_.min = summary_.max = v;
+  } else {
+    if (v < summary_.min) summary_.min = v;
+    if (v > summary_.max) summary_.max = v;
+  }
+  ++summary_.count;
+  summary_.sum += v;
+}
+
+Histogram::Summary Histogram::summary() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return summary_;
+}
+
+void Histogram::reset() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  summary_ = Summary{};
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+/// JSON-safe double: NaN/inf have no JSON spelling, fold them to 0.
+void put_double(std::ostringstream& os, double v) {
+  if (v != v || v == std::numeric_limits<double>::infinity() ||
+      v == -std::numeric_limits<double>::infinity()) {
+    os << 0;
+    return;
+  }
+  os << v;
+}
+
+}  // namespace
+
+std::string Registry::json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\n  \"schema\": \"ptycho.metrics.v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": ";
+    put_double(os, g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Summary s = h->summary();
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": " << s.count
+       << ", \"sum\": ";
+    put_double(os, s.sum);
+    os << ", \"min\": ";
+    put_double(os, s.min);
+    os << ", \"max\": ";
+    put_double(os, s.max);
+    os << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+void Registry::write_json(const std::string& path) const {
+  const std::string payload = json();
+  std::ofstream out(path, std::ios::binary);
+  PTYCHO_CHECK(out.good(), "cannot open metrics output " << path);
+  out << payload;
+  PTYCHO_CHECK(out.good(), "failed writing metrics output " << path);
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace ptycho::obs

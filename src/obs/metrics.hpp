@@ -1,0 +1,114 @@
+// Metrics registry: named counters, gauges and histograms snapshotted to
+// a stable JSON schema ("ptycho.metrics.v1").
+//
+// Usage pattern at instrumentation sites — resolve once, bump forever:
+//
+//   static obs::Counter& transforms = obs::registry().counter("fft2d_transforms_total");
+//   transforms.add(1);
+//
+// add()/observe()/set() are internally gated on a cached atomic flag, so a
+// disabled build of the same binary pays one relaxed load + branch per
+// site. Registry entries are never removed — reset() zeroes values but
+// keeps the objects, so cached references (the `static` above) survive
+// across runs in one process (tests, benches).
+//
+// Metric glossary (all monotonic unless noted): see README "Observability".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ptycho::obs {
+
+namespace detail {
+/// Backing store for metrics_enabled(); use the accessors, not this.
+extern std::atomic<bool> g_metrics;
+}  // namespace detail
+
+/// Cached-atomic metrics switch (independent of tracing). Inline so hot
+/// paths pay one relaxed load, not a cross-TU call.
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return detail::g_metrics.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool on) noexcept;
+
+/// Monotonic u64 counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins double (peak memory, wall seconds, rates).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// count/sum/min/max summary of observed values. Mutex-protected — meant
+/// for low-frequency observations (checkpoint latencies), not hot loops.
+class Histogram {
+ public:
+  void observe(double v) noexcept;
+  struct Summary {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] Summary summary() const noexcept;
+  void reset() noexcept;
+
+ private:
+  mutable std::mutex mutex_;
+  Summary summary_;
+};
+
+class Registry {
+ public:
+  /// Look up or create; returned references are stable for the process
+  /// lifetime (entries are never erased).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zero every value; objects (and cached references) stay valid.
+  void reset();
+
+  /// {"schema":"ptycho.metrics.v1","counters":{...},"gauges":{...},
+  ///  "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..}}}
+  [[nodiscard]] std::string json() const;
+  void write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry.
+[[nodiscard]] Registry& registry();
+
+}  // namespace ptycho::obs

@@ -1,0 +1,37 @@
+// Observability session: RAII switch + exporter for one reconstruction.
+//
+// Constructing a Session with a non-empty trace path enables tracing (and
+// clears any stale collected spans); a non-empty metrics path enables the
+// metrics registry (and zeroes it). finish() — or the destructor — drains
+// the tracer, writes the requested files and restores both switches, so a
+// throwing solver still leaves a (partial) trace on disk.
+#pragma once
+
+#include <string>
+
+namespace ptycho::obs {
+
+struct SessionConfig {
+  std::string trace_path;    ///< Chrome trace_event JSON ("" = tracing off)
+  std::string metrics_path;  ///< metrics snapshot JSON ("" = metrics off)
+};
+
+class Session {
+ public:
+  explicit Session(SessionConfig config);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] bool tracing() const { return !config_.trace_path.empty(); }
+  [[nodiscard]] bool metrics() const { return !config_.metrics_path.empty(); }
+
+  /// Export + disable. Idempotent.
+  void finish();
+
+ private:
+  SessionConfig config_;
+  bool finished_ = false;
+};
+
+}  // namespace ptycho::obs

@@ -4,6 +4,7 @@
 
 #include "backend/kernels.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace ptycho {
 
@@ -42,7 +43,15 @@ void MultisliceOperator::compute_transmittance(const FramedVolume& volume, const
   // tile is provably current (same revision token, same window).
   const bool cacheable = config_.model == ObjectModel::kPotential && ws.cache_transmittance;
   if (cacheable && ws.trans_revision == volume.revision && ws.trans_window == window) {
+    if (obs::metrics_enabled()) {
+      static obs::Counter& hits = obs::registry().counter("workspace_cache_hits_total");
+      hits.add(1);
+    }
     return;
+  }
+  if (cacheable && obs::metrics_enabled()) {
+    static obs::Counter& misses = obs::registry().counter("workspace_cache_misses_total");
+    misses.add(1);
   }
   for (index_t s = 0; s < slices; ++s) {
     View2D<const cplx> v = volume.window(s, window);

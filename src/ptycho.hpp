@@ -18,6 +18,10 @@
 #include "tensor/ops.hpp"
 #include "tensor/region.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
+
 #include "fft/fft2d.hpp"
 #include "fft/plan.hpp"
 

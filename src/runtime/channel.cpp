@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace ptycho::rt {
 
@@ -45,6 +46,12 @@ void Fabric::isend(int src, int dst, Tag tag, std::vector<cplx> payload) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.bytes_sent[static_cast<usize>(src)] += payload.size() * sizeof(cplx);
     stats_.messages_sent[static_cast<usize>(src)] += 1;
+  }
+  if (obs::metrics_enabled()) {
+    static obs::Counter& messages = obs::registry().counter("fabric_messages_total");
+    static obs::Counter& bytes = obs::registry().counter("fabric_bytes_total");
+    messages.add(1);
+    bytes.add(payload.size() * sizeof(cplx));
   }
   Mailbox& box = mailbox(dst);
   {

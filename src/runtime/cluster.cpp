@@ -4,25 +4,32 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 
 namespace ptycho::rt {
 
 void RankContext::isend(int dst, Tag tag, std::vector<cplx> payload) {
-  WallTimer timer;
+  // Whole-call span: fabric enqueue cost is the virtual cluster's model of
+  // send-side communication time.
+  obs::SpanScope span("isend", obs::Phase::kComm);
   fabric_.isend(rank_, dst, tag, std::move(payload));
-  prof_.add(phase::kComm, timer.seconds());
 }
 
 std::vector<cplx> RankContext::recv(int src, Tag tag) {
   double waited = 0.0;
   std::vector<cplx> payload = fabric_.recv(rank_, src, tag, &waited);
-  prof_.add(phase::kWait, waited);
+  // Only the blocked portion counts as wait; the fabric reports it.
+  obs::account("recv-wait", obs::Phase::kWait, waited);
   return payload;
 }
 
 RecvRequest RankContext::irecv(int src, Tag tag) { return fabric_.irecv(rank_, src, tag); }
 
-void RankContext::barrier() { cluster_.barrier_wait(prof_); }
+void RankContext::barrier() {
+  WallTimer timer;
+  cluster_.barrier_wait();
+  obs::account("barrier", obs::Phase::kWait, timer.seconds());
+}
 
 void RankContext::fault_point(std::uint64_t step) { cluster_.maybe_fault(rank_, step); }
 
@@ -31,7 +38,8 @@ VirtualCluster::VirtualCluster(int nranks, std::uint64_t seed)
       seed_(seed),
       fabric_(nranks),
       trackers_(static_cast<usize>(nranks)),
-      profilers_(static_cast<usize>(nranks)) {
+      profilers_(static_cast<usize>(nranks)),
+      ledgers_(static_cast<usize>(nranks)) {
   PTYCHO_REQUIRE(nranks >= 1, "cluster needs at least one rank");
 }
 
@@ -44,15 +52,27 @@ void VirtualCluster::run(const RankBody& body) {
     threads.emplace_back([this, r, &body, &errors] {
       const auto ur = static_cast<usize>(r);
       TrackerScope scope(trackers_[ur]);
-      RankContext ctx(r, nranks_, fabric_, trackers_[ur], profilers_[ur], *this, seed_);
+      // Identify this thread to the observability layer: spans carry the
+      // rank, phase durations land in this rank's ledger, log lines get a
+      // rank tag. Pool workers inherit the context per parallel region.
+      obs::set_thread_context(obs::ThreadContext{r, &ledgers_[ur]});
+      log::set_thread_rank(r);
+      RankContext ctx(r, nranks_, fabric_, trackers_[ur], profilers_[ur], ledgers_[ur], *this,
+                      seed_);
       try {
         body(ctx);
       } catch (...) {
         errors[ur] = std::current_exception();
       }
+      // Final fold (also on the failure path): whatever the body accrued
+      // since its last chunk boundary still reaches the profiler.
+      ledgers_[ur].merge_into(profilers_[ur]);
+      log::set_thread_rank(-1);
+      obs::set_thread_context(obs::ThreadContext{});
     });
   }
   for (auto& t : threads) t.join();
+  if (obs::tracing_enabled()) obs::Tracer::instance().drain_all();
   for (auto& err : errors) {
     if (err) std::rethrow_exception(err);
   }
@@ -83,6 +103,7 @@ usize VirtualCluster::max_peak_bytes() const {
 void VirtualCluster::reset_instrumentation() {
   for (auto& t : trackers_) t.reset();
   for (auto& p : profilers_) p.clear();
+  for (auto& l : ledgers_) l.reset();
   fabric_.clear_poison();
   fault_fired_.store(false, std::memory_order_relaxed);
   {
@@ -92,8 +113,7 @@ void VirtualCluster::reset_instrumentation() {
   }
 }
 
-void VirtualCluster::barrier_wait(PhaseProfiler& prof) {
-  WallTimer timer;
+void VirtualCluster::barrier_wait() {
   std::unique_lock<std::mutex> lock(barrier_mutex_);
   if (barrier_poisoned_) throw RankFailure("barrier aborted: a rank has failed");
   const std::uint64_t generation = barrier_generation_;
@@ -108,7 +128,6 @@ void VirtualCluster::barrier_wait(PhaseProfiler& prof) {
       throw RankFailure("barrier aborted: a rank has failed");
     }
   }
-  prof.add(phase::kWait, timer.seconds());
 }
 
 void VirtualCluster::maybe_fault(int rank, std::uint64_t step) {

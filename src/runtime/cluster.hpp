@@ -14,6 +14,7 @@
 
 #include "common/random.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/memtrack.hpp"
 
@@ -36,12 +37,13 @@ struct FaultPlan {
 class RankContext {
  public:
   RankContext(int rank, int nranks, Fabric& fabric, MemTracker& mem, PhaseProfiler& prof,
-              VirtualCluster& cluster, std::uint64_t seed)
+              obs::PhaseLedger& ledger, VirtualCluster& cluster, std::uint64_t seed)
       : rank_(rank),
         nranks_(nranks),
         fabric_(fabric),
         mem_(mem),
         prof_(prof),
+        ledger_(ledger),
         cluster_(cluster),
         rng_(Rng(seed).split(static_cast<std::uint64_t>(rank))) {}
 
@@ -50,7 +52,13 @@ class RankContext {
   [[nodiscard]] Fabric& fabric() { return fabric_; }
   [[nodiscard]] MemTracker& mem() { return mem_; }
   [[nodiscard]] PhaseProfiler& profiler() { return prof_; }
+  [[nodiscard]] obs::PhaseLedger& ledger() { return ledger_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Fold the span-derived phase durations accumulated since the last
+  /// merge into this rank's profiler. Called from the rank's own thread
+  /// at chunk boundaries (and once more when the rank body returns).
+  void merge_phases() { ledger_.merge_into(prof_); }
 
   /// Non-blocking send from this rank (profiled as comm).
   void isend(int dst, Tag tag, std::vector<cplx> payload);
@@ -76,6 +84,7 @@ class RankContext {
   Fabric& fabric_;
   MemTracker& mem_;
   PhaseProfiler& prof_;
+  obs::PhaseLedger& ledger_;
   VirtualCluster& cluster_;
   Rng rng_;
 };
@@ -112,7 +121,7 @@ class VirtualCluster {
 
  private:
   friend class RankContext;
-  void barrier_wait(PhaseProfiler& prof);
+  void barrier_wait();
   void maybe_fault(int rank, std::uint64_t step);
   void poison() noexcept;
 
@@ -121,6 +130,7 @@ class VirtualCluster {
   Fabric fabric_;
   std::vector<MemTracker> trackers_;
   std::vector<PhaseProfiler> profilers_;
+  std::vector<obs::PhaseLedger> ledgers_;  ///< span-phase sinks, merged into profilers_
   FaultPlan fault_;
   std::atomic<bool> fault_fired_{false};
 

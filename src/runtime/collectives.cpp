@@ -1,6 +1,8 @@
 #include "runtime/collectives.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ptycho::rt {
 
@@ -15,6 +17,15 @@ Tag stage_tag(int phase, int step, bool down) {
 }  // namespace
 
 void allreduce_sum(RankContext& ctx, std::vector<cplx>& buffer, int phase_tag) {
+  // Phase kNone: the comm/wait time is attributed by isend/recv inside;
+  // the span only marks the collective's extent in the trace.
+  obs::SpanScope span("allreduce");
+  if (obs::metrics_enabled()) {
+    static obs::Counter& calls = obs::registry().counter("collective_allreduce_total");
+    static obs::Counter& bytes = obs::registry().counter("collective_allreduce_bytes_total");
+    calls.add(1);
+    bytes.add(buffer.size() * sizeof(cplx));
+  }
   const int nranks = ctx.nranks();
   const int rank = ctx.rank();
 
@@ -57,6 +68,13 @@ double allreduce_sum_scalar(RankContext& ctx, double value, int phase_tag) {
 }
 
 void broadcast(RankContext& ctx, std::vector<cplx>& buffer, int root, int phase_tag) {
+  obs::SpanScope span("broadcast");
+  if (obs::metrics_enabled()) {
+    static obs::Counter& calls = obs::registry().counter("collective_broadcast_total");
+    static obs::Counter& bytes = obs::registry().counter("collective_broadcast_bytes_total");
+    calls.add(1);
+    bytes.add(buffer.size() * sizeof(cplx));
+  }
   PTYCHO_CHECK(root == 0, "broadcast currently supports root 0");
   const int nranks = ctx.nranks();
   const int rank = ctx.rank();

@@ -16,7 +16,9 @@ fft2d_256_mb_per_sec) guard the hot path; the *_unfused and *_radix2
 variants guard the PTYCHO_FFT_FUSED=0 / PTYCHO_FFT_RADIX4=0 escape
 hatches so the A/B baseline itself cannot silently rot, and
 sweep_probes_per_sec_ws guards the work-stealing scheduler (at 1 thread
-it must stay within noise of the static path). Keys missing
+it must stay within noise of the static path), and
+sweep_probes_per_sec_1t_traced guards the telemetry-on sweep so span
+tracing + metrics cannot silently become expensive. Keys missing
 from either file are reported and skipped, so adding metrics to
 bench_sweep never breaks older baselines (the pre-PR-4 baseline simply
 skips the new keys).
@@ -31,7 +33,7 @@ import sys
 DEFAULT_KEYS = (
     "sweep_probes_per_sec_1t,fft2d_256_mb_per_sec,"
     "sweep_probes_per_sec_1t_unfused,fft2d_256_mb_per_sec_radix2,"
-    "sweep_probes_per_sec_ws"
+    "sweep_probes_per_sec_ws,sweep_probes_per_sec_1t_traced"
 )
 
 

@@ -40,12 +40,16 @@ int usage() {
                "             [--resume VOLUME|CKPT_DIR] [--save-volume FILE] [--image FILE]\n"
                "             [--checkpoint-dir DIR] [--checkpoint-every N]\n"
                "             [--restore CKPT_DIR]\n"
+               "             [--trace-out FILE] [--metrics-out FILE] [--progress N]\n"
                "  --iterations is the TOTAL target; a restored run continues from the\n"
                "  snapshot's iteration. --ranks may differ from the checkpointed run\n"
                "  (elastic restore re-tiles and redistributes the shards).\n"
                "  --backend (any subcommand; also via PTYCHO_BACKEND) picks the SIMD\n"
                "  kernel backend; --scheduler picks the full-batch sweep scheduler;\n"
-               "  results are bitwise identical across backends and schedulers.\n");
+               "  results are bitwise identical across backends and schedulers.\n"
+               "  --trace-out writes a Chrome trace_event JSON (open in Perfetto or\n"
+               "  chrome://tracing); --metrics-out writes the counter/gauge/histogram\n"
+               "  snapshot; --progress N logs a progress line every N iterations.\n");
   return 2;
 }
 
@@ -123,6 +127,9 @@ int cmd_reconstruct(const Options& opts) {
                                                                 : UpdateMode::kSgd;
   request.sync.appp = !opts.get_bool("no-appp", false);
   request.refine_probe = opts.get_bool("refine-probe", false);
+  request.trace_out = opts.get_string("trace-out", "");
+  request.metrics_out = opts.get_string("metrics-out", "");
+  request.progress_every = static_cast<int>(opts.get_int("progress", 0));
   request.checkpoint.directory = opts.get_string("checkpoint-dir", "");
   request.checkpoint.every_chunks = static_cast<int>(opts.get_int("checkpoint-every", 0));
   PTYCHO_CHECK(request.checkpoint.directory.empty() == (request.checkpoint.every_chunks == 0),

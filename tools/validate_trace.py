@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts a reconstruction emits.
+
+Checks that --trace-out produced well-formed Chrome trace_event JSON
+(loadable in Perfetto / chrome://tracing) with the expected span names on
+every rank, and that --metrics-out produced a ptycho.metrics.v1 snapshot
+with the documented keys. Run by the release-bench CI job on a smoke
+reconstruction; exits nonzero with a message on the first violation.
+
+Usage:
+  python3 tools/validate_trace.py --trace trace.json --metrics metrics.json \
+      --require-spans sweep,sync,update,checkpoint --ranks 2
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+REQUIRED_EVENT_FIELDS = ("name", "ph", "ts", "pid", "tid")
+
+# Counters every instrumented reconstruction must report (gauges vary by
+# solver, so only the universally set ones are required).
+REQUIRED_METRIC_COUNTERS = (
+    "sweep_probes_total",
+    "fft2d_transforms_total",
+    "fft2d_bytes_total",
+)
+REQUIRED_METRIC_GAUGES = ("wall_seconds",)
+
+
+def fail(message):
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path, what):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {what} {path!r}: {e}")
+
+
+def validate_trace(path, require_spans, ranks):
+    trace = load_json(path, "trace")
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail(f"{path}: not a trace_event JSON object (missing 'traceEvents')")
+    events = trace["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents is empty")
+
+    spans_by_pid = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"{path}: traceEvents[{i}] is not an object")
+        if event.get("ph") == "M":
+            # Metadata events (process_name) carry no timestamp.
+            if "name" not in event or "pid" not in event:
+                fail(f"{path}: traceEvents[{i}] metadata missing name/pid")
+            continue
+        for field in REQUIRED_EVENT_FIELDS:
+            if field not in event:
+                fail(f"{path}: traceEvents[{i}] missing field {field!r}")
+        if not isinstance(event["ts"], numbers.Number) or event["ts"] < 0:
+            fail(f"{path}: traceEvents[{i}] has invalid ts {event['ts']!r}")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, numbers.Number) or dur < 0:
+                fail(f"{path}: traceEvents[{i}] ('{event['name']}') has invalid dur {dur!r}")
+            spans_by_pid.setdefault(event["pid"], set()).add(event["name"])
+        elif event["ph"] != "i":
+            fail(f"{path}: traceEvents[{i}] has unexpected ph {event['ph']!r}")
+
+    if len(spans_by_pid) < ranks:
+        fail(
+            f"{path}: spans cover {len(spans_by_pid)} rank lane(s), expected >= {ranks} "
+            f"(pids seen: {sorted(spans_by_pid)})"
+        )
+    for pid in sorted(spans_by_pid)[:ranks]:
+        missing = [name for name in require_spans if name not in spans_by_pid[pid]]
+        if missing:
+            fail(
+                f"{path}: rank {pid} is missing required span(s) {missing} "
+                f"(has: {sorted(spans_by_pid[pid])})"
+            )
+
+    dropped = trace.get("otherData", {}).get("dropped_spans")
+    if not isinstance(dropped, int):
+        fail(f"{path}: otherData.dropped_spans missing or non-integer")
+    n_spans = sum(len(v) for v in spans_by_pid.values())
+    print(
+        f"validate_trace: trace OK: {len(events)} events, "
+        f"{len(spans_by_pid)} rank lane(s), {dropped} dropped"
+    )
+
+
+def validate_metrics(path):
+    metrics = load_json(path, "metrics")
+    if metrics.get("schema") != "ptycho.metrics.v1":
+        fail(f"{path}: schema is {metrics.get('schema')!r}, expected 'ptycho.metrics.v1'")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(f"{path}: missing section {section!r}")
+    counters = metrics["counters"]
+    for key in REQUIRED_METRIC_COUNTERS:
+        value = counters.get(key)
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter {key!r} missing or invalid ({value!r})")
+        if value == 0:
+            fail(f"{path}: counter {key!r} is zero — instrumentation did not fire")
+    for key in REQUIRED_METRIC_GAUGES:
+        value = metrics["gauges"].get(key)
+        if not isinstance(value, numbers.Number):
+            fail(f"{path}: gauge {key!r} missing or non-numeric ({value!r})")
+    for name, summary in metrics["histograms"].items():
+        for field in ("count", "sum", "min", "max"):
+            if not isinstance(summary.get(field), numbers.Number):
+                fail(f"{path}: histogram {name!r} missing field {field!r}")
+    print(
+        f"validate_trace: metrics OK: {len(counters)} counters, "
+        f"{len(metrics['gauges'])} gauges, {len(metrics['histograms'])} histograms"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace_event JSON to validate")
+    parser.add_argument("--metrics", help="ptycho.metrics.v1 JSON to validate")
+    parser.add_argument(
+        "--require-spans",
+        default="",
+        help="comma-separated span names required on every rank lane",
+    )
+    parser.add_argument(
+        "--ranks", type=int, default=1, help="minimum number of rank lanes expected"
+    )
+    args = parser.parse_args()
+    if not args.trace and not args.metrics:
+        parser.error("nothing to validate: pass --trace and/or --metrics")
+
+    require_spans = [s for s in args.require_spans.split(",") if s]
+    if args.trace:
+        validate_trace(args.trace, require_spans, args.ranks)
+    if args.metrics:
+        validate_metrics(args.metrics)
+    print("validate_trace: all checks passed")
+
+
+if __name__ == "__main__":
+    main()
