@@ -21,6 +21,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -28,8 +29,10 @@
 
 #include "backend/kernels.hpp"
 #include "bench_util.hpp"
+#include "ckpt/snapshot.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "core/serial_solver.hpp"
 #include "core/sweep.hpp"
 #include "data/synthetic.hpp"
 #include "fft/fft2d.hpp"
@@ -64,6 +67,56 @@ double sweep_rate(const Dataset& dataset, int threads, int repeat,
     accbuf.reset();
   });
   return static_cast<double>(probes) / seconds;
+}
+
+/// End-to-end checkpointed reconstruction throughput (probes/sec) under
+/// the given pipeline mode: a short full-batch serial run snapshotting at
+/// every chunk boundary, so the sync column pays the shard I/O inline and
+/// the async column overlaps it with the next chunks' sweeps. Best of
+/// `repeat` after one warm-up; the checkpoint tree is wiped before every
+/// run so each one writes the same bytes.
+double pipeline_rate(const Dataset& dataset, int threads, int repeat, PipelineMode mode,
+                     const std::string& ckpt_dir) {
+  SerialConfig config;
+  config.iterations = 2;
+  config.chunks_per_iteration = 4;
+  config.mode = UpdateMode::kFullBatch;
+  config.threads = threads;
+  config.schedule = SweepSchedule::kStatic;
+  config.pipeline = mode;
+  config.record_cost = false;
+  config.checkpoint = ckpt::Policy{ckpt_dir, 1};
+  const index_t probes = dataset.probe_count() * config.iterations;
+  const double seconds = bench::best_of_seconds(/*warmup=*/1, repeat, [&] {
+    std::filesystem::remove_all(ckpt_dir);
+    (void)reconstruct_serial(dataset, config);
+  });
+  std::filesystem::remove_all(ckpt_dir);
+  return static_cast<double>(probes) / seconds;
+}
+
+/// Span-derived comm/IO overlap ratio of one traced async checkpointed
+/// run (obs::comm_overlap over the tracer snapshot): the fraction of
+/// checkpoint/comm/wait time hidden under compute. ~0 for sync pipelines.
+double async_overlap_ratio(const Dataset& dataset, int threads, const std::string& ckpt_dir) {
+  SerialConfig config;
+  config.iterations = 2;
+  config.chunks_per_iteration = 4;
+  config.mode = UpdateMode::kFullBatch;
+  config.threads = threads;
+  config.schedule = SweepSchedule::kStatic;
+  config.pipeline = PipelineMode::kAsync;
+  config.record_cost = false;
+  config.checkpoint = ckpt::Policy{ckpt_dir, 1};
+  std::filesystem::remove_all(ckpt_dir);
+  obs::Tracer::instance().clear();
+  obs::set_tracing_enabled(true);
+  (void)reconstruct_serial(dataset, config);
+  obs::set_tracing_enabled(false);
+  const obs::OverlapStats stats = obs::comm_overlap(obs::Tracer::instance().snapshot());
+  obs::Tracer::instance().clear();
+  std::filesystem::remove_all(ckpt_dir);
+  return stats.ratio();
 }
 
 struct FftResult {
@@ -239,6 +292,21 @@ int main(int argc, char** argv) {
   std::printf("  1 thread traced: %8.1f probes/s (overhead %.1f%%)\n", rate_1t_traced,
               (rate_1t / rate_1t_traced - 1.0) * 100.0);
 
+  // Sync-vs-async pipeline A/B: the same checkpoint-every-chunk serial
+  // reconstruction with shard writes inline (sync) or on the background
+  // slot (async — bitwise-identical output, see test_async_pipeline). The
+  // overlap ratio is the span-derived fraction of checkpoint/comm time
+  // hidden under compute during the async run.
+  const std::string ckpt_dir =
+      (std::filesystem::temp_directory_path() / "ptycho_bench_sweep_ckpt").string();
+  const double rate_sync_ckpt = pipeline_rate(dataset, threads, repeat,
+                                              PipelineMode::kSync, ckpt_dir);
+  const double rate_async = pipeline_rate(dataset, threads, repeat,
+                                          PipelineMode::kAsync, ckpt_dir);
+  const double overlap_ratio = async_overlap_ratio(dataset, threads, ckpt_dir);
+  std::printf("pipeline ckpt sync %8.1f probes/s vs async %8.1f probes/s (%.2fx, overlap %.2f)\n",
+              rate_sync_ckpt, rate_async, rate_async / rate_sync_ckpt, overlap_ratio);
+
   const FftResult fft = fft_rate(fft_iters, repeat);
   std::printf("fft 256x256 fwd+inv (%s): %.1f us/pair, %.1f MB/s\n", active_backend.c_str(),
               fft.us_per_pair, fft.mb_per_sec);
@@ -320,6 +388,10 @@ int main(int argc, char** argv) {
        << "  \"sweep_probes_per_sec_ws_nt\": " << rate_nt_ws << ",\n"
        << "  \"sweep_ws_vs_static_1t\": " << rate_1t_ws / rate_1t << ",\n"
        << "  \"sweep_ws_vs_static_nt\": " << rate_nt_ws / rate_nt << ",\n"
+       << "  \"sweep_probes_per_sec_sync_ckpt\": " << rate_sync_ckpt << ",\n"
+       << "  \"sweep_probes_per_sec_async\": " << rate_async << ",\n"
+       << "  \"sweep_async_vs_sync_ckpt\": " << rate_async / rate_sync_ckpt << ",\n"
+       << "  \"sweep_async_overlap_ratio\": " << overlap_ratio << ",\n"
        << "  \"fft2d_256_us_per_pair\": " << fft.us_per_pair << ",\n"
        << "  \"fft2d_256_mb_per_sec\": " << fft.mb_per_sec << ",\n"
        << "  \"fft2d_256_mb_per_sec_radix2\": " << fft_radix2.mb_per_sec << ",\n"

@@ -1,6 +1,7 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -109,20 +110,93 @@ void ThreadPool::parallel_for(index_t begin, index_t end, function_ref<void(inde
   if (error != nullptr) std::rethrow_exception(error);
 }
 
+// ---- background slot --------------------------------------------------------
+
+bool BackgroundTicket::done() const {
+  if (state_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+void BackgroundTicket::wait() {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->error != nullptr) std::rethrow_exception(state_->error);
+}
+
+BackgroundWorker::BackgroundWorker() : thread_([this] { loop(); }) {}
+
+BackgroundWorker::~BackgroundWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  thread_.join();
+}
+
+BackgroundTicket BackgroundWorker::submit(std::function<void()> task) {
+  PTYCHO_REQUIRE(task != nullptr, "cannot submit an empty background task");
+  auto state = std::make_shared<BackgroundTicket::State>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PTYCHO_REQUIRE(!stop_, "background worker is shutting down");
+    queue_.push_back(Job{std::move(task), state, thread_alloc_hooks(), obs::thread_context()});
+  }
+  work_cv_.notify_all();
+  return BackgroundTicket(std::move(state));
+}
+
+void BackgroundWorker::loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Same adoption dance as ThreadPool::worker_loop: charge allocations
+    // and attribute spans/logs to the submitting rank.
+    const AllocHooks previous = set_thread_alloc_hooks(job.hooks);
+    const obs::ThreadContext prev_octx = obs::set_thread_context(job.octx);
+    const int prev_rank = log::set_thread_rank(job.octx.rank);
+    std::exception_ptr error;
+    try {
+      job.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    log::set_thread_rank(prev_rank);
+    obs::set_thread_context(prev_octx);
+    set_thread_alloc_hooks(previous);
+    {
+      std::lock_guard<std::mutex> lock(job.state->mutex);
+      job.state->done = true;
+      job.state->error = error;
+    }
+    job.state->cv.notify_all();
+  }
+}
+
 // ---- sweep scheduling -------------------------------------------------------
 
 const char* to_string(SweepSchedule schedule) {
   switch (schedule) {
     case SweepSchedule::kStatic: return "static";
     case SweepSchedule::kWorkStealing: return "work-stealing";
+    case SweepSchedule::kAuto: return "auto";
   }
   return "?";
 }
 
 SweepSchedule sweep_schedule_from_string(const std::string& name) {
   if (name == "static") return SweepSchedule::kStatic;
+  if (name == "auto") return SweepSchedule::kAuto;
   PTYCHO_CHECK(name == "work-stealing" || name == "ws",
-               "unknown sweep scheduler '" << name << "' (want static|work-stealing)");
+               "unknown sweep scheduler '" << name << "' (want static|work-stealing|auto)");
   return SweepSchedule::kWorkStealing;
 }
 
@@ -235,10 +309,69 @@ void WorkStealingScheduler::dispatch(index_t begin, index_t end,
   }
 }
 
+AutoScheduler::AutoScheduler(ThreadPool& pool) : pool_(pool), static_(pool) {
+  // One slot makes the choice moot (both degenerate to a plain loop);
+  // skip the sampling window and its two clock reads per item.
+  if (pool_.threads() == 1) decided_ = &static_;
+}
+
+const char* AutoScheduler::name() const {
+  if (decided_ == nullptr) return "auto";
+  return decided_ == &static_ ? "auto:static" : "auto:work-stealing";
+}
+
+void AutoScheduler::dispatch(index_t begin, index_t end, function_ref<void(index_t, int)> fn) {
+  if (decided_ != nullptr) {
+    decided_->dispatch(begin, end, fn);
+    return;
+  }
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  // Sampling window: run through the static partition (identical slot map
+  // to a committed static choice) while timing each item. Durations are
+  // item-indexed — every thread writes distinct elements, and the pool
+  // join orders those writes before the read in decide().
+  const usize base = sample_ns_.size();
+  sample_ns_.resize(base + static_cast<usize>(n));
+  std::uint64_t* out = sample_ns_.data() + base;
+  static_.dispatch(begin, end, [&](index_t i, int slot) {
+    const std::uint64_t t0 = obs::now_ns();
+    fn(i, slot);
+    out[i - begin] = obs::now_ns() - t0;
+  });
+  if (sample_ns_.size() >= static_cast<usize>(kMinSamples)) decide();
+}
+
+void AutoScheduler::decide() {
+  double mean = 0.0;
+  for (const std::uint64_t ns : sample_ns_) mean += static_cast<double>(ns);
+  mean /= static_cast<double>(sample_ns_.size());
+  double var = 0.0;
+  for (const std::uint64_t ns : sample_ns_) {
+    const double d = static_cast<double>(ns) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(sample_ns_.size());
+  const double cv = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+  if (cv > kCvThreshold) {
+    stealing_ = std::make_unique<WorkStealingScheduler>(pool_);
+    decided_ = stealing_.get();
+  } else {
+    decided_ = &static_;
+  }
+  if (obs::metrics_enabled()) {
+    obs::registry().gauge("scheduler_auto_cv").set(cv);
+    obs::registry().gauge("scheduler_auto_work_stealing").set(decided_ == &static_ ? 0.0 : 1.0);
+  }
+  sample_ns_.clear();
+  sample_ns_.shrink_to_fit();
+}
+
 std::unique_ptr<SweepScheduler> make_sweep_scheduler(SweepSchedule schedule, ThreadPool& pool) {
   switch (schedule) {
     case SweepSchedule::kStatic: return std::make_unique<StaticScheduler>(pool);
     case SweepSchedule::kWorkStealing: return std::make_unique<WorkStealingScheduler>(pool);
+    case SweepSchedule::kAuto: return std::make_unique<AutoScheduler>(pool);
   }
   PTYCHO_UNREACHABLE("unknown sweep schedule");
 }

@@ -26,7 +26,9 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -91,19 +93,90 @@ class ThreadPool {
   std::exception_ptr first_error_;
 };
 
+// ---- background slot --------------------------------------------------------
+
+/// Completion handle for one task submitted to a BackgroundWorker.
+/// Default-constructed tickets are empty (valid() == false).
+class BackgroundTicket {
+ public:
+  BackgroundTicket() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// True once the task has run (successfully or not). Non-blocking.
+  [[nodiscard]] bool done() const;
+
+  /// Block until the task finishes; rethrows the exception it threw, if
+  /// any. Safe to call repeatedly (an error rethrows each time).
+  void wait();
+
+ private:
+  friend class BackgroundWorker;
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr error;
+  };
+  explicit BackgroundTicket(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// One background execution slot: a single worker thread draining a FIFO
+/// of submitted tasks. Each task adopts the submitting thread's allocation
+/// hooks, observability identity and log rank for its duration (the same
+/// propagation ThreadPool regions perform), so background work — e.g. a
+/// checkpoint shard write lifted off the rank lane — is still charged and
+/// attributed to the owning virtual-cluster rank.
+///
+/// Tasks run strictly in submission order; the queue is unbounded.
+/// Exceptions are captured into the task's ticket and rethrown by wait();
+/// tasks nobody waits on have their errors dropped at destruction.
+class BackgroundWorker {
+ public:
+  BackgroundWorker();
+  /// Drains the queue (pending tasks still run to completion), then joins.
+  ~BackgroundWorker();
+
+  BackgroundWorker(const BackgroundWorker&) = delete;
+  BackgroundWorker& operator=(const BackgroundWorker&) = delete;
+
+  [[nodiscard]] BackgroundTicket submit(std::function<void()> task);
+
+ private:
+  struct Job {
+    std::function<void()> fn;
+    std::shared_ptr<BackgroundTicket::State> state;
+    AllocHooks hooks;         ///< submitting thread's hooks, adopted for the task
+    obs::ThreadContext octx;  ///< submitting thread's obs identity, ditto
+  };
+
+  void loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Job> queue_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 // ---- sweep scheduling -------------------------------------------------------
 
 /// Which SweepScheduler a solver's batched gradient sweep dispatches
-/// through. Output is bitwise identical across the two (the item-indexed
-/// merge contract); the choice is purely a load-balancing knob.
+/// through. Output is bitwise identical across all of them (the
+/// item-indexed merge contract); the choice is purely a load-balancing
+/// knob.
 enum class SweepSchedule {
   kStatic,        ///< fixed contiguous partition (parallel_for)
   kWorkStealing,  ///< chunked self-scheduling with back-half stealing
+  kAuto,          ///< measure first-dispatch per-item cost, then pick one
 };
 
 [[nodiscard]] const char* to_string(SweepSchedule schedule);
 
-/// Parse "static" / "work-stealing" (also accepts "ws"); throws on others.
+/// Parse "static" / "work-stealing" (also accepts "ws") / "auto"; throws
+/// on others.
 [[nodiscard]] SweepSchedule sweep_schedule_from_string(const std::string& name);
 
 /// How a batch of independent, identically-merged items is divided across
@@ -170,6 +243,41 @@ class WorkStealingScheduler final : public SweepScheduler {
   ThreadPool& pool_;
   index_t chunk_;
   std::unique_ptr<PackedRange[]> ranges_;
+};
+
+/// Measures per-item cost on the first dispatches (through the static
+/// partition, so results are identical to a static run), then delegates
+/// every later dispatch to either scheduler: work-stealing when the
+/// per-item cost's coefficient of variation exceeds kCvThreshold (spread
+/// a static partition cannot absorb), static otherwise. The timing never
+/// changes WHAT is computed — only which slot runs an item — so the
+/// bitwise contract holds through the sampling window and after it.
+class AutoScheduler final : public SweepScheduler {
+ public:
+  /// Items timed before committing to a policy (~2 batches of the sweep).
+  static constexpr index_t kMinSamples = 32;
+  /// Relative per-item cost stddev above which stealing pays for its CAS.
+  static constexpr double kCvThreshold = 0.25;
+
+  explicit AutoScheduler(ThreadPool& pool);
+
+  [[nodiscard]] const char* name() const override;
+  [[nodiscard]] int slots() const override { return pool_.threads(); }
+  void dispatch(index_t begin, index_t end,
+                function_ref<void(index_t, int)> fn) override;
+
+  /// The delegate committed to after the sampling window (null while still
+  /// sampling). Exposed for tests and introspection.
+  [[nodiscard]] const SweepScheduler* decided() const { return decided_; }
+
+ private:
+  void decide();
+
+  ThreadPool& pool_;
+  StaticScheduler static_;
+  std::unique_ptr<WorkStealingScheduler> stealing_;
+  SweepScheduler* decided_ = nullptr;
+  std::vector<std::uint64_t> sample_ns_;  ///< per-item durations, item-indexed
 };
 
 /// Factory used by the solver layer (config enum -> scheduler instance).

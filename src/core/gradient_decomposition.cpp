@@ -1,6 +1,7 @@
 #include "core/gradient_decomposition.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 
 #include "common/log.hpp"
@@ -169,12 +170,19 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
     const int threads = config.threads != 0
                             ? config.threads
                             : std::max(1, ThreadPool::hardware_threads() / ctx.nranks());
+    const bool async = config.pipeline == PipelineMode::kAsync;
     const RefineSchedule refine{config.refine_probe, config.probe_warmup_iterations};
     ReconstructionPipeline pipeline;
+    auto ckpt_pass =
+        std::make_unique<CheckpointPass>(config.checkpoint, run_info, /*deferred=*/async);
     pipeline.emplace<SweepPass>(engine, config.mode, threads, config.schedule,
                                 SweepPass::Items{&tile.own_probes, &local_meas}, refine);
     pipeline.emplace<SyncGradientsPass>(partition, ctx.rank(), config.sync, config.mode);
     pipeline.emplace<ApplyUpdatePass>(config.mode, /*apply_in_sgd=*/true);
+    // The finalize pass precedes the fault point so a snapshot whose shards
+    // completed by chunk N is manifest-complete before a rank loss at chunk
+    // N can fire — the same latest-complete snapshot a sync run leaves.
+    if (async) pipeline.emplace<CheckpointFinalizePass>(*ckpt_pass);
     pipeline.emplace<FaultPointPass>();
     pipeline.emplace<ProbeRefinePass>(refine, config.probe_step, dataset.probe_count(),
                                       probe_energy);
@@ -183,7 +191,7 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
       pipeline.emplace<ProgressPass>(config.progress_every, dataset.probe_count(),
                                      config.iterations);
     }
-    pipeline.emplace<CheckpointPass>(config.checkpoint, run_info);
+    pipeline.add(std::move(ckpt_pass));
 
     SolverState state;
     state.volume = &volume;
@@ -202,7 +210,7 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
     schedule.start_chunk = start_chunk;
     schedule.restored_partial_cost = restored_partial_cost;
     schedule.items = static_cast<index_t>(tile.own_probes.size());
-    pipeline.run(state, schedule);
+    pipeline.run(state, schedule, PipelineOptions{config.pipeline});
 
     FramedVolume stitched = stitch_on_root(ctx, partition, volume);
     if (ctx.rank() == 0) {

@@ -40,9 +40,14 @@ struct GdConfig {
   /// SGD sweeps are inherently sequential and ignore this (see
   /// SerialConfig::threads for the argument).
   int threads = 0;
-  /// Per-rank sweep scheduler (static or work-stealing); bitwise identical
-  /// output either way — see SerialConfig::schedule.
-  SweepSchedule schedule = SweepSchedule::kStatic;
+  /// Per-rank sweep scheduler (static, work-stealing, or measured auto
+  /// selection); bitwise identical output for any choice — see
+  /// SerialConfig::schedule.
+  SweepSchedule schedule = SweepSchedule::kAuto;
+  /// Pass-graph scheduling (see SerialConfig::pipeline): kAsync runs
+  /// checkpoint shard writes on a per-rank background slot behind hazard
+  /// fences, bitwise identical to kSync.
+  PipelineMode pipeline = PipelineMode::kSync;
   bool record_cost = true;
   /// Log a one-line progress report (rank 0 only) every N iterations.
   int progress_every = 0;

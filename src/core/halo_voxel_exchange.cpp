@@ -1,5 +1,6 @@
 #include "core/halo_voxel_exchange.hpp"
 
+#include <algorithm>
 #include <mutex>
 
 #include "common/timer.hpp"
@@ -91,9 +92,13 @@ ParallelResult reconstruct_hve(const Dataset& dataset, const HveConfig& config,
     // what differs is only which passes are inserted (no gradient sync,
     // no accumulation buffer: updates are immediate and halos are
     // overwritten wholesale).
+    const int threads = config.threads != 0
+                            ? config.threads
+                            : std::max(1, ThreadPool::hardware_threads() / ctx.nranks());
     ReconstructionPipeline pipeline;
     pipeline.emplace<HveLocalSweepPass>(engine, probes, local_meas, tile.own_probes.size(),
-                                        config.local_epochs);
+                                        config.local_epochs, config.mode, threads,
+                                        config.schedule);
     pipeline.emplace<HaloPastePass>(pastes);
     pipeline.emplace<CostRecordPass>(config.record_cost);
     if (config.progress_every > 0) {
@@ -110,7 +115,7 @@ ParallelResult reconstruct_hve(const Dataset& dataset, const HveConfig& config,
 
     PipelineSchedule schedule;
     schedule.iterations = config.iterations;
-    pipeline.run(state, schedule);
+    pipeline.run(state, schedule, PipelineOptions{config.pipeline});
 
     FramedVolume stitched = stitch_on_root(ctx, partition, volume);
     if (ctx.rank() == 0) {

@@ -21,6 +21,22 @@ struct HveConfig {
   real step = real(0.1);
   /// Local SGD sweeps between paste rounds.
   int local_epochs = 1;
+  /// Local update rule: kSgd is the historical per-probe immediate-update
+  /// loop; kFullBatch accumulates each epoch's gradients through the
+  /// multi-threaded BatchSweeper and applies once per epoch (a batched
+  /// variant of the local algorithm — results differ from SGD, as they do
+  /// for the other solvers' mode knob).
+  UpdateMode mode = UpdateMode::kSgd;
+  /// Worker threads per rank for the full-batch local sweep (0 = hardware
+  /// concurrency divided by nranks, floored at 1). SGD mode ignores this.
+  int threads = 0;
+  /// Per-rank sweep scheduler for the full-batch local sweep; bitwise
+  /// identical output for any choice.
+  SweepSchedule schedule = SweepSchedule::kAuto;
+  /// Pass-graph scheduling (see SerialConfig::pipeline). HVE takes no
+  /// checkpoints, so async mode changes nothing but exercises the same
+  /// executor.
+  PipelineMode pipeline = PipelineMode::kSync;
   /// Rings of replicated neighbour probes ("two extra rows", Sec. VI-A).
   int extra_rings = 2;
   bool record_cost = true;

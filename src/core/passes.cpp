@@ -281,6 +281,21 @@ void CheckpointPass::on_iteration(SolverState& state, int iteration) {
   maybe_write(state, iteration + 1, 0, 0.0);
 }
 
+PassAccess CheckpointPass::access_if_due(int next_iteration, int next_chunk) const {
+  const std::uint64_t step_count =
+      ckpt::chunk_step(next_iteration, next_chunk, run_.chunks_per_iteration);
+  if (!ckpt::snapshot_due(policy_, step_count)) return {};
+  PassAccess a;
+  a.read(Resource::kVolume)
+      .read(Resource::kProbe)
+      .read(Resource::kProbeGrad)
+      .read(Resource::kAccBuf)
+      .read(Resource::kCost)
+      .write(Resource::kCheckpointDir);
+  if (!deferred_) a.write(Resource::kFabric);
+  return a;
+}
+
 void CheckpointPass::maybe_write(SolverState& state, int next_iteration, int next_chunk,
                                  double partial_cost) {
   // `next_iteration`/`next_chunk` name the position a restored run would
@@ -293,8 +308,15 @@ void CheckpointPass::maybe_write(SolverState& state, int next_iteration, int nex
                            next_chunk);
   const std::string dir = ckpt::step_dir(policy_.directory, step_count);
   const int rank = state.ctx != nullptr ? state.ctx->rank() : 0;
-  if (rank == 0) std::filesystem::create_directories(dir);
-  if (state.ctx != nullptr) state.ctx->barrier();
+  if (deferred_) {
+    // Fabric-free half only; runs on the background slot. Every rank
+    // creates the directory itself (idempotent) instead of waiting on a
+    // rank-0 barrier.
+    std::filesystem::create_directories(dir);
+  } else {
+    if (rank == 0) std::filesystem::create_directories(dir);
+    if (state.ctx != nullptr) state.ctx->barrier();
+  }
   const std::uint64_t shard_bytes = ckpt::write_shard(
       dir, ckpt::ShardView{rank, partial_cost,
                            state.ctx != nullptr ? state.ctx->rng().state() : RngState{},
@@ -306,6 +328,23 @@ void CheckpointPass::maybe_write(SolverState& state, int next_iteration, int nex
     shards.add(1);
     bytes.add(shard_bytes);
   }
+  if (deferred_) {
+    PendingSnapshot job;
+    job.dir = dir;
+    job.next_iteration = next_iteration;
+    job.next_chunk = next_chunk;
+    if (rank == 0) {
+      // The cost history is captured here — the executor's kCost hazard
+      // guarantees no later cost-record ran yet, so the values match what
+      // the inline protocol would have written.
+      std::unique_lock<std::mutex> lock;
+      if (state.cost_mutex != nullptr) lock = std::unique_lock<std::mutex>(*state.cost_mutex);
+      job.cost_values = state.cost->values();
+    }
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.push_back(std::move(job));
+    return;
+  }
   if (state.ctx != nullptr) state.ctx->barrier();
   // Written last (by rank 0): marks the snapshot complete.
   if (rank != 0) return;
@@ -315,6 +354,12 @@ void CheckpointPass::maybe_write(SolverState& state, int next_iteration, int nex
     if (state.cost_mutex != nullptr) lock = std::unique_lock<std::mutex>(*state.cost_mutex);
     cost_values = state.cost->values();
   }
+  write_manifest_completion(dir, next_iteration, next_chunk, std::move(cost_values));
+}
+
+void CheckpointPass::write_manifest_completion(const std::string& dir, int next_iteration,
+                                               int next_chunk,
+                                               std::vector<double> cost_values) {
   WallTimer manifest_timer;
   ckpt::write_manifest(
       dir, ckpt::make_manifest(run_, next_iteration, next_chunk, std::move(cost_values)));
@@ -325,39 +370,101 @@ void CheckpointPass::maybe_write(SolverState& state, int next_iteration, int nex
   manifest_seconds.observe(manifest_timer.seconds());
 }
 
+void CheckpointPass::finalize_pending(SolverState& state) {
+  std::vector<PendingSnapshot> jobs;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    jobs.swap(pending_);
+  }
+  for (PendingSnapshot& job : jobs) {
+    obs::SpanScope span("snapshot-finalize", obs::Phase::kCheckpoint, job.next_iteration,
+                        job.next_chunk);
+    // All ranks hold the same pending set here (the executor fenced on the
+    // shard write before this hook ran), so the barrier counts match.
+    if (state.ctx != nullptr) state.ctx->barrier();
+    const int rank = state.ctx != nullptr ? state.ctx->rank() : 0;
+    if (rank == 0) {
+      write_manifest_completion(job.dir, job.next_iteration, job.next_chunk,
+                                std::move(job.cost_values));
+    }
+  }
+}
+
 HveLocalSweepPass::HveLocalSweepPass(const GradientEngine& engine,
                                      const std::vector<index_t>& probes,
                                      const std::vector<RArray2D>& measurements,
-                                     usize own_count, int epochs)
+                                     usize own_count, int epochs, UpdateMode mode,
+                                     int threads, SweepSchedule schedule)
     : engine_(engine),
       probes_(probes),
       measurements_(measurements),
       own_count_(own_count),
       epochs_(epochs),
-      workspace_(engine.make_workspace()),
-      grad_scratch_(engine.dataset().spec.slices,
-                    Rect{0, 0, static_cast<index_t>(engine.dataset().spec.grid.probe_n),
-                         static_cast<index_t>(engine.dataset().spec.grid.probe_n)}) {}
+      mode_(mode) {
+  if (mode_ == UpdateMode::kFullBatch) {
+    pool_.emplace(threads);
+    scheduler_ = make_sweep_scheduler(schedule, *pool_);
+    sweeper_.emplace(engine_, *scheduler_);
+  } else {
+    workspace_.emplace(engine.make_workspace());
+    const auto n = static_cast<index_t>(engine.dataset().spec.grid.probe_n);
+    grad_scratch_.emplace(engine.dataset().spec.slices, Rect{0, 0, n, n});
+  }
+}
 
 void HveLocalSweepPass::on_chunk(SolverState& state, const StepPoint& point) {
   (void)point;
   // kCompute accounting comes from the pipeline's SpanScope (Pass::phase()).
-  if (obs::metrics_enabled() && !probes_.empty()) {
+  if (obs::metrics_enabled() && !probes_.empty() && mode_ == UpdateMode::kSgd) {
+    // Full-batch sweeps are counted inside BatchSweeper.
     static obs::Counter& probes = obs::registry().counter("sweep_probes_total");
     probes.add(static_cast<std::uint64_t>(probes_.size()) *
                static_cast<std::uint64_t>(std::max(1, epochs_)));
   }
+  if (mode_ == UpdateMode::kFullBatch) {
+    if (!accbuf_ && !probes_.empty()) {
+      // Sized off the tile's extended window, allocated on the rank lane
+      // so per-rank memory tracking charges it correctly.
+      accbuf_.emplace(state.volume->slices(), state.volume->frame);
+    }
+    const auto n = static_cast<index_t>(probes_.size());
+    const auto own = static_cast<index_t>(own_count_);
+    const Probe& probe = engine_.dataset().probe;
+    const auto id_of = [this](index_t item) { return probes_[static_cast<usize>(item)]; };
+    const auto meas_of = [this](index_t item) {
+      return measurements_[static_cast<usize>(item)].view();
+    };
+    for (int epoch = 0; epoch < epochs_; ++epoch) {
+      if (n == 0) break;
+      // Owned probes count toward the recorded cost on the first epoch
+      // only; replicated probes' costs are always discarded (their owners
+      // count them).
+      double discarded = 0.0;
+      double& own_cost = epoch == 0 ? state.sweep_cost : discarded;
+      if (own > 0) {
+        sweeper_->sweep(0, own, probe, *state.volume, *accbuf_, own_cost, nullptr, id_of,
+                        meas_of);
+      }
+      if (own < n) {
+        sweeper_->sweep(own, n, probe, *state.volume, *accbuf_, discarded, nullptr, id_of,
+                        meas_of);
+      }
+      apply_gradient(*state.volume, accbuf_->volume(), accbuf_->frame(), state.step);
+      accbuf_->reset();
+    }
+    return;
+  }
   for (int epoch = 0; epoch < epochs_; ++epoch) {
     for (usize p = 0; p < probes_.size(); ++p) {
       const index_t id = probes_[p];
-      grad_scratch_.frame = engine_.window(id);
-      grad_scratch_.data.fill(cplx{});
+      grad_scratch_->frame = engine_.window(id);
+      grad_scratch_->data.fill(cplx{});
       const double f = engine_.probe_gradient_with(id, measurements_[p].view(), *state.volume,
-                                                   grad_scratch_, workspace_);
+                                                   *grad_scratch_, *workspace_);
       // Count the cost of *owned* probes only so the recorded global cost
       // sums each f_i exactly once.
       if (p < own_count_ && epoch == 0) state.sweep_cost += f;
-      apply_gradient(*state.volume, grad_scratch_, grad_scratch_.frame, state.step);
+      apply_gradient(*state.volume, *grad_scratch_, grad_scratch_->frame, state.step);
     }
   }
 }

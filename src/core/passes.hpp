@@ -30,7 +30,9 @@
 //    the without-APPP baseline of Fig. 7b.
 #pragma once
 
+#include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "ckpt/snapshot.hpp"
@@ -170,6 +172,18 @@ class SweepPass final : public Pass {
 
   [[nodiscard]] const char* name() const override { return "sweep"; }
   [[nodiscard]] obs::Phase phase() const override { return obs::Phase::kCompute; }
+  /// Full-batch: reads V and the probe, writes AccBuf. SGD also descends V
+  /// in place. kProbeGrad is written only on refinement iterations, so a
+  /// non-refining sweep never fences on a background checkpoint that is
+  /// still reading the gradient field.
+  [[nodiscard]] PassAccess chunk_access(const StepPoint& point) const override {
+    PassAccess a;
+    a.read(Resource::kVolume).read(Resource::kProbe).write(Resource::kAccBuf);
+    if (mode_ == UpdateMode::kSgd) a.write(Resource::kVolume);
+    if (refine_.due(point.iteration)) a.write(Resource::kProbeGrad);
+    return a;
+  }
+  [[nodiscard]] PassAccess iteration_access(int) const override { return {}; }
   void on_chunk(SolverState& state, const StepPoint& point) override;
 
  private:
@@ -207,6 +221,14 @@ class SyncGradientsPass final : public Pass {
       : sync_(partition, rank, policy), mode_(mode) {}
 
   [[nodiscard]] const char* name() const override { return "sync"; }
+  [[nodiscard]] PassAccess chunk_access(const StepPoint&) const override {
+    PassAccess a;
+    a.read(Resource::kAccBuf).write(Resource::kAccBuf).write(Resource::kFabric);
+    // SGD first undoes the chunk's local updates on V (see on_chunk).
+    if (mode_ == UpdateMode::kSgd) a.read(Resource::kVolume).write(Resource::kVolume);
+    return a;
+  }
+  [[nodiscard]] PassAccess iteration_access(int) const override { return {}; }
   void on_chunk(SolverState& state, const StepPoint& point) override;
 
  private:
@@ -227,6 +249,13 @@ class ApplyUpdatePass final : public Pass {
 
   [[nodiscard]] const char* name() const override { return "update"; }
   [[nodiscard]] obs::Phase phase() const override { return obs::Phase::kUpdate; }
+  [[nodiscard]] PassAccess chunk_access(const StepPoint&) const override {
+    PassAccess a;
+    a.read(Resource::kAccBuf).write(Resource::kAccBuf);  // apply + reset
+    a.read(Resource::kVolume).write(Resource::kVolume);
+    return a;
+  }
+  [[nodiscard]] PassAccess iteration_access(int) const override { return {}; }
   void on_chunk(SolverState& state, const StepPoint& point) override;
 
  private:
@@ -241,6 +270,10 @@ class ApplyUpdatePass final : public Pass {
 class FaultPointPass final : public Pass {
  public:
   [[nodiscard]] const char* name() const override { return "fault-point"; }
+  [[nodiscard]] PassAccess chunk_access(const StepPoint&) const override {
+    return PassAccess{}.write(Resource::kFabric);
+  }
+  [[nodiscard]] PassAccess iteration_access(int) const override { return {}; }
   void on_chunk(SolverState& state, const StepPoint& point) override;
 };
 
@@ -260,6 +293,15 @@ class ProbeRefinePass final : public Pass {
         initial_energy_(initial_probe_energy) {}
 
   [[nodiscard]] const char* name() const override { return "probe-refine"; }
+  [[nodiscard]] PassAccess chunk_access(const StepPoint&) const override { return {}; }
+  [[nodiscard]] PassAccess iteration_access(int iteration) const override {
+    if (!refine_.due(iteration)) return {};
+    PassAccess a;
+    a.read(Resource::kProbe).write(Resource::kProbe);
+    a.read(Resource::kProbeGrad).write(Resource::kProbeGrad);
+    a.write(Resource::kFabric);
+    return a;
+  }
   void on_iteration(SolverState& state, int iteration) override;
 
  private:
@@ -277,6 +319,13 @@ class CostRecordPass final : public Pass {
   explicit CostRecordPass(bool record) : record_(record) {}
 
   [[nodiscard]] const char* name() const override { return "cost-record"; }
+  [[nodiscard]] PassAccess chunk_access(const StepPoint&) const override { return {}; }
+  [[nodiscard]] PassAccess iteration_access(int) const override {
+    if (!record_) return {};
+    PassAccess a;
+    a.read(Resource::kCost).write(Resource::kCost).write(Resource::kFabric);
+    return a;
+  }
   void on_iteration(SolverState& state, int iteration) override;
 
  private:
@@ -294,6 +343,10 @@ class ProgressPass final : public Pass {
       : every_(every), probes_(probes_per_iteration), total_(total_iterations) {}
 
   [[nodiscard]] const char* name() const override { return "progress"; }
+  [[nodiscard]] PassAccess chunk_access(const StepPoint&) const override { return {}; }
+  [[nodiscard]] PassAccess iteration_access(int) const override {
+    return PassAccess{}.read(Resource::kCost);
+  }
   void on_iteration(SolverState& state, int iteration) override;
 
  private:
@@ -310,34 +363,118 @@ class ProgressPass final : public Pass {
 /// manifest-last completion contract: every rank writes its shard, all
 /// ranks barrier, rank 0 writes the manifest — identical shape on the
 /// single-rank path with the barriers elided.
+///
+/// In deferred mode (the async pipeline) the hook only does the fabric-free
+/// half — create the step directory, write this rank's shard, capture the
+/// cost history — and queues a pending record; a CheckpointFinalizePass on
+/// the rank lane later runs the barrier + manifest-last completion. The
+/// split lets the shard I/O run on the background slot while later chunks
+/// compute; an unfinalized snapshot simply has no manifest yet, so crash
+/// semantics are unchanged (find_latest_step ignores it).
 class CheckpointPass final : public Pass {
  public:
-  CheckpointPass(ckpt::Policy policy, ckpt::RunInfo run)
-      : policy_(std::move(policy)), run_(std::move(run)) {}
+  CheckpointPass(ckpt::Policy policy, ckpt::RunInfo run, bool deferred = false)
+      : policy_(std::move(policy)), run_(std::move(run)), deferred_(deferred) {}
 
   [[nodiscard]] const char* name() const override { return "checkpoint"; }
+  /// A due snapshot reads every piece of state it serializes and writes
+  /// the directory tree; inline mode also barriers. Not-due points declare
+  /// nothing, so the common chunk never fences on background I/O.
+  [[nodiscard]] PassAccess chunk_access(const StepPoint& point) const override {
+    return point.chunk + 1 < point.chunks
+               ? access_if_due(point.iteration, point.chunk + 1)
+               : PassAccess{};
+  }
+  [[nodiscard]] PassAccess iteration_access(int iteration) const override {
+    return access_if_due(iteration + 1, 0);
+  }
+  [[nodiscard]] bool background_eligible() const override { return deferred_; }
   void on_chunk(SolverState& state, const StepPoint& point) override;
   void on_iteration(SolverState& state, int iteration) override;
 
+  /// Complete every queued deferred snapshot: per record, all ranks
+  /// barrier (shards are known written — the caller's hazard fence waited
+  /// for the background task), then rank 0 writes the manifest. Called by
+  /// CheckpointFinalizePass on the rank lane; a no-op in inline mode.
+  void finalize_pending(SolverState& state);
+
  private:
+  struct PendingSnapshot {
+    std::string dir;
+    int next_iteration = 0;
+    int next_chunk = 0;
+    std::vector<double> cost_values;  ///< captured on rank 0 at write time
+  };
+
+  [[nodiscard]] PassAccess access_if_due(int next_iteration, int next_chunk) const;
   void maybe_write(SolverState& state, int next_iteration, int next_chunk,
                    double partial_cost);
+  void write_manifest_completion(const std::string& dir, int next_iteration, int next_chunk,
+                                 std::vector<double> cost_values);
 
   ckpt::Policy policy_;
   ckpt::RunInfo run_;
+  bool deferred_ = false;
+  std::mutex pending_mutex_;  ///< guards pending_ (background producer, rank-lane consumer)
+  std::vector<PendingSnapshot> pending_;
 };
 
-/// HVE's embarrassingly parallel local reconstruction: `epochs` sequential
-/// SGD sweeps over the tile's assigned probes (own + replicated) with
-/// immediate updates. Only *owned* probes' first-epoch costs are counted,
+/// Rank-lane completion stage for deferred checkpoints: runs the barrier +
+/// manifest-last half of the protocol for every snapshot whose shard write
+/// has finished. Its kCheckpointDir read hazards with the in-flight shard
+/// task's write, so the executor's fence guarantees every rank observes
+/// the same pending set — the per-snapshot barrier count is deterministic.
+/// Placed before the fault point so a snapshot completed by chunk N is
+/// manifest-complete before rank loss at chunk N can fire (matching which
+/// snapshot a sync run would have completed).
+class CheckpointFinalizePass final : public Pass {
+ public:
+  explicit CheckpointFinalizePass(CheckpointPass& writer) : writer_(writer) {}
+
+  [[nodiscard]] const char* name() const override { return "checkpoint-finalize"; }
+  [[nodiscard]] PassAccess chunk_access(const StepPoint&) const override {
+    return PassAccess{}.read(Resource::kCheckpointDir).write(Resource::kFabric);
+  }
+  [[nodiscard]] PassAccess iteration_access(int) const override {
+    return PassAccess{}.read(Resource::kCheckpointDir).write(Resource::kFabric);
+  }
+  void on_chunk(SolverState& state, const StepPoint&) override {
+    writer_.finalize_pending(state);
+  }
+  void on_iteration(SolverState& state, int) override { writer_.finalize_pending(state); }
+  void on_finish(SolverState& state) override { writer_.finalize_pending(state); }
+
+ private:
+  CheckpointPass& writer_;
+};
+
+/// HVE's embarrassingly parallel local reconstruction: `epochs` local
+/// sweeps over the tile's assigned probes (own + replicated). SGD mode is
+/// the historical sequential loop with immediate updates; full-batch mode
+/// dispatches each epoch through a BatchSweeper on the configured
+/// scheduler, accumulating into a pass-private AccBuf and applying once
+/// per epoch (a different — batched — local algorithm, not a reordering
+/// of the SGD one). Only *owned* probes' first-epoch costs are counted,
 /// so the recorded global cost sums each f_i exactly once.
 class HveLocalSweepPass final : public Pass {
  public:
+  /// `threads`/`schedule` configure the full-batch sweeper; SGD mode
+  /// ignores them (its machinery is inherently sequential).
   HveLocalSweepPass(const GradientEngine& engine, const std::vector<index_t>& probes,
-                    const std::vector<RArray2D>& measurements, usize own_count, int epochs);
+                    const std::vector<RArray2D>& measurements, usize own_count, int epochs,
+                    UpdateMode mode = UpdateMode::kSgd, int threads = 1,
+                    SweepSchedule schedule = SweepSchedule::kAuto);
 
   [[nodiscard]] const char* name() const override { return "hve-local-sweep"; }
   [[nodiscard]] obs::Phase phase() const override { return obs::Phase::kCompute; }
+  /// The pass-private AccBuf is not a declared resource (nothing else can
+  /// touch it); the probe is the engine's immutable dataset copy.
+  [[nodiscard]] PassAccess chunk_access(const StepPoint&) const override {
+    PassAccess a;
+    a.read(Resource::kVolume).write(Resource::kVolume);
+    return a;
+  }
+  [[nodiscard]] PassAccess iteration_access(int) const override { return {}; }
   void on_chunk(SolverState& state, const StepPoint& point) override;
 
  private:
@@ -346,8 +483,16 @@ class HveLocalSweepPass final : public Pass {
   const std::vector<RArray2D>& measurements_;
   usize own_count_;
   int epochs_;
-  MultisliceWorkspace workspace_;
-  FramedVolume grad_scratch_;
+  UpdateMode mode_;
+  // SGD machinery (unset in full-batch mode).
+  std::optional<MultisliceWorkspace> workspace_;
+  std::optional<FramedVolume> grad_scratch_;
+  // Full-batch machinery (unset in SGD mode); accbuf_ sized lazily off the
+  // tile volume on the first chunk.
+  std::optional<ThreadPool> pool_;
+  std::unique_ptr<SweepScheduler> scheduler_;
+  std::optional<BatchSweeper> sweeper_;
+  std::optional<AccumulationBuffer> accbuf_;
 };
 
 /// HVE's synchronous halo exchange: owned voxels overwrite neighbour
@@ -358,6 +503,12 @@ class HaloPastePass final : public Pass {
   explicit HaloPastePass(std::vector<PasteEdge> pastes) : pastes_(std::move(pastes)) {}
 
   [[nodiscard]] const char* name() const override { return "halo-paste"; }
+  [[nodiscard]] PassAccess chunk_access(const StepPoint&) const override {
+    PassAccess a;
+    a.read(Resource::kVolume).write(Resource::kVolume).write(Resource::kFabric);
+    return a;
+  }
+  [[nodiscard]] PassAccess iteration_access(int) const override { return {}; }
   void on_chunk(SolverState& state, const StepPoint& point) override;
 
  private:

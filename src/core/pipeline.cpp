@@ -1,9 +1,75 @@
 #include "core/pipeline.hpp"
 
+#include <optional>
+#include <utility>
+
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "runtime/cluster.hpp"
 
 namespace ptycho {
+
+const char* to_string(Resource resource) {
+  switch (resource) {
+    case Resource::kVolume: return "volume";
+    case Resource::kProbe: return "probe";
+    case Resource::kProbeGrad: return "probe-grad";
+    case Resource::kAccBuf: return "accbuf";
+    case Resource::kCost: return "cost";
+    case Resource::kFabric: return "fabric";
+    case Resource::kCheckpointDir: return "checkpoint-dir";
+  }
+  return "?";
+}
+
+const char* to_string(PipelineMode mode) {
+  return mode == PipelineMode::kSync ? "sync" : "async";
+}
+
+PipelineMode pipeline_mode_from_string(const std::string& name) {
+  if (name == "sync") return PipelineMode::kSync;
+  if (name == "async") return PipelineMode::kAsync;
+  throw Error("unknown pipeline mode: " + name + " (expected sync|async)");
+}
+
+std::vector<int> topological_order(const std::vector<std::vector<int>>& deps) {
+  const int n = static_cast<int>(deps.size());
+  // Kahn's algorithm over the dependency lists. deps[i] -> i edges.
+  std::vector<int> remaining(static_cast<usize>(n), 0);
+  std::vector<std::vector<int>> dependents(static_cast<usize>(n));
+  for (int i = 0; i < n; ++i) {
+    remaining[static_cast<usize>(i)] = static_cast<int>(deps[static_cast<usize>(i)].size());
+    for (int d : deps[static_cast<usize>(i)]) {
+      PTYCHO_REQUIRE(d >= 0 && d < n, "dependency index out of range");
+      dependents[static_cast<usize>(d)].push_back(i);
+    }
+  }
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (remaining[static_cast<usize>(i)] == 0) ready.push_back(i);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<usize>(n));
+  // Pop the smallest ready index first so the result matches list order
+  // whenever list order is a valid extension (it always is for
+  // hazard-derived DAGs, whose edges point backwards).
+  for (usize head = 0; head < ready.size(); ++head) {
+    // `ready` is kept sorted by construction below.
+    const int node = ready[head];
+    order.push_back(node);
+    for (int dep : dependents[static_cast<usize>(node)]) {
+      if (--remaining[static_cast<usize>(dep)] == 0) {
+        auto it = ready.begin() + static_cast<std::ptrdiff_t>(head) + 1;
+        while (it != ready.end() && *it < dep) ++it;
+        ready.insert(it, dep);
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    throw Error("pass dependency graph has a cycle");
+  }
+  return order;
+}
 
 Pass& ReconstructionPipeline::add(std::unique_ptr<Pass> pass) {
   PTYCHO_REQUIRE(pass != nullptr, "cannot add a null pass");
@@ -20,9 +86,171 @@ std::string ReconstructionPipeline::describe() const {
   return out;
 }
 
-void ReconstructionPipeline::run(SolverState& state, const PipelineSchedule& schedule) {
+PassDag ReconstructionPipeline::chunk_dag(const StepPoint& point) const {
+  PassDag dag;
+  dag.deps.resize(passes_.size());
+  std::vector<PassAccess> access;
+  access.reserve(passes_.size());
+  for (const auto& pass : passes_) access.push_back(pass->chunk_access(point));
+  for (usize i = 0; i < passes_.size(); ++i) {
+    for (usize j = 0; j < i; ++j) {
+      if (access[j].hazard_with(access[i])) {
+        dag.deps[i].push_back(static_cast<int>(j));
+      }
+    }
+  }
+  return dag;
+}
+
+void ReconstructionPipeline::validate_async() const {
+  // Background hooks must never touch the fabric: collectives are matched
+  // by program order (the barrier is tagless), so reordering them off the
+  // rank lane would desynchronize ranks. A pass's access sets may vary
+  // with the point, but fabric use may not, so probing one canonical point
+  // suffices (and is all we can do without a schedule).
+  StepPoint probe;
+  for (const auto& pass : passes_) {
+    if (!pass->background_eligible()) continue;
+    const bool fabric = pass->chunk_access(probe).touches(Resource::kFabric) ||
+                        pass->iteration_access(0).touches(Resource::kFabric);
+    if (fabric) {
+      throw Error(std::string("pass '") + pass->name() +
+                  "' is background-eligible but declares fabric access");
+    }
+  }
+}
+
+namespace {
+
+/// Shadow bit the executor remaps kAccBuf to on odd steps, so a hazard
+/// check between an in-flight background pass (step N) and a rank-lane
+/// pass (step N+1) sees two distinct resources when double buffering made
+/// them physically distinct.
+constexpr std::uint32_t kAccBufShadowBit = std::uint32_t{1} << kResourceCount;
+
+[[nodiscard]] PassAccess remap_accbuf(PassAccess access, std::uint64_t step,
+                                      bool double_buffered) {
+  if (!double_buffered || step % 2 == 0) return access;
+  const std::uint32_t bit = resource_bit(Resource::kAccBuf);
+  if (access.reads & bit) access.reads = (access.reads & ~bit) | kAccBufShadowBit;
+  if (access.writes & bit) access.writes = (access.writes & ~bit) | kAccBufShadowBit;
+  return access;
+}
+
+/// A background pass still (possibly) running, with the concrete access
+/// set it was dispatched under.
+struct InFlightPass {
+  BackgroundTicket ticket;
+  PassAccess access;
+  const char* name = "";
+};
+
+/// The async lane's fence bookkeeping: before a pass runs anywhere, every
+/// in-flight background pass it has a hazard with must complete.
+class HazardTracker {
+ public:
+  void admit(BackgroundTicket ticket, PassAccess access, const char* name) {
+    inflight_.push_back(InFlightPass{std::move(ticket), access, name});
+  }
+
+  /// Wait for (and retire) every in-flight pass whose access hazards with
+  /// `access`. Blocking waits are accounted as kWait so the trace shows
+  /// where the rank lane stalled on background I/O.
+  void wait_conflicting(const PassAccess& access) {
+    for (usize i = 0; i < inflight_.size();) {
+      if (!inflight_[i].access.hazard_with(access)) {
+        ++i;
+        continue;
+      }
+      wait_one(inflight_[i]);
+      inflight_.erase(inflight_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+
+  void wait_all() {
+    for (auto& entry : inflight_) wait_one(entry);
+    inflight_.clear();
+  }
+
+ private:
+  static void wait_one(InFlightPass& entry) {
+    if (entry.ticket.done()) {
+      entry.ticket.wait();  // rethrow a captured error without accounting
+      return;
+    }
+    obs::SpanScope span("pass-wait", obs::Phase::kWait);
+    entry.ticket.wait();
+  }
+
+  std::vector<InFlightPass> inflight_;
+};
+
+/// Restores state.accbuf on scope exit — the async run repoints it at the
+/// double buffer's shadow on odd steps, and the owning solver must get its
+/// own pointer back even when a pass throws.
+class AccbufRestorer {
+ public:
+  explicit AccbufRestorer(SolverState& state) : state_(state), saved_(state.accbuf) {}
+  ~AccbufRestorer() { state_.accbuf = saved_; }
+
+ private:
+  SolverState& state_;
+  AccumulationBuffer* saved_;
+};
+
+}  // namespace
+
+void ReconstructionPipeline::run(SolverState& state, const PipelineSchedule& schedule,
+                                 const PipelineOptions& options) {
   PTYCHO_REQUIRE(!passes_.empty(), "pipeline has no passes");
   PTYCHO_REQUIRE(schedule.chunks_per_iteration >= 1, "need at least one chunk per iteration");
+  const bool async = options.mode == PipelineMode::kAsync;
+  if (async) validate_async();
+
+  // Declaration order matters: the worker must be destroyed (joining any
+  // still-queued task) before the shadow buffer it may be reading.
+  std::optional<AccumulationDoubleBuffer> accbufs;
+  std::optional<BackgroundWorker> background;
+  if (async) {
+    if (state.accbuf != nullptr) accbufs.emplace(*state.accbuf);
+    background.emplace();
+  }
+  AccbufRestorer restore_accbuf(state);
+  HazardTracker inflight;
+
+  // Dispatch one hook (chunk or iteration) on the right lane.
+  const auto dispatch = [&](Pass& pass, const PassAccess& concrete,
+                            const StepPoint* point, int iteration) {
+    if (async) inflight.wait_conflicting(concrete);
+    if (async && pass.background_eligible()) {
+      // Background passes see a value snapshot of the state taken at
+      // dispatch (sweep_cost etc. frozen at the right program point);
+      // pointed-to buffers are protected by the hazard fences above.
+      BackgroundTicket ticket;
+      if (point != nullptr) {
+        const StepPoint at = *point;
+        ticket = background->submit([&pass, snap = state, at]() mutable {
+          obs::SpanScope span(pass.name(), pass.phase(), at.iteration, at.chunk);
+          pass.on_chunk(snap, at);
+        });
+      } else {
+        ticket = background->submit([&pass, snap = state, iteration]() mutable {
+          obs::SpanScope span(pass.name(), obs::Phase::kNone, iteration);
+          pass.on_iteration(snap, iteration);
+        });
+      }
+      inflight.admit(std::move(ticket), concrete, pass.name());
+      return;
+    }
+    if (point != nullptr) {
+      obs::SpanScope span(pass.name(), pass.phase(), point->iteration, point->chunk);
+      pass.on_chunk(state, *point);
+    } else {
+      obs::SpanScope span(pass.name(), obs::Phase::kNone, iteration);
+      pass.on_iteration(state, iteration);
+    }
+  };
+
   for (int iter = schedule.start_iteration; iter < schedule.iterations; ++iter) {
     // A resumed run re-enters mid-iteration with the sweep cost its
     // snapshot had already accumulated; every later iteration starts at 0.
@@ -36,31 +264,54 @@ void ReconstructionPipeline::run(SolverState& state, const PipelineSchedule& sch
       point.chunks = schedule.chunks_per_iteration;
       point.begin = schedule.items * chunk / schedule.chunks_per_iteration;
       point.end = schedule.items * (chunk + 1) / schedule.chunks_per_iteration;
+      const std::uint64_t step =
+          static_cast<std::uint64_t>(iter) *
+              static_cast<std::uint64_t>(schedule.chunks_per_iteration) +
+          static_cast<std::uint64_t>(chunk);
+      if (accbufs) state.accbuf = &accbufs->for_step(step);
       {
         obs::SpanScope chunk_span("chunk", obs::Phase::kNone, iter, chunk);
         for (const auto& pass : passes_) {
-          obs::SpanScope span(pass->name(), pass->phase(), iter, chunk);
-          pass->on_chunk(state, point);
+          const PassAccess concrete =
+              remap_accbuf(pass->chunk_access(point), step, accbufs.has_value());
+          dispatch(*pass, concrete, &point, iter);
         }
       }
       // Chunk boundary: fold this rank's span durations into its profiler
-      // and move pending trace records out of the bounded rings.
+      // and move pending trace records out of the bounded rings. (The
+      // background thread's ring is registered globally, so drain_all
+      // collects its records too.)
       if (state.ctx != nullptr) state.ctx->merge_phases();
       if (obs::tracing_enabled()) obs::Tracer::instance().drain_all();
     }
     {
       // Iteration hooks carry no pass phase: probe refinement and cost
       // recording were never phase-accounted, and the checkpoint pass
-      // times its actual writes internally (snapshot-write spans).
+      // times its actual writes internally (snapshot-write spans). The
+      // hooks run after the iteration's last chunk, so the AccBuf parity
+      // they observe is that of the last step.
+      const std::uint64_t last_step =
+          static_cast<std::uint64_t>(iter) *
+              static_cast<std::uint64_t>(schedule.chunks_per_iteration) +
+          static_cast<std::uint64_t>(schedule.chunks_per_iteration - 1);
       obs::SpanScope iter_span("iteration-hooks", obs::Phase::kNone, iter);
       for (const auto& pass : passes_) {
-        obs::SpanScope span(pass->name(), obs::Phase::kNone, iter);
-        pass->on_iteration(state, iter);
+        const PassAccess concrete =
+            remap_accbuf(pass->iteration_access(iter), last_step, accbufs.has_value());
+        dispatch(*pass, concrete, nullptr, iter);
       }
     }
     if (state.ctx != nullptr) state.ctx->merge_phases();
     if (obs::tracing_enabled()) obs::Tracer::instance().drain_all();
   }
+
+  // Quiesce the background slot, then give every pass its finish hook —
+  // deferred protocols (the last snapshot's manifest) complete here, with
+  // no background work in flight on any rank.
+  inflight.wait_all();
+  for (const auto& pass : passes_) pass->on_finish(state);
+  if (state.ctx != nullptr) state.ctx->merge_phases();
+  if (obs::tracing_enabled()) obs::Tracer::instance().drain_all();
 }
 
 }  // namespace ptycho

@@ -1,10 +1,10 @@
 // ReconstructionPipeline: the single execution layer every solver runs on.
 //
-// A reconstruction is an ordered pass graph driven over a fixed
-// iteration/chunk schedule:
+// A reconstruction is a pass graph driven over a fixed iteration/chunk
+// schedule:
 //
 //   per chunk:      sweep -> [sync] -> optimizer update -> [fault point]
-//                   -> checkpoint
+//                   -> [checkpoint finalize] -> checkpoint
 //   per iteration:  probe refinement -> convergence record -> checkpoint
 //
 // The serial solver, the gradient-decomposition solver and the HVE
@@ -16,12 +16,35 @@
 // positions, the per-iteration running cost) so restart/convergence
 // semantics cannot drift between solvers.
 //
+// Dependencies, not list order, are the semantic contract: every pass
+// declares the resources its hooks read and write (Resource / PassAccess
+// below), and the pipeline derives a dependency DAG per StepPoint from
+// those sets (chunk_dag()). Execution honors the DAG on a two-lane
+// schedule:
+//
+//  * kSync runs the historical strict list order — trivially a linear
+//    extension of the DAG — with zero overhead.
+//  * kAsync keeps fabric-touching passes on the rank lane in list order
+//    (collective matching order must be identical on every rank; the
+//    tagless barrier makes reordering them unsound), but lifts
+//    background-eligible passes (checkpoint shard I/O) onto a per-rank
+//    BackgroundWorker slot. An in-flight background pass fences every
+//    later pass it has a read/write hazard with; the AccBuf is
+//    double-buffered per step parity so chunk N's in-flight checkpoint
+//    (reading buffer A) never hazards chunk N+1's sweep (writing B).
+//
+// Because the rank lane never reorders and background passes operate on a
+// value snapshot of the state behind hazard fences, the async schedule is
+// bitwise identical to the sync one — same volume, same cost history,
+// same snapshot bytes (asserted in tests/test_async_pipeline.cpp).
+//
 // Passes mutate shared per-rank state through SolverState, which carries
 // raw pointers into the owning solver's buffers (the pipeline borrows,
 // never owns). `ctx` is null on the single-rank path; passes that need a
 // fabric (sync, halo paste, fault points) are simply not added there.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -65,9 +88,91 @@ struct StepPoint {
   index_t end = 0;     ///< one past the last sweep item
 };
 
+// ---- resources & access sets ------------------------------------------------
+
+/// The named shared resources passes operate on. kAccBuf names the
+/// *current chunk's* accumulation buffer — with double buffering the
+/// executor remaps it per step parity, so a pass never needs to know
+/// which physical buffer it touches. Value members of SolverState
+/// (sweep_cost, step) are NOT resources: the rank lane mutates them in
+/// program order and background passes receive a value snapshot.
+enum class Resource : std::uint8_t {
+  kVolume = 0,      ///< the rank's (extended-tile) object volume
+  kProbe,           ///< the probe wavefield
+  kProbeGrad,       ///< the accumulated probe-gradient field
+  kAccBuf,          ///< this step's accumulation buffer
+  kCost,            ///< the recorded CostHistory sink
+  kFabric,          ///< the rank's message fabric + barriers (ordering!)
+  kCheckpointDir,   ///< the snapshot directory tree on disk
+};
+inline constexpr int kResourceCount = 7;
+
+[[nodiscard]] const char* to_string(Resource resource);
+
+[[nodiscard]] constexpr std::uint32_t resource_bit(Resource r) {
+  return std::uint32_t{1} << static_cast<int>(r);
+}
+
+/// A pass hook's declared read/write sets, as resource bitmasks. The
+/// default for an unannotated pass is all(): reads and writes everything,
+/// which conflicts with everything and therefore serializes — always
+/// safe, never fast.
+struct PassAccess {
+  std::uint32_t reads = 0;
+  std::uint32_t writes = 0;
+
+  PassAccess& read(Resource r) {
+    reads |= resource_bit(r);
+    return *this;
+  }
+  PassAccess& write(Resource r) {
+    writes |= resource_bit(r);
+    return *this;
+  }
+  [[nodiscard]] bool touches(Resource r) const {
+    return ((reads | writes) & resource_bit(r)) != 0;
+  }
+  [[nodiscard]] static PassAccess all() {
+    PassAccess a;
+    a.reads = a.writes = (std::uint32_t{1} << kResourceCount) - 1;
+    return a;
+  }
+  /// True when a pass with *this* access, issued earlier, must complete
+  /// before one with `later` may run: RAW, WAR or WAW on any resource.
+  [[nodiscard]] bool hazard_with(const PassAccess& later) const {
+    return ((writes & (later.reads | later.writes)) | (reads & later.writes)) != 0;
+  }
+};
+
+/// Dependency DAG over a pass list: deps[i] lists the indices of earlier
+/// passes pass i has a hazard with (its direct dependencies).
+struct PassDag {
+  std::vector<std::vector<int>> deps;
+};
+
+/// Topological order of a dependency graph given as per-node dependency
+/// lists; throws ptycho::Error when the graph has a cycle. List order is
+/// a valid linear extension of any hazard-derived PassDag (dependencies
+/// only ever point backwards), so this doubles as the cycle detector for
+/// hand-built graphs in tests.
+[[nodiscard]] std::vector<int> topological_order(const std::vector<std::vector<int>>& deps);
+
+/// How ReconstructionPipeline::run schedules the pass graph.
+enum class PipelineMode {
+  kSync,   ///< strict list order, single lane (the historical behavior)
+  kAsync,  ///< hazard-fenced background slot + double-buffered AccBuf
+};
+
+[[nodiscard]] const char* to_string(PipelineMode mode);
+/// Parse "sync" / "async"; throws on others.
+[[nodiscard]] PipelineMode pipeline_mode_from_string(const std::string& name);
+
 /// One stage of the pass graph. A pass may act per chunk, per iteration,
 /// or both; the pipeline invokes the hooks of every pass in list order at
-/// each point, so the list order IS the execution order of the graph.
+/// each point. The list order is the reference execution order — a linear
+/// extension of the hazard DAG the declared access sets imply — and the
+/// async executor only ever deviates from it where those sets prove the
+/// deviation unobservable.
 class Pass {
  public:
   virtual ~Pass() = default;
@@ -82,18 +187,47 @@ class Pass {
   /// (communication, waits, checkpoint writes).
   [[nodiscard]] virtual obs::Phase phase() const { return obs::Phase::kNone; }
 
-  /// Runs once per chunk, in pass-list order.
+  /// Resources the chunk hook reads/writes at `point`. The conservative
+  /// default serializes; passes override with tight sets so the async
+  /// executor can prove overlap safe. Access may depend on the point
+  /// (e.g. the sweep only writes kProbeGrad on refinement iterations) but
+  /// must be identical across ranks for a given point.
+  [[nodiscard]] virtual PassAccess chunk_access(const StepPoint& point) const {
+    (void)point;
+    return PassAccess::all();
+  }
+
+  /// Resources the iteration hook reads/writes. Same contract as
+  /// chunk_access.
+  [[nodiscard]] virtual PassAccess iteration_access(int iteration) const {
+    (void)iteration;
+    return PassAccess::all();
+  }
+
+  /// True when the pass's hooks may run on the background slot in async
+  /// mode: the hook must not touch kFabric (validated — collective order
+  /// must stay on the rank lane), must treat SolverState value members as
+  /// a snapshot, and must tolerate running concurrently with later
+  /// non-conflicting passes.
+  [[nodiscard]] virtual bool background_eligible() const { return false; }
+
+  /// Runs once per chunk.
   virtual void on_chunk(SolverState& state, const StepPoint& point) {
     (void)state;
     (void)point;
   }
 
-  /// Runs once per completed iteration, in pass-list order (after the
-  /// iteration's last chunk hooks).
+  /// Runs once per completed iteration (after the iteration's last chunk
+  /// hooks).
   virtual void on_iteration(SolverState& state, int iteration) {
     (void)state;
     (void)iteration;
   }
+
+  /// Runs once after the full schedule, with no background work in
+  /// flight — the place to complete deferred protocols (e.g. the last
+  /// snapshot's manifest). Collective on tiled runs like the other hooks.
+  virtual void on_finish(SolverState& state) { (void)state; }
 };
 
 /// The iteration/chunk schedule a pipeline runs: total extent plus the
@@ -105,6 +239,11 @@ struct PipelineSchedule {
   int start_chunk = 0;                  ///< within start_iteration (exact resume)
   double restored_partial_cost = 0.0;   ///< sweep cost already accumulated there
   index_t items = 0;                    ///< local sweep items per full iteration
+};
+
+/// Execution knobs for ReconstructionPipeline::run.
+struct PipelineOptions {
+  PipelineMode mode = PipelineMode::kSync;
 };
 
 class ReconstructionPipeline {
@@ -125,12 +264,24 @@ class ReconstructionPipeline {
   /// string (logging and tests).
   [[nodiscard]] std::string describe() const;
 
+  /// The dependency DAG the declared chunk accesses imply at `point`:
+  /// dag.deps[i] holds the earlier pass indices pass i has a read/write
+  /// hazard with. No double-buffer remap is applied — within one chunk
+  /// every pass sees the same physical AccBuf.
+  [[nodiscard]] PassDag chunk_dag(const StepPoint& point) const;
+
   /// Drive the pass graph over the schedule. Collective on tiled runs:
   /// every rank must run the same schedule with a structurally identical
-  /// pass list.
-  void run(SolverState& state, const PipelineSchedule& schedule);
+  /// pass list, and (in async mode) background completion never influences
+  /// rank-lane collective order.
+  void run(SolverState& state, const PipelineSchedule& schedule,
+           const PipelineOptions& options = {});
 
  private:
+  /// Throws when the pass list is unsound for async execution (a
+  /// background-eligible pass declaring fabric access).
+  void validate_async() const;
+
   std::vector<std::unique_ptr<Pass>> passes_;
 };
 

@@ -44,6 +44,7 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.chunks_per_iteration = request.passes_per_iteration;
       config.threads = request.threads;
       config.schedule = request.schedule;
+      config.pipeline = request.pipeline;
       config.mode = request.mode;
       config.refine_probe = request.refine_probe;
       config.record_cost = request.record_cost;
@@ -68,6 +69,7 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.passes_per_iteration = request.passes_per_iteration;
       config.threads = request.threads;
       config.schedule = request.schedule;
+      config.pipeline = request.pipeline;
       config.mode = request.mode;
       config.sync = request.sync;
       config.refine_probe = request.refine_probe;
@@ -94,6 +96,10 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.iterations = request.iterations;
       config.step = request.step;
       config.local_epochs = request.hve_local_epochs;
+      config.mode = request.mode;
+      config.threads = request.threads;
+      config.schedule = request.schedule;
+      config.pipeline = request.pipeline;
       config.extra_rings = request.hve_extra_rings;
       config.record_cost = request.record_cost;
       config.progress_every = request.progress_every;

@@ -28,10 +28,15 @@ struct ReconstructionRequest {
   /// divided across ranks for GD). Full-batch output is bitwise identical
   /// for any value; SGD sweeps ignore it (sequential by construction).
   int threads = 0;
-  /// Sweep scheduler for full-batch sweeps (static partition or
-  /// work-stealing). Like `threads` and `backend`, a pure performance
-  /// knob: output is bitwise identical across schedulers.
-  SweepSchedule schedule = SweepSchedule::kStatic;
+  /// Sweep scheduler for full-batch sweeps (static partition,
+  /// work-stealing, or measured auto-selection). Like `threads` and
+  /// `backend`, a pure performance knob: output is bitwise identical
+  /// across schedulers.
+  SweepSchedule schedule = SweepSchedule::kAuto;
+  /// Pass-graph scheduling: kSync is strict list order; kAsync overlaps
+  /// background checkpoint I/O with later chunks behind hazard fences.
+  /// Output is bitwise identical either way.
+  PipelineMode pipeline = PipelineMode::kSync;
   /// Kernel backend: "auto" (CPU detection), "simd" or "scalar". Applied
   /// before the solver spawns workers; "" leaves the process-wide selection
   /// untouched. Output is bitwise identical across backends (the backend

@@ -12,6 +12,7 @@
 #include "core/convergence.hpp"
 #include "core/gradient_engine.hpp"
 #include "core/optimizer.hpp"
+#include "core/pipeline.hpp"
 
 namespace ptycho {
 
@@ -34,9 +35,14 @@ struct SerialConfig {
   /// thread regardless of this setting.
   int threads = 0;
   /// How the full-batch sweep divides its batches across the pool's slots
-  /// (static partition or work-stealing). Output is bitwise identical for
-  /// either — a pure load-balancing knob, like `threads`.
-  SweepSchedule schedule = SweepSchedule::kStatic;
+  /// (static partition, work-stealing, or measured auto-selection). Output
+  /// is bitwise identical for any choice — a pure load-balancing knob,
+  /// like `threads`.
+  SweepSchedule schedule = SweepSchedule::kAuto;
+  /// Pass-graph scheduling: kAsync overlaps background checkpoint I/O with
+  /// later chunks (bitwise-identical output); kSync is the strict
+  /// list-order execution.
+  PipelineMode pipeline = PipelineMode::kSync;
   bool record_cost = true;
   /// Log a one-line progress report every N iterations (0 disables).
   int progress_every = 0;

@@ -16,30 +16,47 @@ Tag stage_tag(int phase, int step, bool down) {
 }
 }  // namespace
 
-void allreduce_sum(RankContext& ctx, std::vector<cplx>& buffer, int phase_tag) {
-  // Phase kNone: the comm/wait time is attributed by isend/recv inside;
-  // the span only marks the collective's extent in the trace.
-  obs::SpanScope span("allreduce");
+AllreduceHandle::AllreduceHandle(RankContext& ctx, std::vector<cplx>& buffer, int phase_tag)
+    : ctx_(ctx), buffer_(buffer), phase_(phase_tag) {
   if (obs::metrics_enabled()) {
     static obs::Counter& calls = obs::registry().counter("collective_allreduce_total");
     static obs::Counter& bytes = obs::registry().counter("collective_allreduce_bytes_total");
     calls.add(1);
     bytes.add(buffer.size() * sizeof(cplx));
   }
-  const int nranks = ctx.nranks();
-  const int rank = ctx.rank();
+  // A rank whose first reduce-tree action is a send with no prior receive
+  // (odd ranks: the lowest set bit is step 1) can post it now — the
+  // parent's matching recv in finish() then completes without waiting a
+  // full reduce latency.
+  const int rank = ctx_.rank();
+  if (ctx_.nranks() > 1 && (rank & 1) != 0) {
+    ctx_.isend(rank - 1, stage_tag(phase_, 1, false), std::move(buffer_));
+    buffer_.clear();
+    posted_ = true;
+  }
+}
 
-  // Reduce to rank 0 over a binomial tree.
-  for (int step = 1; step < nranks; step <<= 1) {
-    if ((rank & step) != 0) {
-      ctx.isend(rank - step, stage_tag(phase_tag, step, false), std::move(buffer));
-      buffer.clear();
-      break;
-    }
-    if (rank + step < nranks) {
-      std::vector<cplx> incoming = ctx.recv(rank + step, stage_tag(phase_tag, step, false));
-      PTYCHO_CHECK(incoming.size() == buffer.size(), "allreduce buffer size mismatch");
-      for (usize i = 0; i < buffer.size(); ++i) buffer[i] += incoming[i];
+void AllreduceHandle::finish() {
+  PTYCHO_REQUIRE(!finished_, "AllreduceHandle::finish called twice");
+  finished_ = true;
+  const int nranks = ctx_.nranks();
+  const int rank = ctx_.rank();
+
+  // Reduce to rank 0 over a binomial tree. A rank that already posted its
+  // leaf send at construction has nothing left to contribute.
+  if (!posted_) {
+    for (int step = 1; step < nranks; step <<= 1) {
+      if ((rank & step) != 0) {
+        ctx_.isend(rank - step, stage_tag(phase_, step, false), std::move(buffer_));
+        buffer_.clear();
+        break;
+      }
+      if (rank + step < nranks) {
+        std::vector<cplx> incoming =
+            ctx_.recv(rank + step, stage_tag(phase_, step, false));
+        PTYCHO_CHECK(incoming.size() == buffer_.size(), "allreduce buffer size mismatch");
+        for (usize i = 0; i < buffer_.size(); ++i) buffer_[i] += incoming[i];
+      }
     }
   }
 
@@ -48,11 +65,19 @@ void allreduce_sum(RankContext& ctx, std::vector<cplx>& buffer, int phase_tag) {
   while (highest < nranks) highest <<= 1;
   for (int step = highest >> 1; step >= 1; step >>= 1) {
     if ((rank & (2 * step - 1)) == 0 && rank + step < nranks) {
-      ctx.isend(rank + step, stage_tag(phase_tag, step, true), std::vector<cplx>(buffer));
+      ctx_.isend(rank + step, stage_tag(phase_, step, true), std::vector<cplx>(buffer_));
     } else if ((rank & (2 * step - 1)) == step) {
-      buffer = ctx.recv(rank - step, stage_tag(phase_tag, step, true));
+      buffer_ = ctx_.recv(rank - step, stage_tag(phase_, step, true));
     }
   }
+}
+
+void allreduce_sum(RankContext& ctx, std::vector<cplx>& buffer, int phase_tag) {
+  // Phase kNone: the comm/wait time is attributed by isend/recv inside;
+  // the span only marks the collective's extent in the trace.
+  obs::SpanScope span("allreduce");
+  AllreduceHandle handle(ctx, buffer, phase_tag);
+  handle.finish();
 }
 
 double allreduce_sum_scalar(RankContext& ctx, double value, int phase_tag) {

@@ -18,7 +18,11 @@ hatches so the A/B baseline itself cannot silently rot, and
 sweep_probes_per_sec_ws guards the work-stealing scheduler (at 1 thread
 it must stay within noise of the static path), and
 sweep_probes_per_sec_1t_traced guards the telemetry-on sweep so span
-tracing + metrics cannot silently become expensive. Keys missing
+tracing + metrics cannot silently become expensive, and the
+sweep_probes_per_sec_{sync_ckpt,async} pair guards the checkpointed
+end-to-end pipeline in both scheduling modes (async regressing toward
+or below sync means the background slot stopped hiding the shard
+I/O). Keys missing
 from either file are reported and skipped, so adding metrics to
 bench_sweep never breaks older baselines (the pre-PR-4 baseline simply
 skips the new keys).
@@ -33,7 +37,8 @@ import sys
 DEFAULT_KEYS = (
     "sweep_probes_per_sec_1t,fft2d_256_mb_per_sec,"
     "sweep_probes_per_sec_1t_unfused,fft2d_256_mb_per_sec_radix2,"
-    "sweep_probes_per_sec_ws,sweep_probes_per_sec_1t_traced"
+    "sweep_probes_per_sec_ws,sweep_probes_per_sec_1t_traced,"
+    "sweep_probes_per_sec_sync_ckpt,sweep_probes_per_sec_async"
 )
 
 

@@ -34,7 +34,7 @@ int usage() {
                "  info       FILE\n"
                "  reconstruct FILE [--method serial|gd|hve] [--ranks N]\n"
                "             [--iterations N] [--step A] [--passes T] [--threads N]\n"
-               "             [--scheduler static|work-stealing]\n"
+               "             [--scheduler auto|static|work-stealing] [--pipeline sync|async]\n"
                "             [--backend scalar|simd|auto]\n"
                "             [--mode sgd|full-batch] [--no-appp] [--refine-probe]\n"
                "             [--resume VOLUME|CKPT_DIR] [--save-volume FILE] [--image FILE]\n"
@@ -45,8 +45,11 @@ int usage() {
                "  snapshot's iteration. --ranks may differ from the checkpointed run\n"
                "  (elastic restore re-tiles and redistributes the shards).\n"
                "  --backend (any subcommand; also via PTYCHO_BACKEND) picks the SIMD\n"
-               "  kernel backend; --scheduler picks the full-batch sweep scheduler;\n"
-               "  results are bitwise identical across backends and schedulers.\n"
+               "  kernel backend; --scheduler picks the full-batch sweep scheduler\n"
+               "  (auto measures per-item cost and picks static or work-stealing);\n"
+               "  --pipeline async overlaps checkpoint shard I/O with later chunks.\n"
+               "  Results are bitwise identical across backends, schedulers and\n"
+               "  pipeline modes.\n"
                "  --trace-out writes a Chrome trace_event JSON (open in Perfetto or\n"
                "  chrome://tracing); --metrics-out writes the counter/gauge/histogram\n"
                "  snapshot; --progress N logs a progress line every N iterations.\n");
@@ -121,7 +124,8 @@ int cmd_reconstruct(const Options& opts) {
   // 0 = auto (hardware concurrency; divided across ranks for gd). The
   // full-batch sweep is bitwise identical for every thread count.
   request.threads = static_cast<int>(opts.get_int("threads", 0));
-  request.schedule = sweep_schedule_from_string(opts.get_string("scheduler", "static"));
+  request.schedule = sweep_schedule_from_string(opts.get_string("scheduler", "auto"));
+  request.pipeline = pipeline_mode_from_string(opts.get_string("pipeline", "sync"));
   request.backend = opts.get_string("backend", "");
   request.mode = opts.get_string("mode", "sgd") == "full-batch" ? UpdateMode::kFullBatch
                                                                 : UpdateMode::kSgd;
