@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
 
   // Checkpoint every chunk (here: every iteration) — the worst case.
   GdConfig with_ckpt = base;
-  with_ckpt.checkpoint = ckpt::Policy{dir, 1};
+  with_ckpt.exec.checkpoint = ckpt::Policy{dir, 1};
   const ParallelResult checked = reconstruct_gd(dataset, with_ckpt);
   const double ckpt_per_iter = checked.wall_seconds / iterations;
   std::printf("%-34s %8.3f s  (%.3f s/iter, +%.1f%%)\n", "checkpoint-every-chunk run",

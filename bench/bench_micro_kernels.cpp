@@ -92,8 +92,8 @@ void BM_FabricPingPong(benchmark::State& state) {
   rt::Fabric fabric(2);
   std::int64_t round = 0;
   for (auto _ : state) {
-    fabric.isend(0, 1, rt::make_tag(1, round), std::vector<cplx>(payload_size));
-    std::vector<cplx> got = fabric.recv(1, 0, rt::make_tag(1, round));
+    fabric.isend(0, 1, rt::make_tag(rt::Phase::kTest, round), std::vector<cplx>(payload_size));
+    std::vector<cplx> got = fabric.recv(1, 0, rt::make_tag(rt::Phase::kTest, round));
     benchmark::DoNotOptimize(got.data());
     ++round;
   }

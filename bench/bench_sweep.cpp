@@ -81,11 +81,11 @@ double pipeline_rate(const Dataset& dataset, int threads, int repeat, PipelineMo
   config.iterations = 2;
   config.chunks_per_iteration = 4;
   config.mode = UpdateMode::kFullBatch;
-  config.threads = threads;
-  config.schedule = SweepSchedule::kStatic;
-  config.pipeline = mode;
+  config.exec.threads = threads;
+  config.exec.schedule = SweepSchedule::kStatic;
+  config.exec.pipeline = mode;
   config.record_cost = false;
-  config.checkpoint = ckpt::Policy{ckpt_dir, 1};
+  config.exec.checkpoint = ckpt::Policy{ckpt_dir, 1};
   const index_t probes = dataset.probe_count() * config.iterations;
   const double seconds = bench::best_of_seconds(/*warmup=*/1, repeat, [&] {
     std::filesystem::remove_all(ckpt_dir);
@@ -103,11 +103,11 @@ double async_overlap_ratio(const Dataset& dataset, int threads, const std::strin
   config.iterations = 2;
   config.chunks_per_iteration = 4;
   config.mode = UpdateMode::kFullBatch;
-  config.threads = threads;
-  config.schedule = SweepSchedule::kStatic;
-  config.pipeline = PipelineMode::kAsync;
+  config.exec.threads = threads;
+  config.exec.schedule = SweepSchedule::kStatic;
+  config.exec.pipeline = PipelineMode::kAsync;
   config.record_cost = false;
-  config.checkpoint = ckpt::Policy{ckpt_dir, 1};
+  config.exec.checkpoint = ckpt::Policy{ckpt_dir, 1};
   std::filesystem::remove_all(ckpt_dir);
   obs::Tracer::instance().clear();
   obs::set_tracing_enabled(true);
@@ -231,11 +231,14 @@ int main(int argc, char** argv) {
   const Options opts = Options::parse(argc, argv);  // argv[0] is skipped by parse
   const std::string spec = opts.get_string("spec", "tiny");
   const int hw = ThreadPool::hardware_threads();
-  const int threads = static_cast<int>(opts.get_int("threads", std::max(4, hw)));
+  // --threads/--backend (and the rest of the execution flags) go through
+  // the same parser as the CLI, so the two front-ends cannot drift.
+  const ExecOptions exec = parse_exec_options(opts);
+  const int threads = exec.threads != 0 ? exec.threads : std::max(4, hw);
   const int repeat = static_cast<int>(opts.get_int("repeat", 3));
   const int fft_iters = static_cast<int>(opts.get_int("fft-iters", 200));
   const std::string out = opts.get_string("out", "BENCH_sweep.json");
-  const std::string backend_flag = opts.get_string("backend", "");
+  const std::string backend_flag = exec.backend;
   if (!backend_flag.empty()) {
     PTYCHO_CHECK(backend::select(backend_flag),
                  "--backend " << backend_flag << " is not available on this machine");

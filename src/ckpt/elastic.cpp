@@ -87,7 +87,7 @@ void scatter_restore(rt::RankContext& ctx, const Snapshot& snapshot,
           plan_transfers(snapshot.manifest, partition.tile(dst).extended);
       for (usize i = 0; i < plan.size(); ++i) {
         const Shard& shard = snapshot.shards[static_cast<usize>(plan[i].old_rank)];
-        ctx.isend(dst, rt::make_tag(comm_phase::kRestore, static_cast<std::int64_t>(i)),
+        ctx.isend(dst, rt::make_tag(rt::Phase::kRestore, static_cast<std::int64_t>(i)),
                   pack_region(shard.volume, plan[i].region));
       }
     }
@@ -96,7 +96,7 @@ void scatter_restore(rt::RankContext& ctx, const Snapshot& snapshot,
   const std::vector<Transfer> plan = plan_transfers(snapshot.manifest, tile_volume.frame);
   for (usize i = 0; i < plan.size(); ++i) {
     const std::vector<cplx> payload =
-        ctx.recv(0, rt::make_tag(comm_phase::kRestore, static_cast<std::int64_t>(i)));
+        ctx.recv(0, rt::make_tag(rt::Phase::kRestore, static_cast<std::int64_t>(i)));
     unpack_replace_region(payload, tile_volume, plan[i].region);
   }
 
@@ -109,7 +109,7 @@ void scatter_restore(rt::RankContext& ctx, const Snapshot& snapshot,
   if (ctx.rank() == 0) {
     std::copy_n(saved_probe.data(), saved_probe.size(), flat.data());
   }
-  rt::broadcast(ctx, flat, 0, comm_phase::kRestoreProbe);
+  rt::broadcast(ctx, flat, 0, rt::Phase::kRestoreProbe);
   std::copy_n(flat.data(), probe.size(), probe.data());
 }
 

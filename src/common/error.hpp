@@ -41,6 +41,14 @@ namespace detail {
 /// Precondition check for public API entry points.
 #define PTYCHO_REQUIRE(cond, msg) PTYCHO_CHECK(cond, "precondition: " << msg)
 
+/// Unconditional failure with a streamed message (bad input, not a bug).
+#define PTYCHO_FAIL(msg)                                                 \
+  do {                                                                   \
+    std::ostringstream ptycho_os_;                                       \
+    ptycho_os_ << msg;                                                   \
+    ::ptycho::detail::throw_error(__FILE__, __LINE__, ptycho_os_.str()); \
+  } while (0)
+
 /// Unreachable marker for exhaustive switches.
 #define PTYCHO_UNREACHABLE(msg) \
   ::ptycho::detail::throw_error(__FILE__, __LINE__, std::string("unreachable: ") + (msg))

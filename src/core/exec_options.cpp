@@ -1,0 +1,72 @@
+#include "core/exec_options.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ptycho {
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(csv);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+ExecOptions parse_exec_options(const Options& options, const ExecOptions& defaults) {
+  ExecOptions exec = defaults;
+  exec.threads = static_cast<int>(options.get_int("threads", exec.threads));
+  if (options.has("scheduler")) {
+    exec.schedule = sweep_schedule_from_string(options.get_string("scheduler", ""));
+  }
+  if (options.has("pipeline")) {
+    exec.pipeline = pipeline_mode_from_string(options.get_string("pipeline", ""));
+  }
+  exec.backend = options.get_string("backend", exec.backend);
+  exec.checkpoint.directory = options.get_string("checkpoint-dir", exec.checkpoint.directory);
+  exec.checkpoint.every_chunks =
+      static_cast<int>(options.get_int("checkpoint-every", exec.checkpoint.every_chunks));
+  exec.trace_out = options.get_string("trace-out", exec.trace_out);
+  exec.metrics_out = options.get_string("metrics-out", exec.metrics_out);
+  exec.progress_every = static_cast<int>(options.get_int("progress", exec.progress_every));
+  if (options.has("transport")) {
+    exec.transport.kind = rt::transport_kind_from_string(options.get_string("transport", ""));
+  }
+  exec.transport.rank = static_cast<int>(options.get_int("rank", exec.transport.rank));
+  if (options.has("peers")) {
+    exec.transport.peers = split_commas(options.get_string("peers", ""));
+    // Validate eagerly so a typo'd roster fails at the flag, not mid-mesh.
+    for (const auto& spec : exec.transport.peers) (void)rt::parse_peer(spec);
+  }
+  if (exec.transport.distributed()) {
+    PTYCHO_REQUIRE(!exec.transport.peers.empty(),
+                   "--transport socket needs --peers host:port,... (one per rank)");
+    PTYCHO_REQUIRE(exec.transport.rank >= 0, "--transport socket needs --rank N");
+  }
+  return exec;
+}
+
+std::string exec_options_help() {
+  return
+      "  --threads N              sweep worker threads (0 = auto)\n"
+      "  --scheduler S            full-batch sweep scheduler: auto|static|work-stealing\n"
+      "  --pipeline M             pass-graph scheduling: sync|async\n"
+      "  --backend B              kernel backend: auto|simd|scalar\n"
+      "  --checkpoint-dir PATH    enable periodic checkpointing into PATH\n"
+      "  --checkpoint-every N     snapshot cadence in chunks (default 1)\n"
+      "  --trace-out PATH         write Chrome trace_event JSON of the run\n"
+      "  --metrics-out PATH       write metrics snapshot (ptycho.metrics.v1)\n"
+      "  --progress N             log progress every N iterations (0 = off)\n"
+      "  --transport T            comm substrate: inproc|socket\n"
+      "  --rank N                 this process's rank (socket transport)\n"
+      "  --peers H:P,H:P,...      rank roster, one host:port per rank (socket)\n";
+}
+
+}  // namespace ptycho

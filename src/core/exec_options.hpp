@@ -1,0 +1,82 @@
+// ExecOptions: the one struct for every knob that says *how* a solver
+// runs rather than *what* it computes — worker threads, sweep scheduler,
+// pipeline mode, kernel backend, checkpoint policy, telemetry sinks,
+// progress cadence and the communication transport.
+//
+// SerialConfig, GdConfig, HveConfig and ReconstructionRequest all embed
+// an ExecOptions as `exec`, so a new execution knob is added in exactly
+// one place and flows through the facade untouched (Reconstructor copies
+// `request.exec` wholesale instead of field-by-field). Every knob here is
+// performance/deployment only: the reconstruction output is bitwise
+// identical across all settings (the determinism contract each field's
+// comment restates).
+//
+// parse_exec_options()/exec_options_help() are the shared command-line
+// surface — ptycho_cli, bench_sweep and the examples all accept identical
+// spellings because they all call the same interpreter over
+// common/options.
+#pragma once
+
+#include <string>
+
+#include "ckpt/snapshot.hpp"
+#include "common/options.hpp"
+#include "common/parallel.hpp"
+#include "core/pipeline.hpp"
+#include "runtime/transport.hpp"
+
+namespace ptycho {
+
+struct ExecOptions {
+  /// Worker threads for the gradient sweep (0 = auto: hardware
+  /// concurrency, divided across ranks for the tiled solvers, floored at
+  /// 1). Full-batch sweeps use a deterministic ordered reduction, so
+  /// output is bitwise identical for any value; SGD sweeps are inherently
+  /// sequential and ignore it.
+  int threads = 0;
+  /// How full-batch sweeps divide batches across pool slots (static
+  /// partition, work-stealing, or measured auto-selection). Pure
+  /// load-balancing knob — bitwise identical output for any choice.
+  SweepSchedule schedule = SweepSchedule::kAuto;
+  /// Pass-graph scheduling: kSync is strict list order; kAsync overlaps
+  /// background checkpoint I/O with later chunks behind hazard fences.
+  /// Output (including checkpoint bytes) is bitwise identical either way.
+  PipelineMode pipeline = PipelineMode::kSync;
+  /// Kernel backend: "auto" (CPU detection), "simd" or "scalar"; ""
+  /// leaves the process-wide selection untouched. Bitwise identical
+  /// across backends (the backend layer's contract).
+  std::string backend;
+  /// Periodic checkpointing (serial and GD; HVE takes no checkpoints and
+  /// ignores it).
+  ckpt::Policy checkpoint;
+  /// Chrome trace_event JSON sink ("" disables tracing). Honored by the
+  /// Reconstructor facade, which owns the obs::Session.
+  std::string trace_out;
+  /// Metrics-registry snapshot sink, ptycho.metrics.v1 ("" disables).
+  std::string metrics_out;
+  /// Log a one-line progress report every N iterations (0 disables).
+  int progress_every = 0;
+  /// Communication substrate for the tiled solvers: in-process threads
+  /// (default, the virtual cluster) or one-rank-per-process TCP sockets.
+  /// Same messages, same tags, same mailbox matcher — reconstructions are
+  /// bitwise identical across transports.
+  rt::TransportOptions transport;
+};
+
+/// Interpret the shared execution flags out of parsed options, over
+/// `defaults`:
+///   --threads N            --scheduler auto|static|stealing
+///   --pipeline sync|async  --backend auto|simd|scalar
+///   --checkpoint-dir PATH  --checkpoint-every N
+///   --trace-out PATH       --metrics-out PATH       --progress N
+///   --transport inproc|socket  --rank N  --peers host:port,host:port,...
+/// Unknown keys are left for the caller's own flag handling; malformed
+/// values throw ptycho::Error.
+[[nodiscard]] ExecOptions parse_exec_options(const Options& options,
+                                             const ExecOptions& defaults = {});
+
+/// Help text for the shared flags (one line per flag, aligned, indented
+/// two spaces) for embedding into a tool's usage message.
+[[nodiscard]] std::string exec_options_help();
+
+}  // namespace ptycho

@@ -95,7 +95,7 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
 
   // Run-constant manifest fields, shared by every snapshot this run takes.
   ckpt::RunInfo run_info;
-  if (config.checkpoint.enabled()) {
+  if (config.exec.checkpoint.enabled()) {
     run_info.dataset_name = dataset.spec.name;
     run_info.probe_count = dataset.probe_count();
     run_info.slices = slices;
@@ -108,7 +108,10 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
     }
   }
 
-  rt::VirtualCluster cluster(partition.nranks());
+  rt::ClusterSpec cluster_spec;
+  cluster_spec.nranks = partition.nranks();
+  cluster_spec.transport = config.exec.transport;
+  rt::VirtualCluster cluster(cluster_spec);
   cluster.inject_fault(config.fault);
   ParallelResult result;
   if (config.restore != nullptr) result.cost.assign(config.restore->manifest.cost_values);
@@ -167,15 +170,15 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
     // Full-batch sweeps auto-divide the host's cores across ranks so
     // K ranks x T threads ~= hardware; buffers allocate inside this rank's
     // tracked scope.
-    const int threads = config.threads != 0
-                            ? config.threads
+    const int threads = config.exec.threads != 0
+                            ? config.exec.threads
                             : std::max(1, ThreadPool::hardware_threads() / ctx.nranks());
-    const bool async = config.pipeline == PipelineMode::kAsync;
+    const bool async = config.exec.pipeline == PipelineMode::kAsync;
     const RefineSchedule refine{config.refine_probe, config.probe_warmup_iterations};
     ReconstructionPipeline pipeline;
     auto ckpt_pass =
-        std::make_unique<CheckpointPass>(config.checkpoint, run_info, /*deferred=*/async);
-    pipeline.emplace<SweepPass>(engine, config.mode, threads, config.schedule,
+        std::make_unique<CheckpointPass>(config.exec.checkpoint, run_info, /*deferred=*/async);
+    pipeline.emplace<SweepPass>(engine, config.mode, threads, config.exec.schedule,
                                 SweepPass::Items{&tile.own_probes, &local_meas}, refine);
     pipeline.emplace<SyncGradientsPass>(partition, ctx.rank(), config.sync, config.mode);
     pipeline.emplace<ApplyUpdatePass>(config.mode, /*apply_in_sgd=*/true);
@@ -187,8 +190,8 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
     pipeline.emplace<ProbeRefinePass>(refine, config.probe_step, dataset.probe_count(),
                                       probe_energy);
     pipeline.emplace<CostRecordPass>(config.record_cost);
-    if (config.progress_every > 0) {
-      pipeline.emplace<ProgressPass>(config.progress_every, dataset.probe_count(),
+    if (config.exec.progress_every > 0) {
+      pipeline.emplace<ProgressPass>(config.exec.progress_every, dataset.probe_count(),
                                      config.iterations);
     }
     pipeline.add(std::move(ckpt_pass));
@@ -210,7 +213,7 @@ ParallelResult reconstruct_gd(const Dataset& dataset, const GdConfig& config,
     schedule.start_chunk = start_chunk;
     schedule.restored_partial_cost = restored_partial_cost;
     schedule.items = static_cast<index_t>(tile.own_probes.size());
-    pipeline.run(state, schedule, PipelineOptions{config.pipeline});
+    pipeline.run(state, schedule, PipelineOptions{config.exec.pipeline});
 
     FramedVolume stitched = stitch_on_root(ctx, partition, volume);
     if (ctx.rank() == 0) {

@@ -13,6 +13,7 @@
 
 #include "ckpt/snapshot.hpp"
 #include "core/convergence.hpp"
+#include "core/exec_options.hpp"
 #include "core/gradient_engine.hpp"
 #include "core/optimizer.hpp"
 #include "core/passes.hpp"
@@ -33,24 +34,15 @@ struct GdConfig {
   int passes_per_iteration = 1;
   UpdateMode mode = UpdateMode::kSgd;
   SyncPolicy sync;  ///< scheme + APPP on/off
-  /// Worker threads per rank for the local gradient sweep (0 = hardware
-  /// concurrency divided by nranks, floored at 1, so the whole virtual
-  /// cluster does not oversubscribe the host). Full-batch sweeps use the
-  /// deterministic ordered reduction (bitwise identical for any value);
-  /// SGD sweeps are inherently sequential and ignore this (see
-  /// SerialConfig::threads for the argument).
-  int threads = 0;
-  /// Per-rank sweep scheduler (static, work-stealing, or measured auto
-  /// selection); bitwise identical output for any choice — see
-  /// SerialConfig::schedule.
-  SweepSchedule schedule = SweepSchedule::kAuto;
-  /// Pass-graph scheduling (see SerialConfig::pipeline): kAsync runs
-  /// checkpoint shard writes on a per-rank background slot behind hazard
-  /// fences, bitwise identical to kSync.
-  PipelineMode pipeline = PipelineMode::kSync;
+  /// Execution knobs (threads per rank, scheduler, pipeline mode,
+  /// checkpoint policy, progress cadence, transport) — shared across every
+  /// solver config; all bitwise-neutral (see ExecOptions). exec.threads=0
+  /// means hardware concurrency divided by nranks, floored at 1, so the
+  /// whole virtual cluster does not oversubscribe the host. A socket
+  /// transport in exec.transport makes this process host exactly one rank
+  /// of a K-process job (same messages, same result).
+  ExecOptions exec;
   bool record_cost = true;
-  /// Log a one-line progress report (rank 0 only) every N iterations.
-  int progress_every = 0;
   /// Joint object+probe refinement. The probe is a *global* quantity, so
   /// each iteration the ranks all-reduce their probe-gradient buffers
   /// (one probe_n^2 message — negligible next to the tile passes) and
@@ -58,9 +50,6 @@ struct GdConfig {
   bool refine_probe = false;
   real probe_step = real(0.3);
   int probe_warmup_iterations = 1;
-  /// Periodic checkpointing: every N chunks each rank writes its shard and
-  /// rank 0 completes the snapshot with the manifest.
-  ckpt::Policy checkpoint;
   /// Resume from this snapshot; `iterations` then counts the run's TOTAL
   /// iterations. A snapshot whose tiling matches this config resumes
   /// exactly (including mid-iteration states); any other snapshot is

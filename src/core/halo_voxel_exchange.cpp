@@ -62,7 +62,10 @@ ParallelResult reconstruct_hve(const Dataset& dataset, const HveConfig& config,
   const index_t slices = dataset.spec.slices;
   const std::vector<PasteEdge> pastes = paste_schedule(partition);
 
-  rt::VirtualCluster cluster(partition.nranks());
+  rt::ClusterSpec cluster_spec;
+  cluster_spec.nranks = partition.nranks();
+  cluster_spec.transport = config.exec.transport;
+  rt::VirtualCluster cluster(cluster_spec);
   ParallelResult result;
   std::mutex result_mutex;
 
@@ -92,17 +95,17 @@ ParallelResult reconstruct_hve(const Dataset& dataset, const HveConfig& config,
     // what differs is only which passes are inserted (no gradient sync,
     // no accumulation buffer: updates are immediate and halos are
     // overwritten wholesale).
-    const int threads = config.threads != 0
-                            ? config.threads
+    const int threads = config.exec.threads != 0
+                            ? config.exec.threads
                             : std::max(1, ThreadPool::hardware_threads() / ctx.nranks());
     ReconstructionPipeline pipeline;
     pipeline.emplace<HveLocalSweepPass>(engine, probes, local_meas, tile.own_probes.size(),
                                         config.local_epochs, config.mode, threads,
-                                        config.schedule);
+                                        config.exec.schedule);
     pipeline.emplace<HaloPastePass>(pastes);
     pipeline.emplace<CostRecordPass>(config.record_cost);
-    if (config.progress_every > 0) {
-      pipeline.emplace<ProgressPass>(config.progress_every, dataset.probe_count(),
+    if (config.exec.progress_every > 0) {
+      pipeline.emplace<ProgressPass>(config.exec.progress_every, dataset.probe_count(),
                                      config.iterations);
     }
 
@@ -115,7 +118,7 @@ ParallelResult reconstruct_hve(const Dataset& dataset, const HveConfig& config,
 
     PipelineSchedule schedule;
     schedule.iterations = config.iterations;
-    pipeline.run(state, schedule, PipelineOptions{config.pipeline});
+    pipeline.run(state, schedule, PipelineOptions{config.exec.pipeline});
 
     FramedVolume stitched = stitch_on_root(ctx, partition, volume);
     if (ctx.rank() == 0) {

@@ -27,21 +27,14 @@ struct HveConfig {
   /// variant of the local algorithm — results differ from SGD, as they do
   /// for the other solvers' mode knob).
   UpdateMode mode = UpdateMode::kSgd;
-  /// Worker threads per rank for the full-batch local sweep (0 = hardware
-  /// concurrency divided by nranks, floored at 1). SGD mode ignores this.
-  int threads = 0;
-  /// Per-rank sweep scheduler for the full-batch local sweep; bitwise
-  /// identical output for any choice.
-  SweepSchedule schedule = SweepSchedule::kAuto;
-  /// Pass-graph scheduling (see SerialConfig::pipeline). HVE takes no
-  /// checkpoints, so async mode changes nothing but exercises the same
-  /// executor.
-  PipelineMode pipeline = PipelineMode::kSync;
+  /// Execution knobs (threads per rank, scheduler, pipeline mode,
+  /// transport) — shared across every solver config (see ExecOptions).
+  /// HVE takes no checkpoints, so exec.checkpoint is ignored; async
+  /// pipeline mode changes nothing but exercises the same executor.
+  ExecOptions exec;
   /// Rings of replicated neighbour probes ("two extra rows", Sec. VI-A).
   int extra_rings = 2;
   bool record_cost = true;
-  /// Log a one-line progress report (rank 0 only) every N iterations.
-  int progress_every = 0;
 };
 
 /// Throws ptycho::Error if the partition violates the paste-feasibility

@@ -36,11 +36,11 @@ void PassEngine::run_sweep(rt::RankContext& ctx, FramedVolume& buf) {
   // whole column (Fig. 4(a)).
   if (card_.north_rank >= 0 && !card_.north.empty()) {
     std::vector<cplx> payload =
-        ctx.recv(card_.north_rank, rt::make_tag(comm_phase::kVerticalForward, stage));
+        ctx.recv(card_.north_rank, rt::make_tag(rt::Phase::kVerticalForward, stage));
     unpack_add_region(payload, buf, card_.north);
   }
   if (card_.south_rank >= 0 && !card_.south.empty()) {
-    ctx.isend(card_.south_rank, rt::make_tag(comm_phase::kVerticalForward, stage),
+    ctx.isend(card_.south_rank, rt::make_tag(rt::Phase::kVerticalForward, stage),
               pack_region(buf, card_.south));
   }
 
@@ -49,11 +49,11 @@ void PassEngine::run_sweep(rt::RankContext& ctx, FramedVolume& buf) {
   // north (Fig. 4(b)).
   if (card_.south_rank >= 0 && !card_.south.empty()) {
     std::vector<cplx> payload =
-        ctx.recv(card_.south_rank, rt::make_tag(comm_phase::kVerticalBackward, stage));
+        ctx.recv(card_.south_rank, rt::make_tag(rt::Phase::kVerticalBackward, stage));
     unpack_replace_region(payload, buf, card_.south);
   }
   if (card_.north_rank >= 0 && !card_.north.empty()) {
-    ctx.isend(card_.north_rank, rt::make_tag(comm_phase::kVerticalBackward, stage),
+    ctx.isend(card_.north_rank, rt::make_tag(rt::Phase::kVerticalBackward, stage),
               pack_region(buf, card_.north));
   }
 
@@ -63,22 +63,22 @@ void PassEngine::run_sweep(rt::RankContext& ctx, FramedVolume& buf) {
   // the vertical passes.
   if (card_.west_rank >= 0 && !card_.west.empty()) {
     std::vector<cplx> payload =
-        ctx.recv(card_.west_rank, rt::make_tag(comm_phase::kHorizontalForward, stage));
+        ctx.recv(card_.west_rank, rt::make_tag(rt::Phase::kHorizontalForward, stage));
     unpack_add_region(payload, buf, card_.west);
   }
   if (card_.east_rank >= 0 && !card_.east.empty()) {
-    ctx.isend(card_.east_rank, rt::make_tag(comm_phase::kHorizontalForward, stage),
+    ctx.isend(card_.east_rank, rt::make_tag(rt::Phase::kHorizontalForward, stage),
               pack_region(buf, card_.east));
   }
 
   // Horizontal backward (Fig. 4(d)).
   if (card_.east_rank >= 0 && !card_.east.empty()) {
     std::vector<cplx> payload =
-        ctx.recv(card_.east_rank, rt::make_tag(comm_phase::kHorizontalBackward, stage));
+        ctx.recv(card_.east_rank, rt::make_tag(rt::Phase::kHorizontalBackward, stage));
     unpack_replace_region(payload, buf, card_.east);
   }
   if (card_.west_rank >= 0 && !card_.west.empty()) {
-    ctx.isend(card_.west_rank, rt::make_tag(comm_phase::kHorizontalBackward, stage),
+    ctx.isend(card_.west_rank, rt::make_tag(rt::Phase::kHorizontalBackward, stage),
               pack_region(buf, card_.west));
   }
 }
@@ -88,10 +88,10 @@ void PassEngine::run_direct(rt::RankContext& ctx, FramedVolume& buf) {
   // Post all sends first (eager fabric: cannot deadlock), then accumulate
   // every neighbour's contribution.
   for (const auto& [nb, overlap] : neighbor8_) {
-    ctx.isend(nb, rt::make_tag(comm_phase::kDirect, stage), pack_region(buf, overlap));
+    ctx.isend(nb, rt::make_tag(rt::Phase::kDirect, stage), pack_region(buf, overlap));
   }
   for (const auto& [nb, overlap] : neighbor8_) {
-    std::vector<cplx> payload = ctx.recv(nb, rt::make_tag(comm_phase::kDirect, stage));
+    std::vector<cplx> payload = ctx.recv(nb, rt::make_tag(rt::Phase::kDirect, stage));
     unpack_add_region(payload, buf, overlap);
   }
 }
@@ -115,8 +115,7 @@ void PassEngine::run_allreduce(rt::RankContext& ctx, FramedVolume& buf) {
       }
     }
   }
-  rt::allreduce_sum(ctx, dense,
-                    comm_phase::kAllreduce * 1000 + static_cast<int>(stage % 1000));
+  rt::allreduce_sum(ctx, dense, rt::Phase::kAllreduce, stage);
   // Gather back: replace the local buffer with the exact global sum.
   for (index_t s = 0; s < slices; ++s) {
     for (index_t y = 0; y < ext.h; ++y) {
@@ -213,7 +212,7 @@ void ProbeRefinePass::on_iteration(SolverState& state, int iteration) {
     // apply the identical update everywhere.
     std::vector<cplx> flat(static_cast<usize>(grad.size()));
     std::copy_n(grad.data(), grad.size(), flat.data());
-    rt::allreduce_sum(*state.ctx, flat, comm_phase::kProbe);
+    rt::allreduce_sum(*state.ctx, flat, rt::Phase::kProbe);
     std::copy_n(flat.data(), grad.size(), grad.data());
   }
   const real probe_step =
@@ -232,7 +231,7 @@ void CostRecordPass::on_iteration(SolverState& state, int iteration) {
   if (!record_) return;
   if (state.ctx != nullptr) {
     const double global_cost =
-        rt::allreduce_sum_scalar(*state.ctx, state.sweep_cost, comm_phase::kCost);
+        rt::allreduce_sum_scalar(*state.ctx, state.sweep_cost, rt::Phase::kCost);
     if (state.ctx->rank() != 0) return;
     std::lock_guard<std::mutex> lock(*state.cost_mutex);
     state.cost->record(global_cost);
@@ -476,13 +475,13 @@ void HaloPastePass::on_chunk(SolverState& state, const StepPoint& point) {
   const std::int64_t stage = round_++;
   for (const PasteEdge& edge : pastes_) {
     if (edge.src == ctx.rank()) {
-      ctx.isend(edge.dst, rt::make_tag(comm_phase::kPaste, stage),
+      ctx.isend(edge.dst, rt::make_tag(rt::Phase::kPaste, stage),
                 pack_region(*state.volume, edge.region));
     }
   }
   for (const PasteEdge& edge : pastes_) {
     if (edge.dst == ctx.rank()) {
-      std::vector<cplx> payload = ctx.recv(edge.src, rt::make_tag(comm_phase::kPaste, stage));
+      std::vector<cplx> payload = ctx.recv(edge.src, rt::make_tag(rt::Phase::kPaste, stage));
       unpack_replace_region(payload, *state.volume, edge.region);
     }
   }

@@ -78,22 +78,9 @@ class PassEngine {
   std::int64_t allreduce_counter_ = 0;
 };
 
-/// Tag phase ids used by the decomposition layer (shared so solvers never
-/// collide with pass traffic).
-namespace comm_phase {
-inline constexpr int kVerticalForward = 1;
-inline constexpr int kVerticalBackward = 2;
-inline constexpr int kHorizontalForward = 3;
-inline constexpr int kHorizontalBackward = 4;
-inline constexpr int kDirect = 5;
-inline constexpr int kAllreduce = 6;
-inline constexpr int kStitch = 7;
-inline constexpr int kPaste = 8;
-inline constexpr int kCost = 9;
-inline constexpr int kProbe = 10;
-inline constexpr int kRestore = 11;       ///< elastic checkpoint redistribution
-inline constexpr int kRestoreProbe = 12;  ///< probe broadcast on restore
-}  // namespace comm_phase
+// Tag phases used by the decomposition layer are the central registry in
+// runtime/channel.hpp (rt::Phase) — the scattered comm_phase ints this
+// namespace used to define now live there with a uniqueness static_assert.
 
 /// GradientSynchronizer: the policy object that decides *how* a rank's
 /// accumulated gradients are reconciled with its neighbours each time

@@ -28,13 +28,13 @@ const char* to_string(Method method) {
 
 ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
                                          const FramedVolume* initial) const {
-  if (!request.backend.empty()) {
-    PTYCHO_REQUIRE(backend::select(request.backend),
-                   "backend '" << request.backend
+  if (!request.exec.backend.empty()) {
+    PTYCHO_REQUIRE(backend::select(request.exec.backend),
+                   "backend '" << request.exec.backend
                                << "' is not available (want scalar|simd|auto; simd requires "
                                   "CPU support)");
   }
-  obs::Session session(obs::SessionConfig{request.trace_out, request.metrics_out});
+  obs::Session session(obs::SessionConfig{request.exec.trace_out, request.exec.metrics_out});
   ReconstructionOutcome outcome;
   switch (request.method) {
     case Method::kSerial: {
@@ -42,14 +42,10 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.iterations = request.iterations;
       config.step = request.step;
       config.chunks_per_iteration = request.passes_per_iteration;
-      config.threads = request.threads;
-      config.schedule = request.schedule;
-      config.pipeline = request.pipeline;
+      config.exec = request.exec;
       config.mode = request.mode;
       config.refine_probe = request.refine_probe;
       config.record_cost = request.record_cost;
-      config.progress_every = request.progress_every;
-      config.checkpoint = request.checkpoint;
       config.restore = request.restore;
       SerialResult result = reconstruct_serial(dataset_, config, initial);
       outcome.volume = std::move(result.volume);
@@ -67,15 +63,11 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.iterations = request.iterations;
       config.step = request.step;
       config.passes_per_iteration = request.passes_per_iteration;
-      config.threads = request.threads;
-      config.schedule = request.schedule;
-      config.pipeline = request.pipeline;
+      config.exec = request.exec;
       config.mode = request.mode;
       config.sync = request.sync;
       config.refine_probe = request.refine_probe;
       config.record_cost = request.record_cost;
-      config.progress_every = request.progress_every;
-      config.checkpoint = request.checkpoint;
       config.restore = request.restore;
       config.fault = request.fault;
       ParallelResult result = reconstruct_gd(dataset_, config, initial);
@@ -89,7 +81,7 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       return outcome;
     }
     case Method::kHaloVoxelExchange: {
-      PTYCHO_REQUIRE(!request.checkpoint.enabled() && request.restore == nullptr,
+      PTYCHO_REQUIRE(!request.exec.checkpoint.enabled() && request.restore == nullptr,
                      "checkpoint/restore is not supported for the HVE solver");
       HveConfig config;
       config.nranks = request.nranks;
@@ -97,12 +89,9 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       config.step = request.step;
       config.local_epochs = request.hve_local_epochs;
       config.mode = request.mode;
-      config.threads = request.threads;
-      config.schedule = request.schedule;
-      config.pipeline = request.pipeline;
+      config.exec = request.exec;
       config.extra_rings = request.hve_extra_rings;
       config.record_cost = request.record_cost;
-      config.progress_every = request.progress_every;
       ParallelResult result = reconstruct_hve(dataset_, config, initial);
       outcome.volume = std::move(result.volume);
       outcome.cost = std::move(result.cost);

@@ -24,24 +24,11 @@ struct ReconstructionRequest {
   int iterations = 10;           ///< TOTAL iterations (a restore continues toward this)
   real step = real(0.1);
   int passes_per_iteration = 1;  ///< GD comm frequency / serial chunks
-  /// Sweep worker threads (0 = auto: hardware concurrency for serial,
-  /// divided across ranks for GD). Full-batch output is bitwise identical
-  /// for any value; SGD sweeps ignore it (sequential by construction).
-  int threads = 0;
-  /// Sweep scheduler for full-batch sweeps (static partition,
-  /// work-stealing, or measured auto-selection). Like `threads` and
-  /// `backend`, a pure performance knob: output is bitwise identical
-  /// across schedulers.
-  SweepSchedule schedule = SweepSchedule::kAuto;
-  /// Pass-graph scheduling: kSync is strict list order; kAsync overlaps
-  /// background checkpoint I/O with later chunks behind hazard fences.
-  /// Output is bitwise identical either way.
-  PipelineMode pipeline = PipelineMode::kSync;
-  /// Kernel backend: "auto" (CPU detection), "simd" or "scalar". Applied
-  /// before the solver spawns workers; "" leaves the process-wide selection
-  /// untouched. Output is bitwise identical across backends (the backend
-  /// layer's contract), so this is a pure performance knob.
-  std::string backend;
+  /// Execution knobs — threads, scheduler, pipeline mode, kernel backend,
+  /// checkpoint policy, trace/metrics sinks, progress cadence, transport.
+  /// Copied wholesale into whichever solver config the method selects;
+  /// every field is bitwise-neutral (see ExecOptions).
+  ExecOptions exec;
   UpdateMode mode = UpdateMode::kSgd;
   SyncPolicy sync;               ///< GD only
   /// Joint object+probe refinement (serial and GD; the probe-refinement
@@ -50,21 +37,11 @@ struct ReconstructionRequest {
   int hve_local_epochs = 1;      ///< HVE only
   int hve_extra_rings = 2;       ///< HVE only
   bool record_cost = true;
-  /// Periodic checkpointing (serial and GD; not supported for HVE).
-  ckpt::Policy checkpoint;
   /// Resume from a loaded snapshot — any rank count: the solvers re-tile
   /// elastically when the snapshot's layout differs from this request.
   const ckpt::Snapshot* restore = nullptr;
   /// Fault injection for recovery testing (GD only).
   rt::FaultPlan fault;
-  /// Write a Chrome trace_event JSON (Perfetto-loadable) of the run's
-  /// spans to this path ("" disables tracing).
-  std::string trace_out;
-  /// Write the metrics-registry snapshot (ptycho.metrics.v1 JSON) to this
-  /// path ("" disables metrics collection).
-  std::string metrics_out;
-  /// Log a one-line progress report every N iterations (0 disables).
-  int progress_every = 0;
 };
 
 struct ReconstructionOutcome {

@@ -91,19 +91,19 @@ SerialResult reconstruct_serial(const Dataset& dataset, const SerialConfig& conf
   // update pass only applies in full-batch mode. In async mode the
   // checkpoint shard write is deferred to the background slot and a
   // finalize pass completes the manifest on the rank lane.
-  const bool async = config.pipeline == PipelineMode::kAsync;
+  const bool async = config.exec.pipeline == PipelineMode::kAsync;
   const RefineSchedule refine{config.refine_probe, config.probe_warmup_iterations};
   ReconstructionPipeline pipeline;
   auto ckpt_pass =
-      std::make_unique<CheckpointPass>(config.checkpoint, std::move(run), /*deferred=*/async);
-  pipeline.emplace<SweepPass>(engine, config.mode, config.threads, config.schedule,
+      std::make_unique<CheckpointPass>(config.exec.checkpoint, std::move(run), /*deferred=*/async);
+  pipeline.emplace<SweepPass>(engine, config.mode, config.exec.threads, config.exec.schedule,
                               SweepPass::Items{}, refine);
   pipeline.emplace<ApplyUpdatePass>(config.mode, /*apply_in_sgd=*/false);
   if (async) pipeline.emplace<CheckpointFinalizePass>(*ckpt_pass);
   pipeline.emplace<ProbeRefinePass>(refine, config.probe_step, probe_count, probe_energy);
   pipeline.emplace<CostRecordPass>(config.record_cost);
-  if (config.progress_every > 0) {
-    pipeline.emplace<ProgressPass>(config.progress_every, probe_count, config.iterations);
+  if (config.exec.progress_every > 0) {
+    pipeline.emplace<ProgressPass>(config.exec.progress_every, probe_count, config.iterations);
   }
   pipeline.add(std::move(ckpt_pass));
 
@@ -122,7 +122,7 @@ SerialResult reconstruct_serial(const Dataset& dataset, const SerialConfig& conf
   schedule.start_chunk = start_chunk;
   schedule.restored_partial_cost = restored_partial_cost;
   schedule.items = probe_count;
-  pipeline.run(state, schedule, PipelineOptions{config.pipeline});
+  pipeline.run(state, schedule, PipelineOptions{config.exec.pipeline});
 
   if (config.refine_probe) result.probe_field = probe.field().clone();
   result.wall_seconds = timer.seconds();

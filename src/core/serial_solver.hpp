@@ -10,6 +10,7 @@
 #include "ckpt/snapshot.hpp"
 #include "common/parallel.hpp"
 #include "core/convergence.hpp"
+#include "core/exec_options.hpp"
 #include "core/gradient_engine.hpp"
 #include "core/optimizer.hpp"
 #include "core/pipeline.hpp"
@@ -27,25 +28,12 @@ struct SerialConfig {
   /// chunks of the probe sweep; 1 = once per iteration).
   int chunks_per_iteration = 1;
   UpdateMode mode = UpdateMode::kSgd;
-  /// Worker threads for the per-probe gradient sweep (0 = hardware
-  /// concurrency). Full-batch mode parallelizes the sweep with a
-  /// deterministic ordered reduction — output is bitwise identical for any
-  /// thread count. SGD mode is inherently sequential (each probe's update
-  /// feeds the next probe's forward model), so it always runs on one
-  /// thread regardless of this setting.
-  int threads = 0;
-  /// How the full-batch sweep divides its batches across the pool's slots
-  /// (static partition, work-stealing, or measured auto-selection). Output
-  /// is bitwise identical for any choice — a pure load-balancing knob,
-  /// like `threads`.
-  SweepSchedule schedule = SweepSchedule::kAuto;
-  /// Pass-graph scheduling: kAsync overlaps background checkpoint I/O with
-  /// later chunks (bitwise-identical output); kSync is the strict
-  /// list-order execution.
-  PipelineMode pipeline = PipelineMode::kSync;
+  /// Execution knobs (threads, scheduler, pipeline mode, checkpoint
+  /// policy, progress cadence) — shared across every solver config; all
+  /// bitwise-neutral (see ExecOptions). The serial solver ignores the
+  /// transport (it has no cluster).
+  ExecOptions exec;
   bool record_cost = true;
-  /// Log a one-line progress report every N iterations (0 disables).
-  int progress_every = 0;
   /// Joint object+probe refinement: after `probe_warmup_iterations`, each
   /// iteration also descends the probe wavefield along its accumulated
   /// gradient (then renormalizes to the initial total intensity, removing
@@ -55,8 +43,6 @@ struct SerialConfig {
   /// probe count, so ~0.1-0.5 is stable independent of dataset size.
   real probe_step = real(0.3);
   int probe_warmup_iterations = 1;
-  /// Periodic checkpointing (disabled unless the policy is enabled).
-  ckpt::Policy checkpoint;
   /// Resume from this snapshot: `iterations` then counts the run's TOTAL
   /// iterations, so a restore continues from snapshot.manifest.iteration
   /// up to `iterations`. A single-rank snapshot resumes exactly (including

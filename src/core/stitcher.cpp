@@ -11,7 +11,7 @@ FramedVolume stitch_on_root(rt::RankContext& ctx, const Partition& partition,
   const Rect owned = partition.tile(ctx.rank()).owned;
 
   if (ctx.rank() != 0) {
-    ctx.isend(0, rt::make_tag(comm_phase::kStitch, ctx.rank()),
+    ctx.isend(0, rt::make_tag(rt::Phase::kStitch, ctx.rank()),
               pack_region(tile_volume, owned));
     return FramedVolume{};
   }
@@ -19,7 +19,7 @@ FramedVolume stitch_on_root(rt::RankContext& ctx, const Partition& partition,
   FramedVolume full(slices, partition.field());
   copy_region(tile_volume, full, owned);
   for (int r = 1; r < ctx.nranks(); ++r) {
-    std::vector<cplx> payload = ctx.recv(r, rt::make_tag(comm_phase::kStitch, r));
+    std::vector<cplx> payload = ctx.recv(r, rt::make_tag(rt::Phase::kStitch, r));
     unpack_replace_region(payload, full, partition.tile(r).owned);
   }
   return full;

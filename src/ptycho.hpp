@@ -40,6 +40,7 @@
 #include "runtime/collectives.hpp"
 #include "runtime/perfmodel.hpp"
 #include "runtime/topology.hpp"
+#include "runtime/transport.hpp"
 
 #include "partition/assignment.hpp"
 #include "partition/overlap.hpp"
@@ -49,6 +50,7 @@
 #include "ckpt/snapshot.hpp"
 
 #include "core/convergence.hpp"
+#include "core/exec_options.hpp"
 #include "core/gradient_decomposition.hpp"
 #include "core/halo_voxel_exchange.hpp"
 #include "core/memory_model.hpp"

@@ -1,6 +1,7 @@
 #include "runtime/channel.hpp"
 
 #include <chrono>
+#include <string>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
@@ -9,6 +10,26 @@ namespace ptycho::rt {
 
 namespace {
 using Key = std::pair<int, Tag>;  // (src, tag)
+}
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kVerticalForward: return "vertical-forward";
+    case Phase::kVerticalBackward: return "vertical-backward";
+    case Phase::kHorizontalForward: return "horizontal-forward";
+    case Phase::kHorizontalBackward: return "horizontal-backward";
+    case Phase::kDirect: return "direct";
+    case Phase::kAllreduce: return "allreduce";
+    case Phase::kStitch: return "stitch";
+    case Phase::kPaste: return "paste";
+    case Phase::kCost: return "cost";
+    case Phase::kProbe: return "probe";
+    case Phase::kRestore: return "restore";
+    case Phase::kRestoreProbe: return "restore-probe";
+    case Phase::kBarrier: return "barrier";
+    case Phase::kTest: return "test";
+  }
+  return "unknown";
 }
 
 struct Fabric::Mailbox {
@@ -26,21 +47,39 @@ struct RecvRequest::State {
 
 Fabric::~Fabric() = default;
 
-Fabric::Fabric(int nranks) : nranks_(nranks) {
-  PTYCHO_REQUIRE(nranks >= 1, "fabric needs at least one rank");
-  mailboxes_.reserve(static_cast<usize>(nranks));
-  for (int r = 0; r < nranks; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
-  stats_.bytes_sent.assign(static_cast<usize>(nranks), 0);
-  stats_.messages_sent.assign(static_cast<usize>(nranks), 0);
+Fabric::Fabric(int nranks) : Fabric(std::make_unique<InProcTransport>(nranks)) {}
+
+Fabric::Fabric(std::unique_ptr<Transport> transport) : transport_(std::move(transport)) {
+  PTYCHO_REQUIRE(transport_ != nullptr, "fabric needs a transport");
+  nranks_ = transport_->nranks();
+  PTYCHO_REQUIRE(nranks_ >= 1, "fabric needs at least one rank");
+  mailboxes_.reserve(static_cast<usize>(nranks_));
+  for (int r = 0; r < nranks_; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+  stats_.bytes_sent.assign(static_cast<usize>(nranks_), 0);
+  stats_.messages_sent.assign(static_cast<usize>(nranks_), 0);
+  // Resolve metric objects up front: the registry hands out stable
+  // references, and per-backend names mean a static local cannot be used
+  // (it would freeze whichever backend constructed a fabric first).
+  const std::string backend = transport_->name();
+  messages_counter_ = &obs::registry().counter("fabric_messages_total");
+  bytes_counter_ = &obs::registry().counter("fabric_bytes_total");
+  backend_messages_counter_ =
+      &obs::registry().counter("fabric_messages_total_" + backend);
+  backend_bytes_counter_ = &obs::registry().counter("fabric_bytes_total_" + backend);
+  // attach() last: a socket transport starts its progress thread here and
+  // may deliver() immediately, so the mailboxes must already exist.
+  transport_->attach(*this);
 }
 
 Fabric::Mailbox& Fabric::mailbox(int dst) {
   PTYCHO_CHECK(dst >= 0 && dst < nranks_, "invalid destination rank " << dst);
+  PTYCHO_CHECK(is_local(dst), "rank " << dst << " is not hosted by this process");
   return *mailboxes_[static_cast<usize>(dst)];
 }
 
 void Fabric::isend(int src, int dst, Tag tag, std::vector<cplx> payload) {
   PTYCHO_CHECK(src >= 0 && src < nranks_, "invalid source rank " << src);
+  PTYCHO_CHECK(dst >= 0 && dst < nranks_, "invalid destination rank " << dst);
   if (poisoned()) return;  // the job is dead; drop traffic silently
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -48,11 +87,16 @@ void Fabric::isend(int src, int dst, Tag tag, std::vector<cplx> payload) {
     stats_.messages_sent[static_cast<usize>(src)] += 1;
   }
   if (obs::metrics_enabled()) {
-    static obs::Counter& messages = obs::registry().counter("fabric_messages_total");
-    static obs::Counter& bytes = obs::registry().counter("fabric_bytes_total");
-    messages.add(1);
-    bytes.add(payload.size() * sizeof(cplx));
+    messages_counter_->add(1);
+    bytes_counter_->add(payload.size() * sizeof(cplx));
+    backend_messages_counter_->add(1);
+    backend_bytes_counter_->add(payload.size() * sizeof(cplx));
   }
+  transport_->send(src, dst, tag, std::move(payload));
+}
+
+void Fabric::deliver(int src, int dst, Tag tag, std::vector<cplx> payload) {
+  if (poisoned()) return;  // clear_poison() drains; don't re-litter mailboxes
   Mailbox& box = mailbox(dst);
   {
     std::lock_guard<std::mutex> lock(box.mutex);
@@ -91,7 +135,7 @@ void Fabric::clear_poison() noexcept {
   poisoned_.store(false, std::memory_order_release);
 }
 
-void Fabric::poison() noexcept {
+void Fabric::poison_local() noexcept {
   poisoned_.store(true, std::memory_order_release);
   for (auto& box : mailboxes_) {
     // Take the mailbox lock so a receiver between its predicate check and
@@ -99,6 +143,11 @@ void Fabric::poison() noexcept {
     std::lock_guard<std::mutex> lock(box->mutex);
     box->cv.notify_all();
   }
+}
+
+void Fabric::poison() noexcept {
+  poison_local();
+  transport_->broadcast_poison();
 }
 
 bool RecvRequest::test() {

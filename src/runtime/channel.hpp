@@ -1,10 +1,14 @@
-// Point-to-point message fabric for the virtual cluster.
+// Point-to-point message fabric for the cluster.
 //
 // Models the MPI subset the paper's APPP technique needs: eager
 // non-blocking sends (isend), non-blocking receives with request handles
 // (irecv + test/wait), tag matching per (source, tag), and per-rank
-// traffic statistics. Payloads are moved, never copied, so a send is one
-// pointer handoff — the *modeled* wire cost lives in runtime/perfmodel.
+// traffic statistics. The fabric itself is only the tag-matching layer:
+// message *delivery* is delegated to a pluggable rt::Transport
+// (runtime/transport.hpp) — a shared-memory handoff when all ranks are
+// threads of this process, or TCP frames when each rank is its own
+// process. Payloads are moved, never copied, on the in-process path; the
+// *modeled* wire cost lives in runtime/perfmodel.
 #pragma once
 
 #include <atomic>
@@ -18,21 +22,83 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "runtime/transport.hpp"
+
+namespace ptycho::obs {
+class Counter;
+}  // namespace ptycho::obs
 
 namespace ptycho::rt {
 
 /// Thrown on the failing rank by an injected fault, and on every other
 /// rank whose blocking communication can no longer complete because the
-/// fabric was poisoned by that failure. Catch this (rather than plain
-/// Error) to implement checkpoint-based recovery.
+/// fabric was poisoned by that failure (or, on the socket transport, by a
+/// peer process disappearing). Catch this (rather than plain Error) to
+/// implement checkpoint-based recovery.
 class RankFailure : public Error {
  public:
   using Error::Error;
 };
 
-/// Message tags: encode (phase, stage) so concurrent passes never match
-/// each other's traffic. Plain ints at the API surface, helpers below.
-using Tag = std::int64_t;
+// ---------------------------------------------------------------------------
+// Tag registry
+// ---------------------------------------------------------------------------
+
+/// Every communication phase in the system, centrally registered so two
+/// subsystems can never collide on a tag space. A tag is
+/// (phase << 48) | stage — see make_tag — so uniqueness of the phase ids
+/// below is exactly tag-space disjointness between phases.
+///
+/// Adding a phase: append it here with the next free id, add it to
+/// kAllPhases, and the uniqueness static_assert plus the registry test in
+/// tests/test_transport.cpp keep the invariant honest.
+enum class Phase : int {
+  kVerticalForward = 1,    ///< APPP sweep chain, vertical forward passes
+  kVerticalBackward = 2,   ///< APPP sweep chain, vertical backward passes
+  kHorizontalForward = 3,  ///< APPP sweep chain, horizontal forward passes
+  kHorizontalBackward = 4, ///< APPP sweep chain, horizontal backward passes
+  kDirect = 5,             ///< direct pairwise gradient exchange
+  kAllreduce = 6,          ///< gradient allreduce (non-APPP baseline)
+  kStitch = 7,             ///< stitch_on_root volume gather
+  kPaste = 8,              ///< HVE halo paste exchange
+  kCost = 9,               ///< global cost reduction
+  kProbe = 10,             ///< probe refinement sync
+  kRestore = 11,           ///< elastic checkpoint scatter-restore
+  kRestoreProbe = 12,      ///< probe broadcast during restore
+  kBarrier = 13,           ///< message-based barrier (distributed clusters)
+  kTest = 14,              ///< reserved for unit tests
+};
+
+inline constexpr Phase kAllPhases[] = {
+    Phase::kVerticalForward,  Phase::kVerticalBackward, Phase::kHorizontalForward,
+    Phase::kHorizontalBackward, Phase::kDirect,         Phase::kAllreduce,
+    Phase::kStitch,           Phase::kPaste,            Phase::kCost,
+    Phase::kProbe,            Phase::kRestore,          Phase::kRestoreProbe,
+    Phase::kBarrier,          Phase::kTest,
+};
+
+[[nodiscard]] constexpr bool phases_unique() {
+  for (usize i = 0; i < std::size(kAllPhases); ++i) {
+    for (usize j = i + 1; j < std::size(kAllPhases); ++j) {
+      if (kAllPhases[i] == kAllPhases[j]) return false;
+    }
+  }
+  return true;
+}
+static_assert(phases_unique(), "rt::Phase ids must be unique — tag spaces would collide");
+
+[[nodiscard]] const char* to_string(Phase phase);
+
+/// Compose a tag from a registered phase and a sub-stage counter. The
+/// stage is phase-private: collectives fold an instance number and a tree
+/// step into it, point-to-point passes use chain step counters.
+[[nodiscard]] constexpr Tag make_tag(Phase phase, std::int64_t stage) {
+  return (static_cast<Tag>(phase) << 48) | (stage & ((Tag(1) << 48) - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
 
 struct FabricStats {
   std::vector<std::uint64_t> bytes_sent;     ///< per source rank
@@ -63,18 +129,29 @@ class RecvRequest {
 
 class Fabric {
  public:
+  /// Historical constructor: all ranks in-process (InProcTransport).
   explicit Fabric(int nranks);
+  /// Explicit-backend constructor; the fabric owns the transport.
+  explicit Fabric(std::unique_ptr<Transport> transport);
   ~Fabric();
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
   [[nodiscard]] int nranks() const { return nranks_; }
 
-  /// Non-blocking eager send; the payload is enqueued at the destination
-  /// immediately (local completion). Matching is FIFO per (src, tag).
+  /// True when `rank`'s mailbox lives in this process. Receives may only
+  /// be posted for local ranks; sends may target any rank.
+  [[nodiscard]] bool is_local(int rank) const { return transport_->is_local(rank); }
+
+  [[nodiscard]] const char* transport_name() const { return transport_->name(); }
+  [[nodiscard]] TransportStats transport_stats() const { return transport_->stats(); }
+
+  /// Non-blocking eager send; local destinations are enqueued immediately
+  /// (local completion), remote ones are framed onto the wire by the
+  /// transport. Matching is FIFO per (src, tag).
   void isend(int src, int dst, Tag tag, std::vector<cplx> payload);
 
-  /// Post a receive for (src, tag) at rank dst.
+  /// Post a receive for (src, tag) at local rank dst.
   [[nodiscard]] RecvRequest irecv(int dst, int src, Tag tag);
 
   /// Blocking receive convenience; returns the payload.
@@ -82,11 +159,23 @@ class Fabric {
 
   [[nodiscard]] FabricStats stats() const;
 
+  /// Transport-facing: enqueue a message into local rank dst's mailbox and
+  /// wake its waiters. This is the single entry point through which every
+  /// backend feeds the tag matcher.
+  void deliver(int src, int dst, Tag tag, std::vector<cplx> payload);
+
   /// Mark the fabric dead (a rank failed): every blocked receive wakes and
   /// throws RankFailure, as does every receive posted afterwards. Sends
-  /// become no-ops. This models the collective teardown a real MPI job
+  /// become no-ops. The poison is propagated to peer processes by the
+  /// transport, modeling the collective teardown a real MPI job
   /// experiences when a node disappears.
   void poison() noexcept;
+
+  /// Transport-facing: poison without re-broadcasting (used when the
+  /// poison *arrived* from a peer, or when the transport itself detected a
+  /// dead peer — re-broadcasting would echo forever).
+  void poison_local() noexcept;
+
   [[nodiscard]] bool poisoned() const noexcept {
     return poisoned_.load(std::memory_order_acquire);
   }
@@ -104,15 +193,17 @@ class Fabric {
   Mailbox& mailbox(int dst);
 
   int nranks_ = 0;
+  std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<bool> poisoned_{false};
   mutable std::mutex stats_mutex_;
   FabricStats stats_;
+  // Per-backend obs attribution, resolved once at construction (a static
+  // local would pin the first backend's name for the whole process).
+  obs::Counter* messages_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* backend_messages_counter_ = nullptr;
+  obs::Counter* backend_bytes_counter_ = nullptr;
 };
-
-/// Compose a tag from an algorithm phase id and a sub-stage counter.
-[[nodiscard]] constexpr Tag make_tag(int phase, std::int64_t stage) {
-  return (static_cast<Tag>(phase) << 48) | (stage & ((Tag(1) << 48) - 1));
-}
 
 }  // namespace ptycho::rt

@@ -34,21 +34,37 @@ void RankContext::barrier() {
 void RankContext::fault_point(std::uint64_t step) { cluster_.maybe_fault(rank_, step); }
 
 VirtualCluster::VirtualCluster(int nranks, std::uint64_t seed)
-    : nranks_(nranks),
-      seed_(seed),
-      fabric_(nranks),
-      trackers_(static_cast<usize>(nranks)),
-      profilers_(static_cast<usize>(nranks)),
-      ledgers_(static_cast<usize>(nranks)) {
-  PTYCHO_REQUIRE(nranks >= 1, "cluster needs at least one rank");
+    : VirtualCluster(ClusterSpec{nranks, seed, TransportOptions{}}) {}
+
+VirtualCluster::VirtualCluster(const ClusterSpec& spec)
+    : nranks_(spec.nranks),
+      seed_(spec.seed),
+      distributed_(spec.transport.distributed()),
+      local_rank_(distributed_ ? spec.transport.rank : -1),
+      fabric_(make_transport(spec.transport, spec.nranks)),
+      trackers_(static_cast<usize>(spec.nranks)),
+      profilers_(static_cast<usize>(spec.nranks)),
+      ledgers_(static_cast<usize>(spec.nranks)) {
+  PTYCHO_REQUIRE(spec.nranks >= 1, "cluster needs at least one rank");
 }
 
 void VirtualCluster::run(const RankBody& body) {
+  // One thread per *local* rank: every rank in-process, just this
+  // process's rank when peers are separate processes. Keeping the body on
+  // a spawned thread in both modes keeps the tracker/obs identity setup on
+  // one code path.
+  std::vector<int> local;
+  if (distributed_) {
+    local.push_back(local_rank_);
+  } else {
+    for (int r = 0; r < nranks_; ++r) local.push_back(r);
+  }
+
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<usize>(nranks_));
+  threads.reserve(local.size());
   std::vector<std::exception_ptr> errors(static_cast<usize>(nranks_));
 
-  for (int r = 0; r < nranks_; ++r) {
+  for (const int r : local) {
     threads.emplace_back([this, r, &body, &errors] {
       const auto ur = static_cast<usize>(r);
       TrackerScope scope(trackers_[ur]);
@@ -89,9 +105,16 @@ const PhaseProfiler& VirtualCluster::profiler(int rank) const {
 }
 
 double VirtualCluster::mean_peak_bytes() const {
+  // Distributed mode only observed this process's rank; peer trackers are
+  // empty and would drag the mean to a lie.
   double total = 0.0;
-  for (const auto& t : trackers_) total += static_cast<double>(t.peak());
-  return total / static_cast<double>(nranks_);
+  int counted = 0;
+  for (int r = 0; r < nranks_; ++r) {
+    if (!is_local(r)) continue;
+    total += static_cast<double>(trackers_[static_cast<usize>(r)].peak());
+    ++counted;
+  }
+  return total / static_cast<double>(counted);
 }
 
 usize VirtualCluster::max_peak_bytes() const {
@@ -113,7 +136,30 @@ void VirtualCluster::reset_instrumentation() {
   }
 }
 
+void VirtualCluster::barrier_wait_distributed() {
+  // Dissemination barrier over fabric messages: ceil(log2 n) rounds, in
+  // round k rank r pings (r + 2^k) mod n and waits for (r - 2^k) mod n.
+  // A poisoned fabric makes the recv throw RankFailure, matching the
+  // in-process barrier's abort semantics. Only this process's rank thread
+  // calls this, so the generation counter needs no lock — it just keeps
+  // consecutive barriers' tags disjoint.
+  const std::uint64_t generation = barrier_generation_++;
+  const int n = nranks_;
+  const int r = local_rank_;
+  int round = 0;
+  for (int step = 1; step < n; step <<= 1, ++round) {
+    const Tag tag =
+        make_tag(Phase::kBarrier, static_cast<std::int64_t>((generation << 8) | static_cast<std::uint64_t>(round)));
+    fabric_.isend(r, (r + step) % n, tag, std::vector<cplx>(1));
+    (void)fabric_.recv(r, (r - step + n) % n, tag);
+  }
+}
+
 void VirtualCluster::barrier_wait() {
+  if (distributed_) {
+    barrier_wait_distributed();
+    return;
+  }
   std::unique_lock<std::mutex> lock(barrier_mutex_);
   if (barrier_poisoned_) throw RankFailure("barrier aborted: a rank has failed");
   const std::uint64_t generation = barrier_generation_;

@@ -89,13 +89,40 @@ class RankContext {
   Rng rng_;
 };
 
+/// Full description of a cluster: rank count, RNG seed, and the transport
+/// the fabric should ride on. The default is the historical in-process
+/// deployment (K ranks as threads); a socket transport makes this process
+/// host exactly one rank of a K-process job.
+struct ClusterSpec {
+  int nranks = 1;
+  std::uint64_t seed = 7;
+  TransportOptions transport;
+};
+
 /// Spawns rank bodies on threads and joins them; owns the fabric and the
 /// per-rank trackers/profilers so results can be inspected after run().
+/// With a distributed transport, run() executes only this process's rank —
+/// the other ranks are peer processes reached through the fabric.
 class VirtualCluster {
  public:
   explicit VirtualCluster(int nranks, std::uint64_t seed = 7);
+  explicit VirtualCluster(const ClusterSpec& spec);
 
   [[nodiscard]] int nranks() const { return nranks_; }
+
+  /// True when peer ranks live in other processes (socket transport).
+  [[nodiscard]] bool distributed() const { return distributed_; }
+
+  /// The rank this process hosts (-1 aside, every rank in-process mode).
+  [[nodiscard]] int local_rank() const { return local_rank_; }
+
+  /// Ranks hosted by this process (all of them in-process, one distributed).
+  [[nodiscard]] int local_ranks() const { return distributed_ ? 1 : nranks_; }
+
+  /// True when `rank`'s trackers/profilers are populated in this process.
+  [[nodiscard]] bool is_local(int rank) const {
+    return !distributed_ || rank == local_rank_;
+  }
 
   using RankBody = std::function<void(RankContext&)>;
 
@@ -122,11 +149,14 @@ class VirtualCluster {
  private:
   friend class RankContext;
   void barrier_wait();
+  void barrier_wait_distributed();
   void maybe_fault(int rank, std::uint64_t step);
   void poison() noexcept;
 
   int nranks_;
   std::uint64_t seed_;
+  bool distributed_ = false;
+  int local_rank_ = -1;
   Fabric fabric_;
   std::vector<MemTracker> trackers_;
   std::vector<PhaseProfiler> profilers_;
@@ -134,7 +164,10 @@ class VirtualCluster {
   FaultPlan fault_;
   std::atomic<bool> fault_fired_{false};
 
-  // Central sense-reversing barrier.
+  // Central sense-reversing barrier (in-process mode). Distributed mode
+  // replaces it with a dissemination barrier over fabric messages tagged
+  // Phase::kBarrier; barrier_generation_ then just numbers invocations so
+  // consecutive barriers cannot match each other's traffic.
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;

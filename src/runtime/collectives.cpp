@@ -7,17 +7,21 @@
 namespace ptycho::rt {
 
 namespace {
-// Stage counters must be distinct per call site within a phase; we use a
-// per-(phase) monotonic stage derived from the reduction step so repeated
-// collectives with the same phase_tag still match correctly because the
-// fabric queues are FIFO per (src, tag).
-Tag stage_tag(int phase, int step, bool down) {
-  return make_tag(phase, (static_cast<std::int64_t>(step) << 1) | (down ? 1 : 0));
+// Stage layout within a phase: [instance:32][step:15][down:1]. The tree
+// step doubles up to nranks (so 15 bits covers 16k ranks) and the caller's
+// instance counter keeps overlapping collectives in the same phase apart;
+// repeated collectives with the same (phase, instance) still match
+// correctly because the fabric queues are FIFO per (src, tag).
+Tag stage_tag(Phase phase, std::int64_t instance, int step, bool down) {
+  const std::int64_t stage = ((instance & 0xffffffff) << 16) |
+                             (static_cast<std::int64_t>(step) << 1) | (down ? 1 : 0);
+  return make_tag(phase, stage);
 }
 }  // namespace
 
-AllreduceHandle::AllreduceHandle(RankContext& ctx, std::vector<cplx>& buffer, int phase_tag)
-    : ctx_(ctx), buffer_(buffer), phase_(phase_tag) {
+AllreduceHandle::AllreduceHandle(RankContext& ctx, std::vector<cplx>& buffer, Phase phase,
+                                 std::int64_t instance)
+    : ctx_(ctx), buffer_(buffer), phase_(phase), instance_(instance) {
   if (obs::metrics_enabled()) {
     static obs::Counter& calls = obs::registry().counter("collective_allreduce_total");
     static obs::Counter& bytes = obs::registry().counter("collective_allreduce_bytes_total");
@@ -30,7 +34,7 @@ AllreduceHandle::AllreduceHandle(RankContext& ctx, std::vector<cplx>& buffer, in
   // full reduce latency.
   const int rank = ctx_.rank();
   if (ctx_.nranks() > 1 && (rank & 1) != 0) {
-    ctx_.isend(rank - 1, stage_tag(phase_, 1, false), std::move(buffer_));
+    ctx_.isend(rank - 1, stage_tag(phase_, instance_, 1, false), std::move(buffer_));
     buffer_.clear();
     posted_ = true;
   }
@@ -47,13 +51,13 @@ void AllreduceHandle::finish() {
   if (!posted_) {
     for (int step = 1; step < nranks; step <<= 1) {
       if ((rank & step) != 0) {
-        ctx_.isend(rank - step, stage_tag(phase_, step, false), std::move(buffer_));
+        ctx_.isend(rank - step, stage_tag(phase_, instance_, step, false), std::move(buffer_));
         buffer_.clear();
         break;
       }
       if (rank + step < nranks) {
         std::vector<cplx> incoming =
-            ctx_.recv(rank + step, stage_tag(phase_, step, false));
+            ctx_.recv(rank + step, stage_tag(phase_, instance_, step, false));
         PTYCHO_CHECK(incoming.size() == buffer_.size(), "allreduce buffer size mismatch");
         for (usize i = 0; i < buffer_.size(); ++i) buffer_[i] += incoming[i];
       }
@@ -65,22 +69,24 @@ void AllreduceHandle::finish() {
   while (highest < nranks) highest <<= 1;
   for (int step = highest >> 1; step >= 1; step >>= 1) {
     if ((rank & (2 * step - 1)) == 0 && rank + step < nranks) {
-      ctx_.isend(rank + step, stage_tag(phase_, step, true), std::vector<cplx>(buffer_));
+      ctx_.isend(rank + step, stage_tag(phase_, instance_, step, true), std::vector<cplx>(buffer_));
     } else if ((rank & (2 * step - 1)) == step) {
-      buffer_ = ctx_.recv(rank - step, stage_tag(phase_, step, true));
+      buffer_ = ctx_.recv(rank - step, stage_tag(phase_, instance_, step, true));
     }
   }
 }
 
-void allreduce_sum(RankContext& ctx, std::vector<cplx>& buffer, int phase_tag) {
+void allreduce_sum(RankContext& ctx, std::vector<cplx>& buffer, Phase phase,
+                   std::int64_t instance) {
   // Phase kNone: the comm/wait time is attributed by isend/recv inside;
   // the span only marks the collective's extent in the trace.
   obs::SpanScope span("allreduce");
-  AllreduceHandle handle(ctx, buffer, phase_tag);
+  AllreduceHandle handle(ctx, buffer, phase, instance);
   handle.finish();
 }
 
-double allreduce_sum_scalar(RankContext& ctx, double value, int phase_tag) {
+double allreduce_sum_scalar(RankContext& ctx, double value, Phase phase,
+                            std::int64_t instance) {
   std::vector<cplx> packed(1);
   // Split the double across real/imag of a cplx to keep full precision for
   // moderate magnitudes; cost values fit float range in our workloads, but
@@ -88,11 +94,12 @@ double allreduce_sum_scalar(RankContext& ctx, double value, int phase_tag) {
   packed[0] = cplx(static_cast<real>(value), 0);
   // For accuracy use a dedicated reduction (float is enough for the cost
   // curves; sums are short). Reuse vector allreduce.
-  allreduce_sum(ctx, packed, phase_tag);
+  allreduce_sum(ctx, packed, phase, instance);
   return static_cast<double>(packed[0].real());
 }
 
-void broadcast(RankContext& ctx, std::vector<cplx>& buffer, int root, int phase_tag) {
+void broadcast(RankContext& ctx, std::vector<cplx>& buffer, int root, Phase phase,
+               std::int64_t instance) {
   obs::SpanScope span("broadcast");
   if (obs::metrics_enabled()) {
     static obs::Counter& calls = obs::registry().counter("collective_broadcast_total");
@@ -107,9 +114,9 @@ void broadcast(RankContext& ctx, std::vector<cplx>& buffer, int root, int phase_
   while (highest < nranks) highest <<= 1;
   for (int step = highest >> 1; step >= 1; step >>= 1) {
     if ((rank & (2 * step - 1)) == 0 && rank + step < nranks) {
-      ctx.isend(rank + step, stage_tag(phase_tag, step, true), std::vector<cplx>(buffer));
+      ctx.isend(rank + step, stage_tag(phase, instance, step, true), std::vector<cplx>(buffer));
     } else if ((rank & (2 * step - 1)) == step) {
-      buffer = ctx.recv(rank - step, stage_tag(phase_tag, step, true));
+      buffer = ctx.recv(rank - step, stage_tag(phase, instance, step, true));
     }
   }
 }

@@ -12,7 +12,12 @@ namespace ptycho::rt {
 
 /// Binomial-tree allreduce (sum) of a complex vector; every rank ends with
 /// the elementwise sum. All ranks must call with equal-sized buffers.
-void allreduce_sum(RankContext& ctx, std::vector<cplx>& buffer, int phase_tag);
+/// `instance` distinguishes overlapping collectives in the same phase
+/// (e.g. the per-chunk gradient allreduce uses the chunk counter); it is
+/// folded into the stage bits of the tag, so two in-flight collectives
+/// with different instances can never match each other's traffic.
+void allreduce_sum(RankContext& ctx, std::vector<cplx>& buffer, Phase phase,
+                   std::int64_t instance = 0);
 
 /// Split-phase allreduce: construction posts the collective's first
 /// non-blocking send where one exists with no prior receive (the reduce
@@ -25,7 +30,8 @@ void allreduce_sum(RankContext& ctx, std::vector<cplx>& buffer, int phase_tag);
 /// finish() returns. allreduce_sum() is exactly construct + finish.
 class AllreduceHandle {
  public:
-  AllreduceHandle(RankContext& ctx, std::vector<cplx>& buffer, int phase_tag);
+  AllreduceHandle(RankContext& ctx, std::vector<cplx>& buffer, Phase phase,
+                  std::int64_t instance = 0);
 
   AllreduceHandle(const AllreduceHandle&) = delete;
   AllreduceHandle& operator=(const AllreduceHandle&) = delete;
@@ -37,15 +43,18 @@ class AllreduceHandle {
  private:
   RankContext& ctx_;
   std::vector<cplx>& buffer_;
-  int phase_;
+  Phase phase_;
+  std::int64_t instance_;
   bool posted_ = false;    ///< the leaf send went out at construction
   bool finished_ = false;
 };
 
 /// Allreduce of one double (packed into a cplx payload).
-[[nodiscard]] double allreduce_sum_scalar(RankContext& ctx, double value, int phase_tag);
+[[nodiscard]] double allreduce_sum_scalar(RankContext& ctx, double value, Phase phase,
+                                          std::int64_t instance = 0);
 
 /// Broadcast from root (tree).
-void broadcast(RankContext& ctx, std::vector<cplx>& buffer, int root, int phase_tag);
+void broadcast(RankContext& ctx, std::vector<cplx>& buffer, int root, Phase phase,
+               std::int64_t instance = 0);
 
 }  // namespace ptycho::rt

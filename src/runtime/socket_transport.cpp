@@ -1,0 +1,381 @@
+#include "runtime/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "runtime/channel.hpp"
+
+namespace ptycho::rt {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50545946u;  // "PTYF"
+
+enum FrameType : std::uint32_t {
+  kHello = 0,     ///< handshake: src = connector's rank
+  kData = 1,      ///< fabric message
+  kPoison = 2,    ///< remote fabric poisoned (rank failure)
+  kShutdown = 3,  ///< orderly close follows
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint32_t type = kData;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::int64_t tag = 0;
+  std::uint64_t count = 0;  ///< payload length in cplx elements
+};
+static_assert(sizeof(FrameHeader) == 32, "wire header layout drifted");
+
+/// Read exactly n bytes; false on EOF-before-any / error.
+bool read_exact(int fd, void* buf, usize n) {
+  auto* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got > 0) {
+      p += got;
+      n -= static_cast<usize>(got);
+      continue;
+    }
+    if (got < 0 && (errno == EINTR)) continue;
+    return false;  // EOF (0) or hard error
+  }
+  return true;
+}
+
+/// Write exactly n bytes; false on error. MSG_NOSIGNAL: a dead peer must
+/// surface as an error we map onto poison, not a SIGPIPE.
+bool write_exact(int fd, const void* buf, usize n) {
+  const auto* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (put > 0) {
+      p += put;
+      n -= static_cast<usize>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+int make_listener(const PeerAddr& addr, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  PTYCHO_CHECK(fd >= 0, "socket() failed: " << std::strerror(errno));
+  // Restart-after-fault rebinds the same port while the old connections
+  // sit in TIME_WAIT; without SO_REUSEADDR checkpoint recovery would need
+  // a fresh roster every attempt.
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(addr.port));
+  sa.sin_addr.s_addr = htonl(INADDR_ANY);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    PTYCHO_FAIL("bind(" << addr.host << ":" << addr.port
+                        << ") failed: " << std::strerror(err));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    PTYCHO_FAIL("listen failed: " << std::strerror(err));
+  }
+  return fd;
+}
+
+int connect_with_retry(const PeerAddr& addr, std::chrono::seconds timeout) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(addr.port));
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+    // Not a dotted quad — resolve the name.
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    PTYCHO_CHECK(::getaddrinfo(addr.host.c_str(), nullptr, &hints, &res) == 0 && res != nullptr,
+                 "cannot resolve peer host '" << addr.host << "'");
+    sa.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    PTYCHO_CHECK(fd >= 0, "socket() failed: " << std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    ::close(fd);
+    // Peers start concurrently: refused just means the listener is not up
+    // yet. Anything past the deadline is a genuinely absent peer.
+    PTYCHO_CHECK(std::chrono::steady_clock::now() < deadline,
+                 "connect to peer " << addr.host << ":" << addr.port << " timed out");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int rank, std::vector<PeerAddr> peers)
+    : rank_(rank), peers_(std::move(peers)) {
+  PTYCHO_REQUIRE(!peers_.empty(), "socket transport needs a peer roster");
+  PTYCHO_REQUIRE(rank_ >= 0 && rank_ < nranks(), "rank outside roster");
+  conns_.resize(peers_.size());
+  for (auto& c : conns_) c = std::make_unique<Peer>();
+}
+
+void SocketTransport::attach(Fabric& fabric) {
+  PTYCHO_CHECK(fabric_ == nullptr, "transport already attached");
+  fabric_ = &fabric;
+  const int n = nranks();
+  if (n == 1) return;  // no peers, no wire, no progress thread
+
+  // Listener first, then connect downward: with every process following
+  // the same order, a connect can at worst find the peer's backlog (bound
+  // + listening) still working through accepts — never a missing socket
+  // past the retry window.
+  const int listener = make_listener(peers_[static_cast<usize>(rank_)], n);
+
+  for (int r = 0; r < rank_; ++r) {
+    const int fd = connect_with_retry(peers_[static_cast<usize>(r)], std::chrono::seconds(30));
+    FrameHeader hello;
+    hello.type = kHello;
+    hello.src = rank_;
+    hello.dst = r;
+    if (!write_exact(fd, &hello, sizeof(hello))) {
+      ::close(fd);
+      ::close(listener);
+      PTYCHO_FAIL("handshake with rank " << r << " failed");
+    }
+    conns_[static_cast<usize>(r)]->fd = fd;
+  }
+
+  for (int accepted = 0; accepted < n - 1 - rank_; ++accepted) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      ::close(listener);
+      PTYCHO_FAIL("accept failed: " << std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    FrameHeader hello{};
+    if (!read_exact(fd, &hello, sizeof(hello)) || hello.magic != kMagic ||
+        hello.type != kHello || hello.src <= rank_ || hello.src >= n) {
+      ::close(fd);
+      ::close(listener);
+      PTYCHO_FAIL("bad handshake from a connecting peer");
+    }
+    conns_[static_cast<usize>(hello.src)]->fd = fd;
+  }
+  // The mesh is static; close the listener so a successor transport (a
+  // restarted run after a fault) can rebind the port.
+  ::close(listener);
+
+  PTYCHO_CHECK(::pipe(wake_pipe_.data()) == 0, "pipe() failed: " << std::strerror(errno));
+  progress_ = std::thread([this] { progress_loop(); });
+}
+
+SocketTransport::~SocketTransport() {
+  stopping_.store(true, std::memory_order_release);
+  // Orderly close: the shutdown frame lets peers distinguish our exit from
+  // our death. TCP ordering guarantees every data frame we sent precedes it.
+  for (int r = 0; r < nranks(); ++r) {
+    if (r != rank_ && conns_[static_cast<usize>(r)]->fd >= 0) send_control(r, kShutdown);
+  }
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (progress_.joinable()) progress_.join();
+  for (auto& c : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+  }
+  for (const int fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void SocketTransport::send(int src, int dst, Tag tag, std::vector<cplx> payload) {
+  PTYCHO_CHECK(fabric_ != nullptr, "transport not attached to a fabric");
+  if (dst == rank_) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.messages_out += 1;
+      stats_.bytes_out += payload.size() * sizeof(cplx);
+    }
+    fabric_->deliver(src, dst, tag, std::move(payload));
+    return;
+  }
+  Peer& peer = *conns_[static_cast<usize>(dst)];
+  FrameHeader header;
+  header.type = kData;
+  header.src = src;
+  header.dst = dst;
+  header.tag = tag;
+  header.count = payload.size();
+  const usize payload_bytes = payload.size() * sizeof(cplx);
+  bool ok = false;
+  {
+    std::lock_guard<std::mutex> lock(peer.send_mutex);
+    if (peer.fd >= 0) {
+      ok = write_exact(peer.fd, &header, sizeof(header)) &&
+           (payload_bytes == 0 || write_exact(peer.fd, payload.data(), payload_bytes));
+    }
+  }
+  if (!ok) {
+    fail("send to a peer failed");
+    return;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.messages_out += 1;
+  stats_.bytes_out += sizeof(header) + payload_bytes;
+}
+
+void SocketTransport::send_control(int peer_rank, std::uint32_t type) noexcept {
+  Peer& peer = *conns_[static_cast<usize>(peer_rank)];
+  FrameHeader header;
+  header.type = type;
+  header.src = rank_;
+  header.dst = peer_rank;
+  std::lock_guard<std::mutex> lock(peer.send_mutex);
+  if (peer.fd >= 0) {
+    // Best effort: a peer that is already gone cannot be told anything.
+    (void)write_exact(peer.fd, &header, sizeof(header));
+  }
+}
+
+void SocketTransport::broadcast_poison() noexcept {
+  for (int r = 0; r < nranks(); ++r) {
+    if (r != rank_) send_control(r, kPoison);
+  }
+}
+
+void SocketTransport::fail(const char* what) noexcept {
+  if (stopping_.load(std::memory_order_acquire)) return;  // our own teardown
+  log::warn() << "socket transport: " << what << " — poisoning fabric";
+  // poison_local, not poison(): the failure is already visible wire-wide
+  // (each peer observes the dead connection itself); re-broadcasting from
+  // every survivor would echo poison frames at shutdown.
+  if (fabric_ != nullptr) fabric_->poison_local();
+}
+
+bool SocketTransport::read_frame(int peer_rank) {
+  Peer& peer = *conns_[static_cast<usize>(peer_rank)];
+  FrameHeader header{};
+  if (!read_exact(peer.fd, &header, sizeof(header))) return false;
+  if (header.magic != kMagic) {
+    fail("corrupt frame (bad magic)");
+    return false;
+  }
+  switch (header.type) {
+    case kData: {
+      std::vector<cplx> payload(static_cast<usize>(header.count));
+      if (header.count > 0 &&
+          !read_exact(peer.fd, payload.data(), payload.size() * sizeof(cplx))) {
+        return false;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.messages_in += 1;
+        stats_.bytes_in += sizeof(header) + payload.size() * sizeof(cplx);
+      }
+      fabric_->deliver(header.src, header.dst, header.tag, std::move(payload));
+      return true;
+    }
+    case kPoison:
+      fabric_->poison_local();
+      return true;
+    case kShutdown:
+      peer.shutdown.store(true, std::memory_order_release);
+      return true;
+    default:
+      fail("corrupt frame (unknown type)");
+      return false;
+  }
+}
+
+void SocketTransport::progress_loop() {
+  log::set_thread_rank(rank_);
+  std::vector<pollfd> fds;
+  std::vector<int> ranks;  // fds[i] belongs to ranks[i]; last entry is the pipe
+  for (;;) {
+    fds.clear();
+    ranks.clear();
+    for (int r = 0; r < nranks(); ++r) {
+      if (r == rank_) continue;
+      const int fd = conns_[static_cast<usize>(r)]->fd;
+      if (fd < 0) continue;
+      fds.push_back(pollfd{fd, POLLIN, 0});
+      ranks.push_back(r);
+    }
+    const bool all_closed = fds.empty();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    if (all_closed && stopping_.load(std::memory_order_acquire)) return;
+
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+    if (ready < 0 && errno != EINTR) {
+      fail("poll failed");
+      return;
+    }
+    if (fds.back().revents != 0) {
+      // Wake-up from the destructor: keep draining until every peer's
+      // stream has ended, so late data/shutdown frames are not lost.
+      char drain[16];
+      [[maybe_unused]] const ssize_t n = ::read(wake_pipe_[0], drain, sizeof(drain));
+    }
+    for (usize i = 0; i + 1 < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int r = ranks[i];
+      Peer& peer = *conns_[static_cast<usize>(r)];
+      if (!read_frame(r)) {
+        // Stream over. Clean if the peer said goodbye (or we are tearing
+        // down ourselves); otherwise the peer died mid-run.
+        if (!peer.shutdown.load(std::memory_order_acquire) &&
+            !stopping_.load(std::memory_order_acquire)) {
+          fail("peer disconnected without shutdown");
+        }
+        std::lock_guard<std::mutex> lock(peer.send_mutex);
+        ::close(peer.fd);
+        peer.fd = -1;
+      }
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // We will send nothing more, so once a peer has also said goodbye
+      // the connection is drained on both sides and can go. Closing here
+      // (rather than waiting for the peer's EOF) is what breaks the
+      // both-sides-waiting cycle at job end: our close is the EOF the
+      // peer's drain loop is waiting for.
+      for (auto& c : conns_) {
+        if (c->fd >= 0 && c->shutdown.load(std::memory_order_acquire)) {
+          std::lock_guard<std::mutex> lock(c->send_mutex);
+          ::close(c->fd);
+          c->fd = -1;
+        }
+      }
+    }
+  }
+}
+
+TransportStats SocketTransport::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace ptycho::rt

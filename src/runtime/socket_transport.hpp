@@ -1,0 +1,72 @@
+// TCP transport: one rank per process, length-prefixed frames.
+//
+// Wire protocol (all fields host-endian — the roster is assumed
+// same-architecture, documented in README "Running multi-process"):
+//
+//   FrameHeader { magic, type, src, dst, tag, count } then count * cplx.
+//
+// Frame types: kHello (connection handshake carrying the connector's
+// rank), kData (a fabric message), kPoison (remote rank failed — poison
+// the local fabric), kShutdown (orderly close; an EOF *after* a shutdown
+// frame is a clean exit, an EOF *without* one is a dead peer and poisons
+// the fabric, which is exactly the RankFailure teardown FaultPlan
+// recovery expects).
+//
+// Mesh establishment: every rank binds its listener first, then connects
+// to all lower ranks (with retry while peers are still starting) and
+// accepts from all higher ranks; the TCP backlog makes the two sides
+// commutative. A single poll()-based progress thread then reads frames
+// and feeds them to Fabric::deliver() — the same mailbox matcher the
+// in-process transport uses, so tag semantics are identical.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/transport.hpp"
+
+namespace ptycho::rt {
+
+class SocketTransport final : public Transport {
+ public:
+  /// `peers[r]` is rank r's listen address; `rank` is this process's rank.
+  /// The mesh is established in attach() (blocking, with a connect
+  /// timeout), not here.
+  SocketTransport(int rank, std::vector<PeerAddr> peers);
+  ~SocketTransport() override;
+
+  [[nodiscard]] const char* name() const override { return "socket"; }
+  [[nodiscard]] int nranks() const override { return static_cast<int>(peers_.size()); }
+  [[nodiscard]] bool is_local(int rank) const override { return rank == rank_; }
+
+  void attach(Fabric& fabric) override;
+  void send(int src, int dst, Tag tag, std::vector<cplx> payload) override;
+  void broadcast_poison() noexcept override;
+  [[nodiscard]] TransportStats stats() const override;
+
+ private:
+  struct Peer {
+    int fd = -1;
+    std::mutex send_mutex;       ///< serializes frame writes to this peer
+    std::atomic<bool> shutdown{false};  ///< peer announced an orderly close
+  };
+
+  void progress_loop();
+  bool read_frame(int peer_rank);  ///< false: connection ended (EOF/error)
+  void send_control(int peer_rank, std::uint32_t type) noexcept;
+  void fail(const char* what) noexcept;  ///< poison the fabric on a wire fault
+
+  int rank_ = -1;
+  std::vector<PeerAddr> peers_;
+  Fabric* fabric_ = nullptr;
+  std::vector<std::unique_ptr<Peer>> conns_;  ///< indexed by rank; [rank_] unused
+  std::array<int, 2> wake_pipe_{-1, -1};      ///< self-pipe to stop the poll loop
+  std::thread progress_;
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex stats_mutex_;
+  TransportStats stats_;
+};
+
+}  // namespace ptycho::rt

@@ -1,0 +1,77 @@
+#include "runtime/transport.hpp"
+
+#include "common/error.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/socket_transport.hpp"
+
+namespace ptycho::rt {
+
+const char* to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInProc: return "inproc";
+    case TransportKind::kSocket: return "socket";
+  }
+  return "unknown";
+}
+
+TransportKind transport_kind_from_string(const std::string& name) {
+  if (name == "inproc" || name == "in-proc" || name == "threads") {
+    return TransportKind::kInProc;
+  }
+  if (name == "socket" || name == "tcp") return TransportKind::kSocket;
+  PTYCHO_FAIL("unknown transport '" << name << "' (expected inproc|socket)");
+}
+
+void InProcTransport::send(int src, int dst, Tag tag, std::vector<cplx> payload) {
+  PTYCHO_CHECK(fabric_ != nullptr, "transport not attached to a fabric");
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.messages_out += 1;
+    stats_.bytes_out += payload.size() * sizeof(cplx);
+  }
+  fabric_->deliver(src, dst, tag, std::move(payload));
+}
+
+TransportStats InProcTransport::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::unique_ptr<Transport> make_transport(const TransportOptions& options, int nranks) {
+  PTYCHO_REQUIRE(nranks >= 1, "transport needs at least one rank");
+  switch (options.kind) {
+    case TransportKind::kInProc:
+      return std::make_unique<InProcTransport>(nranks);
+    case TransportKind::kSocket: {
+      PTYCHO_REQUIRE(options.rank >= 0 && options.rank < nranks,
+                     "socket transport: --rank must be in [0, " << nranks << "), got "
+                                                                << options.rank);
+      PTYCHO_REQUIRE(static_cast<int>(options.peers.size()) == nranks,
+                     "socket transport: --peers must list one host:port per rank ("
+                         << nranks << " expected, " << options.peers.size() << " given)");
+      std::vector<PeerAddr> peers;
+      peers.reserve(options.peers.size());
+      for (const auto& spec : options.peers) peers.push_back(parse_peer(spec));
+      return std::make_unique<SocketTransport>(options.rank, std::move(peers));
+    }
+  }
+  PTYCHO_FAIL("unknown transport kind");
+}
+
+PeerAddr parse_peer(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  PTYCHO_REQUIRE(colon != std::string::npos && colon > 0 && colon + 1 < spec.size(),
+                 "malformed peer address '" << spec << "' (expected host:port)");
+  PeerAddr addr;
+  addr.host = spec.substr(0, colon);
+  try {
+    addr.port = std::stoi(spec.substr(colon + 1));
+  } catch (const std::exception&) {
+    PTYCHO_FAIL("malformed peer port in '" << spec << "'");
+  }
+  PTYCHO_REQUIRE(addr.port > 0 && addr.port <= 65535,
+                 "peer port out of range in '" << spec << "'");
+  return addr;
+}
+
+}  // namespace ptycho::rt

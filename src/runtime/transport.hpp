@@ -1,0 +1,137 @@
+// Pluggable message-delivery backends for the fabric.
+//
+// The fabric (runtime/channel.hpp) is a tag-matching layer: it owns the
+// per-rank mailboxes, the (src, tag) FIFO matching and the poison
+// semantics. *How* a message travels from the sender's rank to the
+// destination mailbox is the Transport's job:
+//
+//  * InProcTransport — every rank lives in this process; a send is one
+//    pointer handoff into the destination mailbox (the historical virtual
+//    cluster behavior, bit-for-bit).
+//  * SocketTransport (runtime/socket_transport.hpp) — each process hosts
+//    one rank; remote sends become length-prefixed TCP frames and a
+//    background progress thread feeds incoming frames into the same
+//    mailbox matcher. Peer disconnects map onto the fabric's poison()
+//    teardown, so RankFailure/recovery semantics are identical across
+//    backends.
+//
+// The same solver binary therefore runs K ranks as threads or as K
+// separate processes — the deployment is a runtime option, not a build.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ptycho::rt {
+
+class Fabric;
+
+/// Message tag (composed from an rt::Phase and a stage counter — see
+/// runtime/channel.hpp). Declared here so the Transport interface does not
+/// depend on the fabric header.
+using Tag = std::int64_t;
+
+enum class TransportKind {
+  kInProc,  ///< all ranks are threads of this process (shared mailboxes)
+  kSocket,  ///< one rank per process, TCP frames between them
+};
+
+[[nodiscard]] const char* to_string(TransportKind kind);
+/// Parse "inproc" / "socket"; throws ptycho::Error on others.
+[[nodiscard]] TransportKind transport_kind_from_string(const std::string& name);
+
+/// Deployment description of the communication substrate, carried through
+/// ExecOptions from the CLI down to the cluster. In-proc mode ignores
+/// everything but `kind`; socket mode needs this process's rank and the
+/// full host:port roster (one entry per rank, identical on every process).
+struct TransportOptions {
+  TransportKind kind = TransportKind::kInProc;
+  int rank = -1;                   ///< this process's rank (socket mode)
+  std::vector<std::string> peers;  ///< "host:port" per rank (socket mode)
+
+  [[nodiscard]] bool distributed() const { return kind == TransportKind::kSocket; }
+};
+
+/// Whole-process traffic counters of one backend (bytes on the wire for
+/// sockets, bytes handed off for in-proc). Per-source-rank accounting
+/// stays in FabricStats; these attribute totals to the backend for the
+/// obs layer.
+struct TransportStats {
+  std::uint64_t messages_out = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t messages_in = 0;  ///< frames received from remote peers
+  std::uint64_t bytes_in = 0;
+};
+
+/// Delivery backend under a Fabric. Implementations must be thread-safe:
+/// send() is called concurrently from rank threads, and socket progress
+/// threads call back into Fabric::deliver()/poison_local().
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual int nranks() const = 0;
+
+  /// True when `rank`'s mailbox lives in this process (receives may only
+  /// be posted for local ranks).
+  [[nodiscard]] virtual bool is_local(int rank) const = 0;
+
+  /// Bind to the fabric whose mailboxes this transport feeds. Called once
+  /// by the Fabric constructor; socket transports establish the peer mesh
+  /// and start their progress thread here.
+  virtual void attach(Fabric& fabric) = 0;
+
+  /// Route one message toward dst's mailbox (local handoff or wire frame).
+  /// The payload is moved; tag-matching happens at the destination fabric.
+  virtual void send(int src, int dst, Tag tag, std::vector<cplx> payload) = 0;
+
+  /// Propagate a fabric poison to every peer process (rank-failure
+  /// teardown). In-proc transports share the poisoned fabric already, so
+  /// this is a no-op there.
+  virtual void broadcast_poison() noexcept = 0;
+
+  [[nodiscard]] virtual TransportStats stats() const = 0;
+};
+
+/// The historical shared-memory backend: all ranks local, send == deliver.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(int nranks) : nranks_(nranks) {}
+
+  [[nodiscard]] const char* name() const override { return "inproc"; }
+  [[nodiscard]] int nranks() const override { return nranks_; }
+  [[nodiscard]] bool is_local(int rank) const override {
+    return rank >= 0 && rank < nranks_;
+  }
+  void attach(Fabric& fabric) override { fabric_ = &fabric; }
+  void send(int src, int dst, Tag tag, std::vector<cplx> payload) override;
+  void broadcast_poison() noexcept override {}
+  [[nodiscard]] TransportStats stats() const override;
+
+ private:
+  int nranks_ = 0;
+  Fabric* fabric_ = nullptr;
+  mutable std::mutex stats_mutex_;
+  TransportStats stats_;
+};
+
+/// Build the backend `options` describes for an `nranks`-rank job. Socket
+/// mode validates rank/peers consistency (peers.size() == nranks,
+/// 0 <= rank < nranks); throws ptycho::Error on a bad description.
+[[nodiscard]] std::unique_ptr<Transport> make_transport(const TransportOptions& options,
+                                                        int nranks);
+
+/// Split "host:port" (throws on malformed input; port must be 1..65535).
+struct PeerAddr {
+  std::string host;
+  int port = 0;
+};
+[[nodiscard]] PeerAddr parse_peer(const std::string& spec);
+
+}  // namespace ptycho::rt

@@ -289,7 +289,11 @@ TEST(AutoScheduler, UniformLoadCommitsToStatic) {
   EXPECT_STREQ(scheduler.name(), "auto");
   std::atomic<int> ran{0};
   scheduler.dispatch(0, 48, [&](index_t, int) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    // The item must dwarf the kernel tick (<= 10ms at HZ=100): wakeup
+    // slack is absolute, so short items read as skewed on coarse-timer
+    // or oversubscribed machines. Sleeping (vs. spinning) keeps the four
+    // threads from contending for cores they may not have.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
     ran.fetch_add(1);
   });
   EXPECT_EQ(ran.load(), 48);
@@ -324,10 +328,10 @@ SerialResult run_serial(int threads, SweepSchedule schedule, PipelineMode pipeli
   config.chunks_per_iteration = 3;
   config.mode = UpdateMode::kFullBatch;
   config.refine_probe = true;
-  config.threads = threads;
-  config.schedule = schedule;
-  config.pipeline = pipeline;
-  config.checkpoint = ckpt::Policy{ckpt_dir, 1};
+  config.exec.threads = threads;
+  config.exec.schedule = schedule;
+  config.exec.pipeline = pipeline;
+  config.exec.checkpoint = ckpt::Policy{ckpt_dir, 1};
   return reconstruct_serial(tiny_dataset(), config);
 }
 
@@ -375,10 +379,10 @@ TEST(AsyncEquivalence, GdBitwiseAcrossThreadsAndSchedulers) {
     config.iterations = 2;
     config.passes_per_iteration = 2;
     config.mode = UpdateMode::kFullBatch;
-    config.threads = threads;
-    config.schedule = schedule;
-    config.pipeline = pipeline;
-    config.checkpoint = ckpt::Policy{dir, 1};
+    config.exec.threads = threads;
+    config.exec.schedule = schedule;
+    config.exec.pipeline = pipeline;
+    config.exec.checkpoint = ckpt::Policy{dir, 1};
     return reconstruct_gd(tiny_dataset(), config);
   };
   ScratchDir base_dir("gd_sync");
@@ -411,9 +415,9 @@ TEST(AsyncEquivalence, HveBitwiseInBothLocalModes) {
     config.iterations = 3;
     config.local_epochs = 2;
     config.mode = mode;
-    config.threads = threads;
-    config.schedule = schedule;
-    config.pipeline = pipeline;
+    config.exec.threads = threads;
+    config.exec.schedule = schedule;
+    config.exec.pipeline = pipeline;
     return reconstruct_hve(tiny_dataset(), config);
   };
   // SGD (the historical local loop): async must not perturb it.
@@ -464,13 +468,13 @@ TEST(AsyncEquivalence, ElasticRestoreWithInFlightBackgroundShards) {
   reference.nranks = 6;
   reference.iterations = 6;
   reference.mode = UpdateMode::kFullBatch;
-  reference.threads = 2;
+  reference.exec.threads = 2;
   ParallelResult uninterrupted = reconstruct_gd(dataset, reference);
 
   GdConfig interrupted = reference;
-  interrupted.schedule = SweepSchedule::kWorkStealing;
-  interrupted.pipeline = PipelineMode::kAsync;
-  interrupted.checkpoint = ckpt::Policy{dir.path(), 1};
+  interrupted.exec.schedule = SweepSchedule::kWorkStealing;
+  interrupted.exec.pipeline = PipelineMode::kAsync;
+  interrupted.exec.checkpoint = ckpt::Policy{dir.path(), 1};
   interrupted.fault = rt::FaultPlan{4, 4};
   EXPECT_THROW(reconstruct_gd(dataset, interrupted), rt::RankFailure);
 
@@ -480,8 +484,8 @@ TEST(AsyncEquivalence, ElasticRestoreWithInFlightBackgroundShards) {
 
   GdConfig restored = reference;
   restored.nranks = 4;
-  restored.schedule = SweepSchedule::kWorkStealing;
-  restored.pipeline = PipelineMode::kAsync;
+  restored.exec.schedule = SweepSchedule::kWorkStealing;
+  restored.exec.pipeline = PipelineMode::kAsync;
   restored.restore = &snap;
   ParallelResult resumed = reconstruct_gd(dataset, restored);
 
@@ -504,14 +508,14 @@ TEST(AllreduceHandle, SplitPhaseMatchesBlockingResult) {
       for (usize i = 0; i < buf.size(); ++i) {
         buf[i] = cplx(static_cast<real>(ctx.rank() + 1), static_cast<real>(i));
       }
-      rt::AllreduceHandle handle(ctx, buf, 61);
+      rt::AllreduceHandle handle(ctx, buf, rt::Phase::kTest, 61);
       // Unrelated work between the phases — including fabric traffic on a
       // different tag, which must not cross with the collective.
       if (ctx.nranks() > 1) {
         const int peer = ctx.rank() ^ 1;
         if (peer < ctx.nranks()) {
-          ctx.isend(peer, rt::make_tag(62, ctx.rank()), std::vector<cplx>{cplx(1, 2)});
-          const std::vector<cplx> got = ctx.recv(peer, rt::make_tag(62, peer));
+          ctx.isend(peer, rt::make_tag(rt::Phase::kTest, 1000 + ctx.rank()), std::vector<cplx>{cplx(1, 2)});
+          const std::vector<cplx> got = ctx.recv(peer, rt::make_tag(rt::Phase::kTest, 1000 + peer));
           if (got.size() != 1) failures.fetch_add(1);
         }
       }

@@ -397,7 +397,7 @@ TEST(BackendEndToEnd, ReconstructionBitwiseAcrossBackends) {
     request.method = Method::kSerial;
     request.iterations = 2;
     request.mode = UpdateMode::kFullBatch;
-    request.backend = backend;
+    request.exec.backend = backend;
     return Reconstructor(dataset).run(request).volume;
   };
   const FramedVolume v_scalar = run_with("scalar");

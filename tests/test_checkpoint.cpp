@@ -243,7 +243,7 @@ TEST(FaultInjection, CheckpointsSurviveUpToTheFault) {
   config.nranks = 4;
   config.iterations = 6;
   config.mode = UpdateMode::kFullBatch;
-  config.checkpoint = ckpt::Policy{dir.path(), 1};
+  config.exec.checkpoint = ckpt::Policy{dir.path(), 1};
   config.fault = rt::FaultPlan{1, 4};
   EXPECT_THROW(reconstruct_gd(tiny_dataset(), config), rt::RankFailure);
   // The fault fires at step 4 before that step's snapshot: steps 1-3 are
@@ -270,7 +270,7 @@ TEST(CkptRestore, SerialResumeReproducesTrajectoryExactly) {
 
   SerialConfig first_leg = full;
   first_leg.iterations = 3;
-  first_leg.checkpoint = ckpt::Policy{dir.path(), 1};
+  first_leg.exec.checkpoint = ckpt::Policy{dir.path(), 1};
   (void)reconstruct_serial(dataset, first_leg);
 
   const ckpt::Snapshot snap = ckpt::load_latest(dir.path());
@@ -295,7 +295,7 @@ TEST(CkptRestore, GdMidIterationResumeIsExact) {
   ParallelResult uninterrupted = reconstruct_gd(dataset, full);
 
   GdConfig first_leg = full;
-  first_leg.checkpoint = ckpt::Policy{dir.path(), 1};
+  first_leg.exec.checkpoint = ckpt::Policy{dir.path(), 1};
   first_leg.fault = rt::FaultPlan{3, 6};  // dies mid-iteration 3 (iter 2, chunk 1 done)
   EXPECT_THROW(reconstruct_gd(dataset, first_leg), rt::RankFailure);
 
@@ -330,7 +330,7 @@ TEST(CkptRestore, ElasticRestoreAfterFaultMatchesUninterrupted) {
   // Interrupted: same run, checkpointing every chunk, rank 4 dies at
   // step 4 (iterations 1-3 checkpointed).
   GdConfig interrupted = reference;
-  interrupted.checkpoint = ckpt::Policy{dir.path(), 1};
+  interrupted.exec.checkpoint = ckpt::Policy{dir.path(), 1};
   interrupted.fault = rt::FaultPlan{4, 4};
   EXPECT_THROW(reconstruct_gd(dataset, interrupted), rt::RankFailure);
 
@@ -362,7 +362,7 @@ TEST(CkptRestore, ElasticRestoreOntoSerialSolver) {
   first_leg.nranks = 6;
   first_leg.iterations = 3;
   first_leg.mode = UpdateMode::kFullBatch;
-  first_leg.checkpoint = ckpt::Policy{dir.path(), 1};
+  first_leg.exec.checkpoint = ckpt::Policy{dir.path(), 1};
   (void)reconstruct_gd(dataset, first_leg);
 
   const ckpt::Snapshot snap = ckpt::load_latest(dir.path());
@@ -382,7 +382,7 @@ TEST(CkptRestore, ElasticRefusesMidIterationSnapshots) {
   first_leg.nranks = 4;
   first_leg.iterations = 2;
   first_leg.passes_per_iteration = 2;
-  first_leg.checkpoint = ckpt::Policy{dir.path(), 1};
+  first_leg.exec.checkpoint = ckpt::Policy{dir.path(), 1};
   (void)reconstruct_gd(dataset, first_leg);
 
   // Step 1 = iteration 0, chunk 1: mid-iteration.
@@ -403,12 +403,12 @@ TEST(CkptRestore, RefusesChangedSolverFlags) {
   first_leg.nranks = 4;
   first_leg.iterations = 2;
   first_leg.mode = UpdateMode::kFullBatch;
-  first_leg.checkpoint = ckpt::Policy{dir.path(), 1};
+  first_leg.exec.checkpoint = ckpt::Policy{dir.path(), 1};
   (void)reconstruct_gd(dataset, first_leg);
 
   const ckpt::Snapshot snap = ckpt::load_latest(dir.path());
   GdConfig resumed = first_leg;
-  resumed.checkpoint = ckpt::Policy{};
+  resumed.exec.checkpoint = ckpt::Policy{};
   resumed.iterations = 3;
   resumed.restore = &snap;
   resumed.mode = UpdateMode::kSgd;  // different update rule: must refuse
@@ -423,13 +423,13 @@ TEST(CkptRestore, RefusesForeignDataset) {
   ScratchDir dir("foreign");
   SerialConfig config;
   config.iterations = 2;
-  config.checkpoint = ckpt::Policy{dir.path(), 1};
+  config.exec.checkpoint = ckpt::Policy{dir.path(), 1};
   (void)reconstruct_serial(dataset, config);
 
   ckpt::Snapshot snap = ckpt::load_latest(dir.path());
   snap.manifest.dataset_name = "someone-elses-acquisition";
   SerialConfig resume = config;
-  resume.checkpoint = ckpt::Policy{};
+  resume.exec.checkpoint = ckpt::Policy{};
   resume.restore = &snap;
   EXPECT_THROW(reconstruct_serial(dataset, resume), Error);
 }
@@ -441,7 +441,7 @@ TEST(CkptRestore, AssembledVolumeMatchesStitchedResult) {
   config.nranks = 4;
   config.iterations = 2;
   config.mode = UpdateMode::kFullBatch;
-  config.checkpoint = ckpt::Policy{dir.path(), 2};
+  config.exec.checkpoint = ckpt::Policy{dir.path(), 2};
   ParallelResult result = reconstruct_gd(dataset, config);
 
   const ckpt::Snapshot snap = ckpt::load_latest(dir.path());

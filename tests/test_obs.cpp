@@ -189,7 +189,7 @@ TEST(Metrics, SolverRunPopulatesPipelineCounters) {
   GdConfig config;
   config.nranks = 2;
   config.iterations = 2;
-  config.threads = 1;
+  config.exec.threads = 1;
   (void)reconstruct_gd(tiny_dataset(), config);
   const auto probes = static_cast<std::uint64_t>(tiny_dataset().probe_count());
   EXPECT_EQ(obs::registry().counter("sweep_probes_total").value(),
@@ -209,7 +209,7 @@ TEST(GoldenBreakdown, TwoRankTraceMatchesProfilerTotals) {
   GdConfig config;
   config.nranks = 2;
   config.iterations = 3;
-  config.threads = 1;
+  config.exec.threads = 1;
   ParallelResult result = reconstruct_gd(tiny_dataset(), config);
   ASSERT_EQ(result.breakdown.size(), 2u);
   ASSERT_EQ(obs::Tracer::instance().dropped(), 0u);

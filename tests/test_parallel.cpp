@@ -141,7 +141,7 @@ SerialResult run_fullbatch(int threads) {
   config.chunks_per_iteration = 2;
   config.mode = UpdateMode::kFullBatch;
   config.refine_probe = true;
-  config.threads = threads;
+  config.exec.threads = threads;
   return reconstruct_serial(tiny_dataset(), config);
 }
 
@@ -175,7 +175,7 @@ TEST(Determinism, GdFullBatchBitwiseIdenticalAcrossThreadCounts) {
     config.nranks = 2;
     config.iterations = 2;
     config.mode = UpdateMode::kFullBatch;
-    config.threads = threads;
+    config.exec.threads = threads;
     return reconstruct_gd(tiny_dataset(), config);
   };
   const ParallelResult base = run(1);

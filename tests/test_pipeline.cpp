@@ -243,8 +243,8 @@ SerialResult run_serial(int threads, SweepSchedule schedule) {
   config.chunks_per_iteration = 3;
   config.mode = UpdateMode::kFullBatch;
   config.refine_probe = true;
-  config.threads = threads;
-  config.schedule = schedule;
+  config.exec.threads = threads;
+  config.exec.schedule = schedule;
   return reconstruct_serial(tiny_dataset(), config);
 }
 
@@ -279,8 +279,8 @@ TEST(SchedulerEquivalence, GdBitwiseAcrossThreadsAndSchedulers) {
     config.nranks = 2;
     config.iterations = 2;
     config.mode = UpdateMode::kFullBatch;
-    config.threads = threads;
-    config.schedule = schedule;
+    config.exec.threads = threads;
+    config.exec.schedule = schedule;
     return reconstruct_gd(tiny_dataset(), config);
   };
   const ParallelResult base = run(1, SweepSchedule::kStatic);
@@ -316,12 +316,12 @@ TEST(SchedulerEquivalence, ElasticRestoreMidPipelineUnderWorkStealing) {
   reference.nranks = 6;
   reference.iterations = 6;
   reference.mode = UpdateMode::kFullBatch;
-  reference.threads = 2;
+  reference.exec.threads = 2;
   ParallelResult uninterrupted = reconstruct_gd(dataset, reference);
 
   GdConfig interrupted = reference;
-  interrupted.schedule = SweepSchedule::kWorkStealing;
-  interrupted.checkpoint = ckpt::Policy{dir.path(), 1};
+  interrupted.exec.schedule = SweepSchedule::kWorkStealing;
+  interrupted.exec.checkpoint = ckpt::Policy{dir.path(), 1};
   interrupted.fault = rt::FaultPlan{4, 4};
   EXPECT_THROW(reconstruct_gd(dataset, interrupted), rt::RankFailure);
 
@@ -331,7 +331,7 @@ TEST(SchedulerEquivalence, ElasticRestoreMidPipelineUnderWorkStealing) {
 
   GdConfig restored = reference;
   restored.nranks = 4;
-  restored.schedule = SweepSchedule::kWorkStealing;
+  restored.exec.schedule = SweepSchedule::kWorkStealing;
   restored.restore = &snap;
   ParallelResult resumed = reconstruct_gd(dataset, restored);
 

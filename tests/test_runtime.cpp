@@ -14,9 +14,9 @@ namespace {
 
 TEST(Fabric, SendThenReceive) {
   Fabric fabric(2);
-  fabric.isend(0, 1, make_tag(1, 0), {cplx(1, 2), cplx(3, 4)});
+  fabric.isend(0, 1, make_tag(Phase::kTest, 0), {cplx(1, 2), cplx(3, 4)});
   double waited = -1.0;
-  const std::vector<cplx> got = fabric.recv(1, 0, make_tag(1, 0), &waited);
+  const std::vector<cplx> got = fabric.recv(1, 0, make_tag(Phase::kTest, 0), &waited);
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0], cplx(1, 2));
   EXPECT_EQ(got[1], cplx(3, 4));
@@ -25,34 +25,34 @@ TEST(Fabric, SendThenReceive) {
 
 TEST(Fabric, FifoPerSourceAndTag) {
   Fabric fabric(2);
-  fabric.isend(0, 1, make_tag(1, 7), {cplx(1, 0)});
-  fabric.isend(0, 1, make_tag(1, 7), {cplx(2, 0)});
-  EXPECT_EQ(fabric.recv(1, 0, make_tag(1, 7))[0], cplx(1, 0));
-  EXPECT_EQ(fabric.recv(1, 0, make_tag(1, 7))[0], cplx(2, 0));
+  fabric.isend(0, 1, make_tag(Phase::kTest, 7), {cplx(1, 0)});
+  fabric.isend(0, 1, make_tag(Phase::kTest, 7), {cplx(2, 0)});
+  EXPECT_EQ(fabric.recv(1, 0, make_tag(Phase::kTest, 7))[0], cplx(1, 0));
+  EXPECT_EQ(fabric.recv(1, 0, make_tag(Phase::kTest, 7))[0], cplx(2, 0));
 }
 
 TEST(Fabric, TagsDoNotCross) {
   Fabric fabric(2);
-  fabric.isend(0, 1, make_tag(1, 0), {cplx(10, 0)});
-  fabric.isend(0, 1, make_tag(2, 0), {cplx(20, 0)});
+  fabric.isend(0, 1, make_tag(Phase::kTest, 0), {cplx(10, 0)});
+  fabric.isend(0, 1, make_tag(Phase::kCost, 0), {cplx(20, 0)});
   // Receive in the opposite order of sending: matching is by tag.
-  EXPECT_EQ(fabric.recv(1, 0, make_tag(2, 0))[0], cplx(20, 0));
-  EXPECT_EQ(fabric.recv(1, 0, make_tag(1, 0))[0], cplx(10, 0));
+  EXPECT_EQ(fabric.recv(1, 0, make_tag(Phase::kCost, 0))[0], cplx(20, 0));
+  EXPECT_EQ(fabric.recv(1, 0, make_tag(Phase::kTest, 0))[0], cplx(10, 0));
 }
 
 TEST(Fabric, SourcesDoNotCross) {
   Fabric fabric(3);
-  fabric.isend(0, 2, make_tag(1, 0), {cplx(1, 0)});
-  fabric.isend(1, 2, make_tag(1, 0), {cplx(2, 0)});
-  EXPECT_EQ(fabric.recv(2, 1, make_tag(1, 0))[0], cplx(2, 0));
-  EXPECT_EQ(fabric.recv(2, 0, make_tag(1, 0))[0], cplx(1, 0));
+  fabric.isend(0, 2, make_tag(Phase::kTest, 0), {cplx(1, 0)});
+  fabric.isend(1, 2, make_tag(Phase::kTest, 0), {cplx(2, 0)});
+  EXPECT_EQ(fabric.recv(2, 1, make_tag(Phase::kTest, 0))[0], cplx(2, 0));
+  EXPECT_EQ(fabric.recv(2, 0, make_tag(Phase::kTest, 0))[0], cplx(1, 0));
 }
 
 TEST(Fabric, RequestTestAndTake) {
   Fabric fabric(2);
-  RecvRequest req = fabric.irecv(1, 0, make_tag(3, 3));
+  RecvRequest req = fabric.irecv(1, 0, make_tag(Phase::kTest, 3));
   EXPECT_FALSE(req.test());
-  fabric.isend(0, 1, make_tag(3, 3), {cplx(5, 5)});
+  fabric.isend(0, 1, make_tag(Phase::kTest, 3), {cplx(5, 5)});
   EXPECT_TRUE(req.test());
   EXPECT_EQ(req.take()[0], cplx(5, 5));
   EXPECT_THROW((void)req.take(), Error);  // double take
@@ -60,8 +60,8 @@ TEST(Fabric, RequestTestAndTake) {
 
 TEST(Fabric, StatsCountBytesAndMessages) {
   Fabric fabric(2);
-  fabric.isend(0, 1, make_tag(1, 0), std::vector<cplx>(10));
-  fabric.isend(0, 1, make_tag(1, 1), std::vector<cplx>(5));
+  fabric.isend(0, 1, make_tag(Phase::kTest, 0), std::vector<cplx>(10));
+  fabric.isend(0, 1, make_tag(Phase::kTest, 1), std::vector<cplx>(5));
   const FabricStats stats = fabric.stats();
   EXPECT_EQ(stats.messages_sent[0], 2u);
   EXPECT_EQ(stats.bytes_sent[0], 15 * sizeof(cplx));
@@ -70,9 +70,9 @@ TEST(Fabric, StatsCountBytesAndMessages) {
 
 TEST(Fabric, InvalidRankThrows) {
   Fabric fabric(2);
-  EXPECT_THROW(fabric.isend(0, 5, make_tag(1, 0), {}), Error);
-  EXPECT_THROW(fabric.isend(-1, 0, make_tag(1, 0), {}), Error);
-  EXPECT_THROW((void)fabric.irecv(0, 9, make_tag(1, 0)), Error);
+  EXPECT_THROW(fabric.isend(0, 5, make_tag(Phase::kTest, 0), {}), Error);
+  EXPECT_THROW(fabric.isend(-1, 0, make_tag(Phase::kTest, 0), {}), Error);
+  EXPECT_THROW((void)fabric.irecv(0, 9, make_tag(Phase::kTest, 0)), Error);
 }
 
 TEST(Cluster, RanksRunAndCommunicate) {
@@ -82,8 +82,8 @@ TEST(Cluster, RanksRunAndCommunicate) {
     // Ring: send my rank to the next rank, receive from the previous.
     const int next = (ctx.rank() + 1) % ctx.nranks();
     const int prev = (ctx.rank() + ctx.nranks() - 1) % ctx.nranks();
-    ctx.isend(next, make_tag(1, 0), {cplx(static_cast<real>(ctx.rank()), 0)});
-    const std::vector<cplx> got = ctx.recv(prev, make_tag(1, 0));
+    ctx.isend(next, make_tag(Phase::kTest, 0), {cplx(static_cast<real>(ctx.rank()), 0)});
+    const std::vector<cplx> got = ctx.recv(prev, make_tag(Phase::kTest, 0));
     sum += static_cast<int>(got[0].real());
   });
   EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3);
@@ -157,7 +157,7 @@ TEST_P(AllreduceSizes, VectorSumMatches) {
     for (usize i = 0; i < buf.size(); ++i) {
       buf[i] = cplx(static_cast<real>(ctx.rank() + 1), static_cast<real>(i));
     }
-    allreduce_sum(ctx, buf, 42);
+    allreduce_sum(ctx, buf, Phase::kTest, 42);
     const double expected_re = static_cast<double>(nranks) * (nranks + 1) / 2.0;
     for (usize i = 0; i < buf.size(); ++i) {
       const double re = static_cast<double>(buf[i].real());
@@ -178,7 +178,7 @@ TEST(Collectives, ScalarAllreduce) {
   std::atomic<int> failures{0};
   cluster.run([&](RankContext& ctx) {
     const double total =
-        allreduce_sum_scalar(ctx, static_cast<double>(ctx.rank() + 1), 43);
+        allreduce_sum_scalar(ctx, static_cast<double>(ctx.rank() + 1), Phase::kTest, 43);
     if (std::abs(total - 15.0) > 1e-4) failures.fetch_add(1);
   });
   EXPECT_EQ(failures.load(), 0);
@@ -189,7 +189,7 @@ TEST(Collectives, RepeatedCallsStayMatched) {
   std::atomic<int> failures{0};
   cluster.run([&](RankContext& ctx) {
     for (int round = 0; round < 10; ++round) {
-      const double total = allreduce_sum_scalar(ctx, 1.0, 44);
+      const double total = allreduce_sum_scalar(ctx, 1.0, Phase::kTest, 44);
       if (std::abs(total - 4.0) > 1e-4) failures.fetch_add(1);
     }
   });

@@ -26,7 +26,7 @@ TEST(FabricStress, ManyProducersOneConsumer) {
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&fabric, p] {
       for (int m = 0; m < kMessages; ++m) {
-        fabric.isend(p, kProducers, rt::make_tag(1, m),
+        fabric.isend(p, kProducers, rt::make_tag(rt::Phase::kTest, m),
                      {cplx(static_cast<real>(p), static_cast<real>(m))});
       }
     });
@@ -35,7 +35,7 @@ TEST(FabricStress, ManyProducersOneConsumer) {
   int bad = 0;
   for (int m = 0; m < kMessages; ++m) {
     for (int p = 0; p < kProducers; ++p) {
-      const std::vector<cplx> got = fabric.recv(kProducers, p, rt::make_tag(1, m));
+      const std::vector<cplx> got = fabric.recv(kProducers, p, rt::make_tag(rt::Phase::kTest, m));
       if (got.size() != 1 || got[0] != cplx(static_cast<real>(p), static_cast<real>(m))) ++bad;
     }
   }
@@ -56,8 +56,8 @@ TEST(ClusterStress, SixtyFourRankRing) {
     const int prev = (ctx.rank() + kRanks - 1) % kRanks;
     // Two laps around the ring.
     for (int lap = 0; lap < 2; ++lap) {
-      ctx.isend(next, rt::make_tag(2, lap), {cplx(static_cast<real>(ctx.rank()), 0)});
-      const std::vector<cplx> got = ctx.recv(prev, rt::make_tag(2, lap));
+      ctx.isend(next, rt::make_tag(rt::Phase::kBarrier, lap), {cplx(static_cast<real>(ctx.rank()), 0)});
+      const std::vector<cplx> got = ctx.recv(prev, rt::make_tag(rt::Phase::kBarrier, lap));
       sum += static_cast<long long>(got[0].real());
     }
     ctx.barrier();

@@ -1,0 +1,405 @@
+// Transport-layer tests: the tag registry, the in-process and socket
+// backends behind the fabric, bitwise parity of a GD reconstruction
+// across transports (volume, cost history, checkpoint tree), and fault
+// parity — a killed rank surfaces as RankFailure on every rank and
+// checkpoint recovery works identically on both backends. The "multi
+// process" socket runs here host each rank on its own thread with its
+// own VirtualCluster + SocketTransport over loopback, which exercises
+// the full wire path (mesh handshake, frames, progress thread) without
+// fork(); the CI release-bench job covers the genuine K-process case
+// through `ptycho reconstruct --launch 2`.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/snapshot.hpp"
+#include "core/gradient_decomposition.hpp"
+#include "core/exec_options.hpp"
+#include "runtime/cluster.hpp"
+#include "test_util.hpp"
+
+namespace ptycho {
+namespace {
+
+namespace fs = std::filesystem;
+using testing::tiny_dataset;
+
+// ---- helpers ---------------------------------------------------------------
+
+/// Reserve `n` free loopback ports: bind ephemeral listeners, read the
+/// assigned ports back, close them all. The transport's SO_REUSEADDR
+/// rebind makes the tiny close-to-rebind window benign.
+std::vector<int> reserve_ports(int n) {
+  std::vector<int> fds;
+  std::vector<int> ports;
+  for (int i = 0; i < n; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)), 0);
+    EXPECT_EQ(::listen(fd, 1), 0);
+    socklen_t len = sizeof(sa);
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len), 0);
+    fds.push_back(fd);
+    ports.push_back(static_cast<int>(ntohs(sa.sin_port)));
+  }
+  for (const int fd : fds) ::close(fd);
+  return ports;
+}
+
+rt::TransportOptions socket_options(int rank, const std::vector<int>& ports) {
+  rt::TransportOptions t;
+  t.kind = rt::TransportKind::kSocket;
+  t.rank = rank;
+  for (const int p : ports) t.peers.push_back("127.0.0.1:" + std::to_string(p));
+  return t;
+}
+
+void expect_bitwise_equal(const FramedVolume& a, const FramedVolume& b) {
+  ASSERT_EQ(a.slices(), b.slices());
+  ASSERT_EQ(a.frame.h, b.frame.h);
+  ASSERT_EQ(a.frame.w, b.frame.w);
+  int mismatches = 0;
+  for (index_t s = 0; s < a.slices(); ++s) {
+    for (index_t y = 0; y < a.frame.h; ++y) {
+      for (index_t x = 0; x < a.frame.w; ++x) {
+        if (std::memcmp(&a.data(s, y, x), &b.data(s, y, x), sizeof(cplx)) != 0) ++mismatches;
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+/// Relative path -> file bytes for every regular file under `root`.
+std::map<std::string, std::string> tree_contents(const std::string& root) {
+  std::map<std::string, std::string> out;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    out[fs::relative(entry.path(), root).string()] = std::move(bytes);
+  }
+  return out;
+}
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_((fs::temp_directory_path() / ("ptycho_transport_" + name)).string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Run one GD job as `nranks` concurrent single-rank processes (threads
+/// here) over a loopback socket mesh. Returns rank 0's result; any rank's
+/// exception is collected into `errors[rank]`.
+ParallelResult run_gd_socket(const Dataset& dataset, const GdConfig& base, int nranks,
+                             std::vector<std::exception_ptr>& errors) {
+  const std::vector<int> ports = reserve_ports(nranks);
+  ParallelResult root_result;
+  errors.assign(static_cast<usize>(nranks), nullptr);
+  std::vector<std::thread> procs;
+  for (int r = 0; r < nranks; ++r) {
+    procs.emplace_back([&, r] {
+      GdConfig config = base;
+      config.exec.transport = socket_options(r, ports);
+      try {
+        ParallelResult result = reconstruct_gd(dataset, config);
+        if (r == 0) root_result = std::move(result);
+      } catch (...) {
+        errors[static_cast<usize>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : procs) t.join();
+  return root_result;
+}
+
+// ---- tag registry ----------------------------------------------------------
+
+TEST(TagRegistry, PhaseIdsAreUniqueAndNamed) {
+  std::set<int> ids;
+  for (const rt::Phase phase : rt::kAllPhases) {
+    EXPECT_TRUE(ids.insert(static_cast<int>(phase)).second)
+        << "duplicate phase id " << static_cast<int>(phase);
+    EXPECT_STRNE(to_string(phase), "?") << "unnamed phase " << static_cast<int>(phase);
+  }
+  static_assert(rt::phases_unique());
+}
+
+TEST(TagRegistry, TagsSeparatePhasesAndStages) {
+  // Same stage, different phases: disjoint tags.
+  EXPECT_NE(rt::make_tag(rt::Phase::kAllreduce, 7), rt::make_tag(rt::Phase::kCost, 7));
+  // Same phase, different stages: disjoint tags.
+  EXPECT_NE(rt::make_tag(rt::Phase::kTest, 0), rt::make_tag(rt::Phase::kTest, 1));
+  // The stage field carries 48 bits without bleeding into the phase bits.
+  const std::int64_t big_stage = (std::int64_t(1) << 48) - 1;
+  const rt::Tag tag = rt::make_tag(rt::Phase::kTest, big_stage);
+  EXPECT_EQ(tag >> 48, static_cast<rt::Tag>(rt::Phase::kTest));
+  EXPECT_EQ(tag & big_stage, big_stage);
+}
+
+// ---- backend selection ------------------------------------------------------
+
+TEST(Transport, InProcIsTheDefaultBackend) {
+  rt::Fabric fabric(3);
+  EXPECT_STREQ(fabric.transport_name(), "inproc");
+  for (int r = 0; r < 3; ++r) EXPECT_TRUE(fabric.is_local(r));
+}
+
+TEST(Transport, KindParsing) {
+  EXPECT_EQ(rt::transport_kind_from_string("inproc"), rt::TransportKind::kInProc);
+  EXPECT_EQ(rt::transport_kind_from_string("threads"), rt::TransportKind::kInProc);
+  EXPECT_EQ(rt::transport_kind_from_string("socket"), rt::TransportKind::kSocket);
+  EXPECT_EQ(rt::transport_kind_from_string("tcp"), rt::TransportKind::kSocket);
+  EXPECT_THROW((void)rt::transport_kind_from_string("carrier-pigeon"), Error);
+}
+
+TEST(Transport, PeerParsing) {
+  const rt::PeerAddr addr = rt::parse_peer("example.org:4242");
+  EXPECT_EQ(addr.host, "example.org");
+  EXPECT_EQ(addr.port, 4242);
+  EXPECT_THROW((void)rt::parse_peer("no-port"), Error);
+  EXPECT_THROW((void)rt::parse_peer("host:0"), Error);
+  EXPECT_THROW((void)rt::parse_peer("host:99999"), Error);
+}
+
+TEST(Transport, SocketOptionsAreValidated) {
+  rt::TransportOptions opts;
+  opts.kind = rt::TransportKind::kSocket;
+  opts.peers = {"127.0.0.1:9001", "127.0.0.1:9002"};
+  opts.rank = 2;  // outside the roster
+  EXPECT_THROW((void)rt::make_transport(opts, 2), Error);
+  opts.rank = 0;
+  EXPECT_THROW((void)rt::make_transport(opts, 3), Error);  // roster size mismatch
+}
+
+// ---- socket wire path -------------------------------------------------------
+
+TEST(SocketTransport, ExchangeBarrierAndStatsAcrossRanks) {
+  constexpr int kRanks = 2;
+  const std::vector<int> ports = reserve_ports(kRanks);
+  std::vector<std::exception_ptr> errors(kRanks);
+  std::vector<std::thread> procs;
+  for (int r = 0; r < kRanks; ++r) {
+    procs.emplace_back([&, r] {
+      try {
+        rt::ClusterSpec spec;
+        spec.nranks = kRanks;
+        spec.transport = socket_options(r, ports);
+        rt::VirtualCluster cluster(spec);
+        EXPECT_TRUE(cluster.distributed());
+        EXPECT_EQ(cluster.local_rank(), r);
+        EXPECT_STREQ(cluster.fabric().transport_name(), "socket");
+        EXPECT_TRUE(cluster.fabric().is_local(r));
+        EXPECT_FALSE(cluster.fabric().is_local(1 - r));
+        cluster.run([&](rt::RankContext& ctx) {
+          EXPECT_EQ(ctx.rank(), r);
+          const int peer = 1 - r;
+          // Two frames each way (one sized, one empty) plus a barrier,
+          // repeated so FIFO-per-tag ordering is exercised on the wire.
+          for (int round = 0; round < 5; ++round) {
+            ctx.isend(peer, rt::make_tag(rt::Phase::kTest, round),
+                      std::vector<cplx>(16, cplx(static_cast<real>(r), round)));
+            ctx.isend(peer, rt::make_tag(rt::Phase::kTest, round), {});
+            const std::vector<cplx> got = ctx.recv(peer, rt::make_tag(rt::Phase::kTest, round));
+            ASSERT_EQ(got.size(), 16u);
+            EXPECT_EQ(got[0], cplx(static_cast<real>(peer), round));
+            EXPECT_TRUE(ctx.recv(peer, rt::make_tag(rt::Phase::kTest, round)).empty());
+            ctx.barrier();
+          }
+        });
+        const rt::TransportStats stats = cluster.fabric().transport_stats();
+        EXPECT_GT(stats.messages_out, 0u);
+        EXPECT_GT(stats.messages_in, 0u);
+        EXPECT_GT(stats.bytes_out, stats.messages_out);  // headers alone beat the count
+      } catch (...) {
+        errors[static_cast<usize>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : procs) t.join();
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+TEST(SocketTransport, DeadPeerWithoutShutdownPoisonsTheFabric) {
+  // A hand-rolled "rank 1" that completes the mesh handshake and then
+  // vanishes without a shutdown frame — the wire-level signature of a
+  // killed process. Rank 0's blocked receive must abort with RankFailure
+  // (the same teardown FaultPlan recovery catches), not hang.
+  struct WireHeader {  // mirrors the transport's frame header
+    std::uint32_t magic = 0x50545946u;
+    std::uint32_t type = 0;  // kHello
+    std::int32_t src = 1;
+    std::int32_t dst = 0;
+    std::int64_t tag = 0;
+    std::uint64_t count = 0;
+  };
+  static_assert(sizeof(WireHeader) == 32);
+
+  const std::vector<int> ports = reserve_ports(2);
+  std::thread impostor([&] {
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(static_cast<std::uint16_t>(ports[0]));
+    sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    int fd = -1;
+    for (int attempt = 0; attempt < 500; ++attempt) {
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      ASSERT_GE(fd, 0);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) == 0) break;
+      ::close(fd);
+      fd = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_GE(fd, 0) << "never reached rank 0's listener";
+    const WireHeader hello;
+    ASSERT_EQ(::send(fd, &hello, sizeof(hello), 0), static_cast<ssize_t>(sizeof(hello)));
+    // Die abruptly: close with no shutdown frame.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ::close(fd);
+  });
+
+  rt::TransportOptions opts = socket_options(0, ports);
+  rt::Fabric fabric(rt::make_transport(opts, 2));
+  EXPECT_THROW((void)fabric.recv(0, 1, rt::make_tag(rt::Phase::kTest, 0)), rt::RankFailure);
+  EXPECT_TRUE(fabric.poisoned());
+  impostor.join();
+}
+
+// ---- the acceptance property: bitwise parity across transports -------------
+
+TEST(SocketTransport, GdRunIsBitwiseIdenticalToInProc) {
+  const Dataset& dataset = tiny_dataset();
+  ScratchDir inproc_dir("parity_inproc");
+  ScratchDir socket_dir("parity_socket");
+
+  GdConfig base;
+  base.nranks = 2;
+  base.iterations = 3;
+  base.passes_per_iteration = 2;
+
+  GdConfig inproc = base;
+  inproc.exec.checkpoint = ckpt::Policy{inproc_dir.path(), 1};
+  const ParallelResult reference = reconstruct_gd(dataset, inproc);
+
+  GdConfig socket = base;
+  socket.exec.checkpoint = ckpt::Policy{socket_dir.path(), 1};
+  std::vector<std::exception_ptr> errors;
+  const ParallelResult distributed = run_gd_socket(dataset, socket, base.nranks, errors);
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  // Volume, cost history and the whole checkpoint tree: bitwise.
+  expect_bitwise_equal(distributed.volume, reference.volume);
+  ASSERT_EQ(distributed.cost.values().size(), reference.cost.values().size());
+  for (usize i = 0; i < reference.cost.values().size(); ++i) {
+    EXPECT_EQ(distributed.cost.values()[i], reference.cost.values()[i]) << "iteration " << i;
+  }
+  const auto reference_tree = tree_contents(inproc_dir.path());
+  const auto distributed_tree = tree_contents(socket_dir.path());
+  ASSERT_FALSE(reference_tree.empty());
+  EXPECT_EQ(distributed_tree.size(), reference_tree.size());
+  for (const auto& [rel, bytes] : reference_tree) {
+    const auto it = distributed_tree.find(rel);
+    ASSERT_NE(it, distributed_tree.end()) << "missing " << rel;
+    EXPECT_EQ(it->second, bytes) << "checkpoint file differs: " << rel;
+  }
+}
+
+// ---- fault parity -----------------------------------------------------------
+
+/// The same fault-recovery scenario on either backend: rank 1 dies at
+/// step 2 of a checkpointing run — every rank must observe RankFailure —
+/// then a restore from the latest snapshot finishes the job and matches
+/// the uninterrupted reference trajectory.
+void run_fault_parity_scenario(bool socket_backend) {
+  const Dataset& dataset = tiny_dataset();
+  ScratchDir dir(socket_backend ? "fault_socket" : "fault_inproc");
+  constexpr int kRanks = 2;
+
+  GdConfig base;
+  base.nranks = kRanks;
+  base.iterations = 4;
+
+  const ParallelResult uninterrupted = reconstruct_gd(dataset, base);
+
+  GdConfig interrupted = base;
+  interrupted.exec.checkpoint = ckpt::Policy{dir.path(), 1};
+  interrupted.fault = rt::FaultPlan{1, 2};
+  if (socket_backend) {
+    std::vector<std::exception_ptr> errors;
+    (void)run_gd_socket(dataset, interrupted, kRanks, errors);
+    // *Every* rank dies with RankFailure: the victim from the injected
+    // fault, the others from the poison frame it broadcast.
+    for (int r = 0; r < kRanks; ++r) {
+      ASSERT_NE(errors[static_cast<usize>(r)], nullptr) << "rank " << r << " did not fail";
+      EXPECT_THROW(std::rethrow_exception(errors[static_cast<usize>(r)]), rt::RankFailure)
+          << "rank " << r;
+    }
+  } else {
+    EXPECT_THROW((void)reconstruct_gd(dataset, interrupted), rt::RankFailure);
+  }
+
+  const ckpt::Snapshot snapshot = ckpt::load_latest(dir.path());
+  EXPECT_EQ(snapshot.manifest.iteration, 1);
+
+  GdConfig restored = base;
+  restored.restore = &snapshot;
+  ParallelResult resumed;
+  if (socket_backend) {
+    std::vector<std::exception_ptr> errors;
+    resumed = run_gd_socket(dataset, restored, kRanks, errors);
+    for (auto& err : errors) {
+      if (err) std::rethrow_exception(err);
+    }
+  } else {
+    resumed = reconstruct_gd(dataset, restored);
+  }
+
+  // Same tiling, same chunking: the resumed run is the uninterrupted one.
+  ASSERT_EQ(resumed.cost.values().size(), uninterrupted.cost.values().size());
+  for (usize i = 0; i < resumed.cost.values().size(); ++i) {
+    EXPECT_NEAR(resumed.cost.values()[i], uninterrupted.cost.values()[i],
+                1e-12 * std::abs(uninterrupted.cost.values()[i]));
+  }
+  expect_bitwise_equal(resumed.volume, uninterrupted.volume);
+}
+
+TEST(TransportFaultParity, InProcKilledRankFailsEveryRankThenRecovers) {
+  run_fault_parity_scenario(/*socket_backend=*/false);
+}
+
+TEST(TransportFaultParity, SocketKilledRankFailsEveryRankThenRecovers) {
+  run_fault_parity_scenario(/*socket_backend=*/true);
+}
+
+}  // namespace
+}  // namespace ptycho

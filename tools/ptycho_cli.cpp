@@ -17,6 +17,9 @@
 //   ptycho reconstruct acquisition.ptyd --ranks 4 --restore ckpt --iterations 12
 //   # resume from a previous volume (or pass a checkpoint dir to --resume):
 //   ptycho reconstruct acquisition.ptyd --resume recon.bin --iterations 6
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -33,26 +36,23 @@ int usage() {
                "  simulate   --spec tiny|small|large [--dose E] [--seed N] --out FILE\n"
                "  info       FILE\n"
                "  reconstruct FILE [--method serial|gd|hve] [--ranks N]\n"
-               "             [--iterations N] [--step A] [--passes T] [--threads N]\n"
-               "             [--scheduler auto|static|work-stealing] [--pipeline sync|async]\n"
-               "             [--backend scalar|simd|auto]\n"
+               "             [--iterations N] [--step A] [--passes T]\n"
                "             [--mode sgd|full-batch] [--no-appp] [--refine-probe]\n"
                "             [--resume VOLUME|CKPT_DIR] [--save-volume FILE] [--image FILE]\n"
-               "             [--checkpoint-dir DIR] [--checkpoint-every N]\n"
                "             [--restore CKPT_DIR]\n"
-               "             [--trace-out FILE] [--metrics-out FILE] [--progress N]\n"
+               "             [--launch K] [--port-base P]\n"
+               "  execution options (shared with the benches):\n"
+               "%s"
                "  --iterations is the TOTAL target; a restored run continues from the\n"
                "  snapshot's iteration. --ranks may differ from the checkpointed run\n"
                "  (elastic restore re-tiles and redistributes the shards).\n"
-               "  --backend (any subcommand; also via PTYCHO_BACKEND) picks the SIMD\n"
-               "  kernel backend; --scheduler picks the full-batch sweep scheduler\n"
-               "  (auto measures per-item cost and picks static or work-stealing);\n"
-               "  --pipeline async overlaps checkpoint shard I/O with later chunks.\n"
-               "  Results are bitwise identical across backends, schedulers and\n"
-               "  pipeline modes.\n"
-               "  --trace-out writes a Chrome trace_event JSON (open in Perfetto or\n"
-               "  chrome://tracing); --metrics-out writes the counter/gauge/histogram\n"
-               "  snapshot; --progress N logs a progress line every N iterations.\n");
+               "  Results are bitwise identical across backends, schedulers, pipeline\n"
+               "  modes and transports.\n"
+               "  Multi-process: either run one process per rank with\n"
+               "  --transport socket --rank N --peers host:port,... (one entry per\n"
+               "  rank, same roster everywhere), or let --launch K fork K local rank\n"
+               "  processes wired over loopback ports [--port-base P, default 38400].\n",
+               exec_options_help().c_str());
   return 2;
 }
 
@@ -108,9 +108,17 @@ int cmd_info(const Options& opts) {
   return 0;
 }
 
+// --launch K: fork one child per rank, each re-entering cmd_reconstruct
+// with an explicit socket-transport roster over loopback ports. The parent
+// only waits; the children do all the work (including loading the dataset
+// — the fork happens before any heavy allocation).
+int cmd_launch(const Options& opts, int nprocs);
+
 int cmd_reconstruct(const Options& opts) {
+  const int launch = static_cast<int>(opts.get_int("launch", 0));
+  if (launch > 0) return cmd_launch(opts, launch);
+
   PTYCHO_CHECK(!opts.positional().empty(), "reconstruct needs a dataset file");
-  const Dataset dataset = io::load_dataset(opts.positional().front());
 
   ReconstructionRequest request;
   const std::string method = opts.get_string("method", "gd");
@@ -121,23 +129,29 @@ int cmd_reconstruct(const Options& opts) {
   request.iterations = static_cast<int>(opts.get_int("iterations", 10));
   request.step = static_cast<real>(opts.get_double("step", 0.1));
   request.passes_per_iteration = static_cast<int>(opts.get_int("passes", 1));
-  // 0 = auto (hardware concurrency; divided across ranks for gd). The
-  // full-batch sweep is bitwise identical for every thread count.
-  request.threads = static_cast<int>(opts.get_int("threads", 0));
-  request.schedule = sweep_schedule_from_string(opts.get_string("scheduler", "auto"));
-  request.pipeline = pipeline_mode_from_string(opts.get_string("pipeline", "sync"));
-  request.backend = opts.get_string("backend", "");
+  // Execution knobs (threads, scheduler, pipeline, backend, checkpoint,
+  // trace/metrics, progress, transport) come from the shared parser — the
+  // same flags work on the benches. All of them are bitwise-neutral.
+  request.exec = parse_exec_options(opts);
   request.mode = opts.get_string("mode", "sgd") == "full-batch" ? UpdateMode::kFullBatch
                                                                 : UpdateMode::kSgd;
   request.sync.appp = !opts.get_bool("no-appp", false);
   request.refine_probe = opts.get_bool("refine-probe", false);
-  request.trace_out = opts.get_string("trace-out", "");
-  request.metrics_out = opts.get_string("metrics-out", "");
-  request.progress_every = static_cast<int>(opts.get_int("progress", 0));
-  request.checkpoint.directory = opts.get_string("checkpoint-dir", "");
-  request.checkpoint.every_chunks = static_cast<int>(opts.get_int("checkpoint-every", 0));
-  PTYCHO_CHECK(request.checkpoint.directory.empty() == (request.checkpoint.every_chunks == 0),
-               "--checkpoint-dir and --checkpoint-every must be given together");
+  PTYCHO_CHECK(
+      request.exec.checkpoint.directory.empty() == (request.exec.checkpoint.every_chunks == 0),
+      "--checkpoint-dir and --checkpoint-every must be given together");
+  const bool distributed = request.exec.transport.distributed();
+  if (distributed) {
+    PTYCHO_CHECK(request.method == Method::kGradientDecomposition ||
+                     request.method == Method::kHaloVoxelExchange,
+                 "--transport socket needs a decomposed method (gd or hve)");
+    PTYCHO_CHECK(static_cast<int>(request.exec.transport.peers.size()) == request.nranks,
+                 "--peers must list exactly --ranks entries (one host:port per rank)");
+    log::set_thread_rank(request.exec.transport.rank);
+  }
+  const bool root = !distributed || request.exec.transport.rank == 0;
+
+  const Dataset dataset = io::load_dataset(opts.positional().front());
 
   // --restore DIR resumes from the latest complete snapshot under DIR;
   // --resume accepts either a raw volume file (warm start) or, when given
@@ -154,41 +168,107 @@ int cmd_reconstruct(const Options& opts) {
   if (!restore_path.empty()) {
     snapshot = ckpt::load_latest(restore_path);
     request.restore = &snapshot;
-    std::printf("restoring from %s (step %llu: iteration %d, chunk %d, %d rank(s))\n",
-                restore_path.c_str(), static_cast<unsigned long long>(snapshot.manifest.step),
-                snapshot.manifest.iteration, snapshot.manifest.chunk,
-                snapshot.manifest.nranks);
+    if (root) {
+      std::printf("restoring from %s (step %llu: iteration %d, chunk %d, %d rank(s))\n",
+                  restore_path.c_str(), static_cast<unsigned long long>(snapshot.manifest.step),
+                  snapshot.manifest.iteration, snapshot.manifest.chunk,
+                  snapshot.manifest.nranks);
+    }
   } else if (!resume_path.empty()) {
     resume = io::load_volume(resume_path);
-    std::printf("resuming from %s\n", resume_path.c_str());
+    if (root) std::printf("resuming from %s\n", resume_path.c_str());
   }
 
-  std::printf("reconstructing with %s on %d rank(s), %d iterations (backend %s)...\n",
-              to_string(request.method), request.nranks, request.iterations,
-              request.backend.empty() ? backend::active_name() : request.backend.c_str());
+  if (root) {
+    std::printf("reconstructing with %s on %d rank(s)%s, %d iterations (backend %s)...\n",
+                to_string(request.method), request.nranks,
+                distributed ? " [socket transport]" : "", request.iterations,
+                request.exec.backend.empty() ? backend::active_name()
+                                             : request.exec.backend.c_str());
+  }
   Reconstructor reconstructor(dataset);
   const ReconstructionOutcome outcome =
       reconstructor.run(request, resume_path.empty() ? nullptr : &resume);
 
-  std::printf("cost %.6g -> %.6g (%.1f%%), wall %.2f s", outcome.cost.first(),
-              outcome.cost.last(), outcome.cost.reduction() * 100.0, outcome.wall_seconds);
-  if (outcome.mean_peak_bytes > 0) {
-    std::printf(", mean peak mem/rank %.2f MiB", outcome.mean_peak_bytes / kMiB);
+  // Non-root distributed ranks hold no stitched volume or cost history —
+  // rank 0 owns the result, exactly as in the in-process cluster.
+  if (!outcome.cost.empty()) {
+    std::printf("cost %.6g -> %.6g (%.1f%%), wall %.2f s", outcome.cost.first(),
+                outcome.cost.last(), outcome.cost.reduction() * 100.0, outcome.wall_seconds);
+    if (outcome.mean_peak_bytes > 0) {
+      std::printf(", mean peak mem/rank %.2f MiB", outcome.mean_peak_bytes / kMiB);
+    }
+    std::printf("\n");
   }
-  std::printf("\n");
 
-  const std::string volume_path = opts.get_string("save-volume", "");
-  if (!volume_path.empty()) {
-    io::save_volume(volume_path, outcome.volume);
-    std::printf("volume saved to %s\n", volume_path.c_str());
-  }
-  const std::string image_path = opts.get_string("image", "");
-  if (!image_path.empty()) {
-    io::write_phase_pgm(image_path, outcome.volume.window(dataset.spec.slices / 2,
-                                                          outcome.volume.frame));
-    std::printf("phase image saved to %s\n", image_path.c_str());
+  if (root) {
+    const std::string volume_path = opts.get_string("save-volume", "");
+    if (!volume_path.empty()) {
+      io::save_volume(volume_path, outcome.volume);
+      std::printf("volume saved to %s\n", volume_path.c_str());
+    }
+    const std::string image_path = opts.get_string("image", "");
+    if (!image_path.empty()) {
+      io::write_phase_pgm(image_path, outcome.volume.window(dataset.spec.slices / 2,
+                                                            outcome.volume.frame));
+      std::printf("phase image saved to %s\n", image_path.c_str());
+    }
   }
   return 0;
+}
+
+int cmd_launch(const Options& opts, int nprocs) {
+  PTYCHO_CHECK(nprocs >= 1, "--launch needs at least one process");
+  const int port_base = static_cast<int>(opts.get_int("port-base", 38400));
+  std::string roster;
+  for (int r = 0; r < nprocs; ++r) {
+    if (r > 0) roster += ',';
+    roster += "127.0.0.1:" + std::to_string(port_base + r);
+  }
+  std::vector<pid_t> children;
+  for (int r = 0; r < nprocs; ++r) {
+    const pid_t pid = fork();
+    PTYCHO_CHECK(pid >= 0, "fork failed for rank " << r);
+    if (pid == 0) {
+      Options child = opts;
+      child.set("launch", "0");
+      child.set("ranks", std::to_string(nprocs));
+      child.set("transport", "socket");
+      child.set("rank", std::to_string(r));
+      child.set("peers", roster);
+      // Only rank 0 keeps the file-output flags; the others have nothing
+      // to save anyway and must not race on the paths.
+      if (r != 0) {
+        child.set("save-volume", "");
+        child.set("image", "");
+        child.set("trace-out", "");
+        child.set("metrics-out", "");
+      }
+      // _exit skips stdio teardown, so flush explicitly or the child's
+      // output is lost whenever stdout is a pipe (fully buffered).
+      try {
+        const int code = cmd_reconstruct(child);
+        std::fflush(nullptr);
+        _exit(code);
+      } catch (const Error& e) {
+        std::fprintf(stderr, "error [rank %d]: %s\n", r, e.what());
+        std::fflush(nullptr);
+        _exit(1);
+      }
+    }
+    children.push_back(pid);
+  }
+  int rc = 0;
+  for (usize r = 0; r < children.size(); ++r) {
+    int status = 0;
+    waitpid(children[r], &status, 0);
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+    if (code != 0) {
+      std::fprintf(stderr, "rank %zu exited with code %d\n", r, code);
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
