@@ -60,7 +60,7 @@ std::string exec_options_help() {
       "  --pipeline M             pass-graph scheduling: sync|async\n"
       "  --backend B              kernel backend: auto|simd|scalar\n"
       "  --checkpoint-dir PATH    enable periodic checkpointing into PATH\n"
-      "  --checkpoint-every N     snapshot cadence in chunks (default 1)\n"
+      "  --checkpoint-every N     snapshot cadence in chunks (0 = disabled; pair with --checkpoint-dir)\n"
       "  --trace-out PATH         write Chrome trace_event JSON of the run\n"
       "  --metrics-out PATH       write metrics snapshot (ptycho.metrics.v1)\n"
       "  --progress N             log progress every N iterations (0 = off)\n"

@@ -45,7 +45,13 @@ struct RecvRequest::State {
   bool taken = false;
 };
 
-Fabric::~Fabric() = default;
+Fabric::~Fabric() {
+  // The transport must die first: a socket backend's progress thread keeps
+  // calling deliver() / poison_local() until ~Transport joins it, so the
+  // mailboxes and poison state it touches have to outlive the transport
+  // regardless of member declaration order.
+  transport_.reset();
+}
 
 Fabric::Fabric(int nranks) : Fabric(std::make_unique<InProcTransport>(nranks)) {}
 

@@ -193,6 +193,8 @@ class Fabric {
   Mailbox& mailbox(int dst);
 
   int nranks_ = 0;
+  // ~Fabric resets this explicitly before the members below die: the
+  // transport's progress thread may touch mailboxes_/poisoned_ until joined.
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<bool> poisoned_{false};

@@ -22,6 +22,11 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x50545946u;  // "PTYF"
 
+// Upper bound on a data frame's element count. Generous (several GiB of
+// payload) but finite, so a corrupt length field fails fast instead of
+// throwing std::bad_alloc off the progress thread.
+constexpr std::uint64_t kMaxFrameElems = 1ull << 28;
+
 enum FrameType : std::uint32_t {
   kHello = 0,     ///< handshake: src = connector's rank
   kData = 1,      ///< fabric message
@@ -196,9 +201,19 @@ SocketTransport::~SocketTransport() {
   stopping_.store(true, std::memory_order_release);
   // Orderly close: the shutdown frame lets peers distinguish our exit from
   // our death. TCP ordering guarantees every data frame we sent precedes it.
+  // No fd pre-check here: the progress thread may be closing fds under
+  // send_mutex right now, and send_control rechecks under that lock.
   for (int r = 0; r < nranks(); ++r) {
-    if (r != rank_ && conns_[static_cast<usize>(r)]->fd >= 0) send_control(r, kShutdown);
+    if (r != rank_) send_control(r, kShutdown);
   }
+  // Bound the drain: a peer that is alive but hung — never tearing down,
+  // never closing its socket — must not pin progress_.join() (and with it
+  // ~Fabric) forever.
+  drain_deadline_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          (std::chrono::steady_clock::now() + std::chrono::seconds(5)).time_since_epoch())
+          .count(),
+      std::memory_order_release);
   if (wake_pipe_[1] >= 0) {
     const char byte = 1;
     [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
@@ -286,6 +301,17 @@ bool SocketTransport::read_frame(int peer_rank) {
   }
   switch (header.type) {
     case kData: {
+      // header.count and header.dst come off the wire: a corrupt frame with
+      // a valid magic must poison the fabric, not bad_alloc a huge vector
+      // or trip Fabric::mailbox's not-local check on the progress thread.
+      if (header.count > kMaxFrameElems) {
+        fail("corrupt frame (implausible payload size)");
+        return false;
+      }
+      if (header.dst != rank_) {
+        fail("corrupt frame (destination is not this rank)");
+        return false;
+      }
       std::vector<cplx> payload(static_cast<usize>(header.count));
       if (header.count > 0 &&
           !read_exact(peer.fd, payload.data(), payload.size() * sizeof(cplx))) {
@@ -313,6 +339,19 @@ bool SocketTransport::read_frame(int peer_rank) {
 
 void SocketTransport::progress_loop() {
   log::set_thread_rank(rank_);
+  // A bare std::thread turns an escaped exception into std::terminate;
+  // anything unexpected here (allocation failure, a Fabric precondition)
+  // must instead poison the fabric like any other wire fault.
+  try {
+    poll_frames();
+  } catch (const std::exception& e) {
+    fail(e.what());
+  } catch (...) {
+    fail("unexpected exception in progress loop");
+  }
+}
+
+void SocketTransport::poll_frames() {
   std::vector<pollfd> fds;
   std::vector<int> ranks;  // fds[i] belongs to ranks[i]; last entry is the pipe
   for (;;) {
@@ -361,9 +400,15 @@ void SocketTransport::progress_loop() {
       // the connection is drained on both sides and can go. Closing here
       // (rather than waiting for the peer's EOF) is what breaks the
       // both-sides-waiting cycle at job end: our close is the EOF the
-      // peer's drain loop is waiting for.
+      // peer's drain loop is waiting for. Past the drain deadline a peer
+      // that never said goodbye is force-closed too — a hung (but alive)
+      // peer must not block our destructor forever.
+      const std::int64_t deadline = drain_deadline_ns_.load(std::memory_order_acquire);
+      const bool expired =
+          deadline > 0 && std::chrono::steady_clock::now().time_since_epoch() >=
+                              std::chrono::nanoseconds(deadline);
       for (auto& c : conns_) {
-        if (c->fd >= 0 && c->shutdown.load(std::memory_order_acquire)) {
+        if (c->fd >= 0 && (expired || c->shutdown.load(std::memory_order_acquire))) {
           std::lock_guard<std::mutex> lock(c->send_mutex);
           ::close(c->fd);
           c->fd = -1;

@@ -21,7 +21,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -53,7 +55,8 @@ class SocketTransport final : public Transport {
     std::atomic<bool> shutdown{false};  ///< peer announced an orderly close
   };
 
-  void progress_loop();
+  void progress_loop();            ///< thread entry: poll_frames + fault trap
+  void poll_frames();              ///< the actual poll/read loop
   bool read_frame(int peer_rank);  ///< false: connection ended (EOF/error)
   void send_control(int peer_rank, std::uint32_t type) noexcept;
   void fail(const char* what) noexcept;  ///< poison the fabric on a wire fault
@@ -65,6 +68,9 @@ class SocketTransport final : public Transport {
   std::array<int, 2> wake_pipe_{-1, -1};      ///< self-pipe to stop the poll loop
   std::thread progress_;
   std::atomic<bool> stopping_{false};
+  /// steady_clock deadline (ns since epoch; 0 = unset) after which the
+  /// destructor's drain force-closes connections to hung peers.
+  std::atomic<std::int64_t> drain_deadline_ns_{0};
   mutable std::mutex stats_mutex_;
   TransportStats stats_;
 };
