@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/crc32.hpp"
+
 namespace ptycho::ckpt {
 
 namespace {
@@ -45,23 +47,28 @@ Writer::~Writer() {
   if (!finished_ && out_.is_open()) out_.close();
 }
 
-void Writer::u8(std::uint8_t v) { out_.put(static_cast<char>(v)); }
+void Writer::raw(const void* data, usize count) {
+  crc_ = crc32(data, count, crc_);
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(count));
+}
+
+void Writer::u8(std::uint8_t v) { raw(&v, 1); }
 
 void Writer::u32(std::uint32_t v) {
   unsigned char buf[4];
   encode_u32(buf, v);
-  out_.write(reinterpret_cast<const char*>(buf), sizeof buf);
+  raw(buf, sizeof buf);
 }
 
 void Writer::u64(std::uint64_t v) {
   unsigned char buf[8];
   encode_u64(buf, v);
-  out_.write(reinterpret_cast<const char*>(buf), sizeof buf);
+  raw(buf, sizeof buf);
 }
 
 void Writer::str(const std::string& s) {
   u64(s.size());
-  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  raw(s.data(), s.size());
 }
 
 void Writer::rect(const Rect& r) {
@@ -82,13 +89,18 @@ void Writer::cplx_array(const cplx* data, usize count) {
       encode_u32(buf + 8 * i, std::bit_cast<std::uint32_t>(static_cast<float>(c.real())));
       encode_u32(buf + 8 * i + 4, std::bit_cast<std::uint32_t>(static_cast<float>(c.imag())));
     }
-    out_.write(reinterpret_cast<const char*>(buf), static_cast<std::streamsize>(8 * n));
+    raw(buf, 8 * n);
     done += n;
   }
 }
 
 void Writer::finish() {
-  u64(kFooterMagic);
+  u64(kFooterMagicV2);
+  // The CRC trailer covers everything before it (magic, version, payload,
+  // footer) and is itself excluded — written directly, not via raw().
+  unsigned char buf[4];
+  encode_u32(buf, crc_);
+  out_.write(reinterpret_cast<const char*>(buf), sizeof buf);
   out_.flush();
   PTYCHO_CHECK(out_.good(), "write failed for '" << path_ << "'");
   out_.close();
@@ -101,16 +113,51 @@ Reader::Reader(const std::string& path, std::uint64_t file_magic)
     : in_(path, std::ios::binary), path_(path) {
   PTYCHO_CHECK(in_.good(), "cannot open '" << path << "' for reading");
   // Footer check first: a file without the trailing magic was truncated
-  // mid-write (e.g. by a dying rank) and must not be trusted.
+  // mid-write (e.g. by a dying rank) and must not be trusted. CRC-layout
+  // files end [... kFooterMagicV2 u64][crc u32]; legacy files end at
+  // kFooterMagic. The two footer magics differ, so a CRC-layout file
+  // truncated by exactly the trailer length cannot masquerade as legacy.
   in_.seekg(0, std::ios::end);
-  const auto size = in_.tellg();
-  PTYCHO_CHECK(size >= static_cast<std::streamoff>(20),
-               "'" << path << "' is too short to be a checkpoint file");
-  in_.seekg(size - static_cast<std::streamoff>(8));
+  const std::streamoff size = in_.tellg();
+  PTYCHO_CHECK(size >= 20, "'" << path << "' is too short to be a checkpoint file");
   unsigned char footer[8];
-  in_.read(reinterpret_cast<char*>(footer), sizeof footer);
-  PTYCHO_CHECK(in_.good() && decode_u64(footer) == kFooterMagic,
-               "'" << path << "' is truncated or corrupt (bad footer)");
+  bool has_crc_trailer = false;
+  if (size >= 24) {
+    in_.seekg(size - 12);
+    in_.read(reinterpret_cast<char*>(footer), sizeof footer);
+    has_crc_trailer = in_.good() && decode_u64(footer) == kFooterMagicV2;
+  }
+  if (has_crc_trailer) {
+    unsigned char trailer[4];
+    in_.read(reinterpret_cast<char*>(trailer), sizeof trailer);
+    PTYCHO_CHECK(in_.good(), "'" << path << "' is truncated (missing CRC trailer)");
+    const std::uint32_t stored = decode_u32(trailer);
+    // Stream-verify the whole file (everything before the trailer): a torn
+    // or bit-rotted shard must fail the restore, not poison the volume.
+    in_.seekg(0);
+    std::uint32_t crc = 0;
+    char buf[1 << 16];
+    std::streamoff left = size - 4;
+    while (left > 0) {
+      const auto n = static_cast<std::streamsize>(
+          std::min<std::streamoff>(left, static_cast<std::streamoff>(sizeof buf)));
+      in_.read(buf, n);
+      PTYCHO_CHECK(in_.good(), "read failed while checksumming '" << path << "'");
+      crc = crc32(buf, static_cast<usize>(n), crc);
+      left -= n;
+    }
+    PTYCHO_CHECK(crc == stored,
+                 "'" << path << "' failed its integrity check (CRC mismatch)");
+  } else {
+    // Legacy v1 layout (no CRC). The footer still guards truncation; the
+    // per-file version check downstream decides whether v1 is acceptable.
+    in_.clear();
+    in_.seekg(size - 8);
+    in_.read(reinterpret_cast<char*>(footer), sizeof footer);
+    PTYCHO_CHECK(in_.good() && decode_u64(footer) == kFooterMagic,
+                 "'" << path << "' is truncated or corrupt (bad footer)");
+  }
+  in_.clear();
   in_.seekg(0);
   PTYCHO_CHECK(u64() == file_magic, "'" << path << "' has the wrong file type magic");
   version_ = u32();

@@ -3,9 +3,12 @@
 // Every scalar is encoded explicitly little-endian byte-by-byte, so a
 // snapshot written on any host restores bit-identically on any other —
 // the format is defined by this file, not by the writer's memory layout.
-// Files carry a leading magic + version and a trailing footer magic; the
-// reader validates both, so a shard truncated by a dying rank is rejected
-// instead of being half-loaded.
+// Files carry a leading magic + version, a trailing footer magic, and —
+// since format v2 — a CRC32 over everything up to and including the
+// footer, appended as the last 4 bytes. The reader validates all three:
+// the footer catches a shard truncated by a dying rank, the CRC catches a
+// torn or bit-rotted one (a torn shard used to restore silently wrong
+// data whenever the tear preserved the footer position).
 #pragma once
 
 #include <bit>
@@ -19,8 +22,16 @@
 
 namespace ptycho::ckpt {
 
-/// Trailing marker every checkpoint file ends with ("PTYCEND!").
+/// Trailing marker legacy (pre-CRC) checkpoint files end with
+/// ("PTYCEND!").
 inline constexpr std::uint64_t kFooterMagic = 0x50545943454E4421ULL;
+
+/// Trailing marker for the CRC-carrying layout ("PTYCEND2"), followed by
+/// the 4-byte CRC32 trailer. Deliberately distinct from kFooterMagic: a
+/// CRC-layout file truncated by exactly the trailer length would
+/// otherwise present a valid legacy footer at the legacy offset and slip
+/// past both checks.
+inline constexpr std::uint64_t kFooterMagicV2 = 0x50545943454E4432ULL;
 
 class Writer {
  public:
@@ -43,12 +54,18 @@ class Writer {
   /// the snapshot format regardless of the host's `real` width.
   void cplx_array(const cplx* data, usize count);
 
-  /// Write the footer magic and flush; throws on any I/O failure.
+  /// Write the footer magic and the file CRC, then flush; throws on any
+  /// I/O failure.
   void finish();
 
  private:
+  /// Single write funnel: every emitted byte flows through here so the
+  /// file CRC is, by construction, over the whole stream.
+  void raw(const void* data, usize count);
+
   std::ofstream out_;
   std::string path_;
+  std::uint32_t crc_ = 0;
   bool finished_ = false;
 };
 

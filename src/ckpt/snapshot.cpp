@@ -1,11 +1,13 @@
 #include "ckpt/snapshot.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
 #include <tuple>
 
 #include "ckpt/serialize.hpp"
+#include "common/log.hpp"
 
 namespace ptycho::ckpt {
 
@@ -240,6 +242,68 @@ Snapshot load_latest(const std::string& root) {
   const auto step = find_latest_step(root);
   PTYCHO_CHECK(step.has_value(), "no complete checkpoint found under '" << root << "'");
   return load_snapshot(step_dir(root, *step));
+}
+
+std::optional<Snapshot> load_newest_valid(const std::string& root,
+                                          const RestoreFilter& filter) {
+  // Collect every candidate first, ranked by run progress (same ordering
+  // as find_latest_step), then try them newest-first: a snapshot whose
+  // shard set fails validation falls back to the previous complete one
+  // instead of aborting the recovery.
+  struct Candidate {
+    std::tuple<int, int, std::uint64_t> pos;
+    std::uint64_t step = 0;
+    Manifest manifest;
+  };
+  std::vector<Candidate> candidates;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    std::uint64_t step = 0;
+    if (std::sscanf(name.c_str(), "step-%" SCNu64, &step) != 1) continue;
+    Candidate c;
+    try {
+      c.manifest = read_manifest(entry.path().string());
+    } catch (const Error& e) {
+      log::warn() << "skipping snapshot '" << name << "': " << e.what();
+      continue;
+    }
+    c.pos = {c.manifest.iteration, c.manifest.chunk, step};
+    c.step = step;
+    candidates.push_back(std::move(c));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.pos > b.pos; });
+
+  for (const Candidate& c : candidates) {
+    const Manifest& m = c.manifest;
+    if (filter.update_mode >= 0 && m.update_mode != filter.update_mode) {
+      log::warn() << "skipping snapshot step-" << c.step << ": different update mode";
+      continue;
+    }
+    if (filter.refine_probe >= 0 && (m.refine_probe ? 1 : 0) != filter.refine_probe) {
+      log::warn() << "skipping snapshot step-" << c.step << ": different probe refinement";
+      continue;
+    }
+    const bool retiled = (filter.nranks > 0 && m.nranks != filter.nranks) ||
+                         (filter.chunks_per_iteration > 0 &&
+                          m.chunks_per_iteration != filter.chunks_per_iteration);
+    if (retiled && !m.at_iteration_boundary()) {
+      // Elastic restore cannot resume a partially swept iteration on a
+      // different tiling — only an iteration-boundary snapshot transfers.
+      log::warn() << "skipping snapshot step-" << c.step
+                  << ": mid-iteration, unusable at a different layout/chunking";
+      continue;
+    }
+    try {
+      // Full validation: every shard's footer and CRC must check out.
+      return load_snapshot(step_dir(root, c.step));
+    } catch (const Error& e) {
+      log::warn() << "skipping snapshot step-" << c.step << ": " << e.what();
+    }
+  }
+  return std::nullopt;
 }
 
 void check_compatible(const Snapshot& snapshot, const Dataset& dataset) {

@@ -31,7 +31,9 @@
 namespace ptycho::ckpt {
 
 /// Snapshot format version (bump on any wire-layout change).
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: files carry a trailing CRC32 (see ckpt/serialize.hpp) so torn or
+/// bit-rotted shards are detected at restore instead of loading silently.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// When and where solvers take snapshots.
 struct Policy {
@@ -153,6 +155,27 @@ std::uint64_t write_shard(const std::string& dir, const Shard& shard);
 
 /// Load the most recent complete snapshot under `root`; throws if none.
 [[nodiscard]] Snapshot load_latest(const std::string& root);
+
+/// What a resuming run needs from a snapshot; load_newest_valid skips
+/// candidates that cannot satisfy it instead of failing on them.
+struct RestoreFilter {
+  int nranks = 0;                ///< target rank count (0: accept any)
+  int chunks_per_iteration = 0;  ///< target chunking (0: accept any)
+  int update_mode = -1;          ///< required solver flag (-1: accept any)
+  int refine_probe = -1;         ///< required solver flag (-1: accept any; else 0/1)
+};
+
+/// Walk the snapshots under `root` newest-first (by run progress) and
+/// return the first one that loads *and validates* completely — manifest
+/// and every shard parse, footers and CRCs intact — and that the filter
+/// accepts. A snapshot taken at K ranks or a different chunking than the
+/// filter asks for is usable only at an iteration boundary (the elastic
+/// restore precondition); others are skipped with a warning, falling back
+/// to the previous complete snapshot. Returns nullopt when nothing under
+/// `root` qualifies. This is the single discovery routine behind both
+/// `--restore latest` and automatic in-run recovery.
+[[nodiscard]] std::optional<Snapshot> load_newest_valid(const std::string& root,
+                                                        const RestoreFilter& filter);
 
 /// Throws unless the snapshot was taken from `dataset` (name, probe count
 /// and slice count must match — restoring into a different acquisition is

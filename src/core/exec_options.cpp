@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "runtime/chaos_transport.hpp"
 
 namespace ptycho {
 
@@ -45,6 +46,33 @@ ExecOptions parse_exec_options(const Options& options, const ExecOptions& defaul
     // Validate eagerly so a typo'd roster fails at the flag, not mid-mesh.
     for (const auto& spec : exec.transport.peers) (void)rt::parse_peer(spec);
   }
+  exec.transport.generation = static_cast<std::uint32_t>(
+      options.get_int("generation", static_cast<std::int64_t>(exec.transport.generation)));
+  exec.transport.connect_timeout_ms =
+      static_cast<int>(options.get_int("connect-timeout-ms", exec.transport.connect_timeout_ms));
+  exec.transport.shutdown_drain_ms =
+      static_cast<int>(options.get_int("drain-timeout-ms", exec.transport.shutdown_drain_ms));
+  exec.transport.heartbeat_ms =
+      static_cast<int>(options.get_int("heartbeat-ms", exec.transport.heartbeat_ms));
+  exec.transport.liveness_timeout_ms = static_cast<int>(
+      options.get_int("liveness-timeout-ms", exec.transport.liveness_timeout_ms));
+  exec.transport.recv_deadline_ms =
+      static_cast<int>(options.get_int("recv-deadline-ms", exec.transport.recv_deadline_ms));
+  if (options.has("chaos")) {
+    exec.transport.chaos = options.get_string("chaos", exec.transport.chaos);
+    // Validate eagerly: a typo'd spec should fail at the flag.
+    (void)rt::parse_chaos_spec(exec.transport.chaos);
+  }
+  exec.max_restarts = static_cast<int>(options.get_int("max-restarts", exec.max_restarts));
+  exec.restart_backoff_ms =
+      static_cast<int>(options.get_int("restart-backoff-ms", exec.restart_backoff_ms));
+  PTYCHO_REQUIRE(exec.max_restarts >= 0, "--max-restarts must be >= 0");
+  PTYCHO_REQUIRE(exec.restart_backoff_ms >= 0, "--restart-backoff-ms must be >= 0");
+  if (exec.transport.liveness_timeout_ms > 0 && exec.transport.heartbeat_ms > 0) {
+    PTYCHO_REQUIRE(exec.transport.heartbeat_ms < exec.transport.liveness_timeout_ms,
+                   "--heartbeat-ms must be below --liveness-timeout-ms, or every peer "
+                   "times out between its own pings");
+  }
   if (exec.transport.distributed()) {
     PTYCHO_REQUIRE(!exec.transport.peers.empty(),
                    "--transport socket needs --peers host:port,... (one per rank)");
@@ -66,7 +94,16 @@ std::string exec_options_help() {
       "  --progress N             log progress every N iterations (0 = off)\n"
       "  --transport T            comm substrate: inproc|socket\n"
       "  --rank N                 this process's rank (socket transport)\n"
-      "  --peers H:P,H:P,...      rank roster, one host:port per rank (socket)\n";
+      "  --peers H:P,H:P,...      rank roster, one host:port per rank (socket)\n"
+      "  --generation N           cluster incarnation stamp (set by the recovery supervisor)\n"
+      "  --connect-timeout-ms N   socket mesh-formation window (default 30000)\n"
+      "  --drain-timeout-ms N     socket shutdown drain bound (default 5000)\n"
+      "  --heartbeat-ms N         socket liveness ping cadence (0 = off)\n"
+      "  --liveness-timeout-ms N  declare a silent peer dead after N ms (0 = EOF-only)\n"
+      "  --recv-deadline-ms N     abort a blocked receive after N ms (0 = wait forever)\n"
+      "  --chaos SPEC             fault injection, e.g. delay=0.5:2,reorder=0.3,seed=9\n"
+      "  --max-restarts N         auto-recover from rank failures up to N times (0 = off)\n"
+      "  --restart-backoff-ms N   base recovery backoff, doubled per restart (default 100)\n";
 }
 
 }  // namespace ptycho

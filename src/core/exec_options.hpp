@@ -61,6 +61,12 @@ struct ExecOptions {
   /// Same messages, same tags, same mailbox matcher — reconstructions are
   /// bitwise identical across transports.
   rt::TransportOptions transport;
+  /// Self-healing: on RankFailure, restore the newest valid snapshot from
+  /// checkpoint.directory and retry (dropping the failed rank), up to this
+  /// many times (0 disables in-run recovery). Requires checkpointing.
+  int max_restarts = 0;
+  /// Base backoff before a recovery attempt; doubles per restart.
+  int restart_backoff_ms = 100;
 };
 
 /// Interpret the shared execution flags out of parsed options, over
@@ -70,6 +76,9 @@ struct ExecOptions {
 ///   --checkpoint-dir PATH  --checkpoint-every N
 ///   --trace-out PATH       --metrics-out PATH       --progress N
 ///   --transport inproc|socket  --rank N  --peers host:port,host:port,...
+///   --generation N         --connect-timeout-ms N   --drain-timeout-ms N
+///   --heartbeat-ms N       --liveness-timeout-ms N  --recv-deadline-ms N
+///   --chaos SPEC           --max-restarts N         --restart-backoff-ms N
 /// Unknown keys are left for the caller's own flag handling; malformed
 /// values throw ptycho::Error.
 [[nodiscard]] ExecOptions parse_exec_options(const Options& options,

@@ -1,6 +1,12 @@
 #include "core/reconstructor.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "backend/kernels.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
 
@@ -34,7 +40,82 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
                                << "' is not available (want scalar|simd|auto; simd requires "
                                   "CPU support)");
   }
+  // One session for the whole supervised run: recovery counters must
+  // accumulate across attempts, not reset with each retry.
   obs::Session session(obs::SessionConfig{request.exec.trace_out, request.exec.metrics_out});
+
+  // Supervised retry loop (in-process clusters only: a distributed rank
+  // cannot re-form the mesh from inside — its launch parent respawns it).
+  const bool recoverable = request.exec.max_restarts > 0 &&
+                           request.exec.checkpoint.enabled() &&
+                           !request.exec.transport.distributed() &&
+                           request.method != Method::kHaloVoxelExchange;
+  ReconstructionRequest attempt = request;
+  ckpt::Snapshot recovered;  // owns the restored state attempt.restore points at
+  int restarts = 0;
+  for (;;) {
+    try {
+      // The caller's warm start applies until a snapshot supersedes it.
+      ReconstructionOutcome outcome =
+          run_once(attempt, attempt.restore == request.restore ? initial : nullptr);
+      if (obs::metrics_enabled() && restarts > 0) {
+        obs::registry().gauge("runtime.recovery.generation").set(
+            static_cast<double>(attempt.exec.transport.generation));
+      }
+      session.finish();
+      return outcome;
+    } catch (const rt::RankFailure& failure) {
+      if (obs::metrics_enabled()) {
+        obs::registry().counter("runtime.recovery.rank_failures_total").add(1);
+      }
+      if (!recoverable || restarts >= attempt.exec.max_restarts) {
+        session.finish();
+        throw;
+      }
+      WallTimer latency;
+      log::warn() << "rank failure (" << failure.what() << ") — recovery attempt "
+                  << (restarts + 1) << "/" << attempt.exec.max_restarts;
+      if (attempt.fault.armed()) {
+        // The injected fault consumed a rank: the survivors re-form one
+        // smaller, and the (one-shot) fault must not re-fire after restore
+        // — resumed step counters start past at_step and would re-kill the
+        // run forever.
+        attempt.nranks = std::max(1, attempt.nranks - 1);
+        attempt.fault = rt::FaultPlan{};
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<std::int64_t>(attempt.exec.restart_backoff_ms) << restarts));
+      // New cluster incarnation: chaos one-shots stay spent, and (on
+      // sockets) stale frames from the dead generation are rejected.
+      attempt.exec.transport.generation += 1;
+      ckpt::RestoreFilter filter;
+      filter.nranks = attempt.method == Method::kSerial ? 1 : attempt.nranks;
+      filter.chunks_per_iteration = attempt.passes_per_iteration;
+      filter.update_mode = static_cast<int>(attempt.mode);
+      filter.refine_probe = attempt.refine_probe ? 1 : 0;
+      auto snapshot = ckpt::load_newest_valid(attempt.exec.checkpoint.directory, filter);
+      if (snapshot.has_value()) {
+        recovered = std::move(*snapshot);
+        attempt.restore = &recovered;
+        log::info() << "recovering from snapshot at iteration "
+                    << recovered.manifest.iteration << " (chunk " << recovered.manifest.chunk
+                    << ", " << recovered.manifest.nranks << " ranks) at "
+                    << attempt.nranks << " ranks";
+      } else {
+        attempt.restore = request.restore;  // nothing usable: restart cold
+        log::warn() << "no usable snapshot found — restarting from scratch";
+      }
+      restarts += 1;
+      if (obs::metrics_enabled()) {
+        obs::registry().counter("runtime.recovery.restarts_total").add(1);
+        obs::registry().histogram("runtime.recovery.latency_seconds").observe(latency.seconds());
+      }
+    }
+  }
+}
+
+ReconstructionOutcome Reconstructor::run_once(const ReconstructionRequest& request,
+                                              const FramedVolume* initial) const {
   ReconstructionOutcome outcome;
   switch (request.method) {
     case Method::kSerial: {
@@ -54,7 +135,6 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       if (obs::metrics_enabled()) {
         obs::registry().gauge("wall_seconds").set(result.wall_seconds);
       }
-      session.finish();
       return outcome;
     }
     case Method::kGradientDecomposition: {
@@ -77,7 +157,6 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       outcome.mean_peak_bytes = result.mean_peak_bytes;
       outcome.breakdown = std::move(result.breakdown);
       record_parallel_gauges(result);
-      session.finish();
       return outcome;
     }
     case Method::kHaloVoxelExchange: {
@@ -99,7 +178,6 @@ ReconstructionOutcome Reconstructor::run(const ReconstructionRequest& request,
       outcome.mean_peak_bytes = result.mean_peak_bytes;
       outcome.breakdown = std::move(result.breakdown);
       record_parallel_gauges(result);
-      session.finish();
       return outcome;
     }
   }

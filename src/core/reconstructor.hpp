@@ -57,12 +57,26 @@ class Reconstructor {
   explicit Reconstructor(const Dataset& dataset) : dataset_(dataset) {}
 
   /// Run a reconstruction; optionally warm-start from `initial`.
+  ///
+  /// Self-healing: when `request.exec.max_restarts > 0` and checkpointing
+  /// is enabled, a RankFailure does not surface — the facade discovers the
+  /// newest valid snapshot in the checkpoint directory, drops the failed
+  /// rank if the failure consumed one, bumps the cluster generation and
+  /// re-runs toward the original iteration budget (exponential backoff
+  /// between attempts, `runtime.recovery.*` metrics emitted). The error
+  /// only propagates once the restart budget is exhausted. Distributed
+  /// (socket) runs are supervised by their launch parent instead — each
+  /// process exits and is respawned with a fresh roster.
   [[nodiscard]] ReconstructionOutcome run(const ReconstructionRequest& request,
                                           const FramedVolume* initial = nullptr) const;
 
   [[nodiscard]] const Dataset& dataset() const { return dataset_; }
 
  private:
+  /// One un-supervised attempt: dispatch to the selected solver.
+  [[nodiscard]] ReconstructionOutcome run_once(const ReconstructionRequest& request,
+                                               const FramedVolume* initial) const;
+
   const Dataset& dataset_;
 };
 

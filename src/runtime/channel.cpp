@@ -28,6 +28,7 @@ const char* to_string(Phase phase) {
     case Phase::kRestoreProbe: return "restore-probe";
     case Phase::kBarrier: return "barrier";
     case Phase::kTest: return "test";
+    case Phase::kHeartbeat: return "heartbeat";
   }
   return "unknown";
 }
@@ -174,11 +175,24 @@ double RecvRequest::wait() {
   auto& box = *state_->box;
   const auto start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(box.mutex);
-  box.cv.wait(lock, [&] {
+  const auto arrived_or_dead = [&] {
     if (state_->fabric->poisoned()) return true;
     auto it = box.queues.find(state_->key);
     return it != box.queues.end() && !it->second.empty();
-  });
+  };
+  const int deadline_ms = state_->fabric->recv_deadline_ms();
+  if (deadline_ms > 0) {
+    if (!box.cv.wait_for(lock, std::chrono::milliseconds(deadline_ms), arrived_or_dead)) {
+      // Nothing arrived within the deadline: some rank is hung or dead.
+      // Poison (cluster-wide, via the transport) so every peer's blocked
+      // communication aborts too, then surface the failure here.
+      lock.unlock();
+      state_->fabric->poison();
+      throw RankFailure("receive timed out: no matching message within the recv deadline");
+    }
+  } else {
+    box.cv.wait(lock, arrived_or_dead);
+  }
   {
     auto it = box.queues.find(state_->key);
     const bool have_message = it != box.queues.end() && !it->second.empty();

@@ -67,6 +67,7 @@ enum class Phase : int {
   kRestoreProbe = 12,      ///< probe broadcast during restore
   kBarrier = 13,           ///< message-based barrier (distributed clusters)
   kTest = 14,              ///< reserved for unit tests
+  kHeartbeat = 15,         ///< socket liveness pings (never tag-matched)
 };
 
 inline constexpr Phase kAllPhases[] = {
@@ -74,7 +75,7 @@ inline constexpr Phase kAllPhases[] = {
     Phase::kHorizontalBackward, Phase::kDirect,         Phase::kAllreduce,
     Phase::kStitch,           Phase::kPaste,            Phase::kCost,
     Phase::kProbe,            Phase::kRestore,          Phase::kRestoreProbe,
-    Phase::kBarrier,          Phase::kTest,
+    Phase::kBarrier,          Phase::kTest,             Phase::kHeartbeat,
 };
 
 [[nodiscard]] constexpr bool phases_unique() {
@@ -186,6 +187,18 @@ class Fabric {
   /// iteration, so collisions would be the norm, not the exception).
   void clear_poison() noexcept;
 
+  /// Bound every blocking mailbox wait: a receive that stays unmatched
+  /// for this long poisons the fabric and throws RankFailure instead of
+  /// blocking forever (0 = wait indefinitely). Collectives ride on recv,
+  /// so this bounds barriers and allreduces too — the in-process hang
+  /// analogue of the socket liveness deadline.
+  void set_recv_deadline_ms(int ms) noexcept {
+    recv_deadline_ms_.store(ms, std::memory_order_release);
+  }
+  [[nodiscard]] int recv_deadline_ms() const noexcept {
+    return recv_deadline_ms_.load(std::memory_order_acquire);
+  }
+
  private:
   friend class RecvRequest;
   struct Mailbox;
@@ -198,6 +211,7 @@ class Fabric {
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<bool> poisoned_{false};
+  std::atomic<int> recv_deadline_ms_{0};
   mutable std::mutex stats_mutex_;
   FabricStats stats_;
   // Per-backend obs attribution, resolved once at construction (a static

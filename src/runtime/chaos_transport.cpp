@@ -1,0 +1,291 @@
+#include "runtime/chaos_transport.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/channel.hpp"
+
+namespace ptycho::rt {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void bump(const char* counter) {
+  if (obs::metrics_enabled()) obs::registry().counter(counter).add(1);
+}
+
+double parse_probability(const std::string& clause, const std::string& value) {
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  PTYCHO_REQUIRE(end != nullptr && *end == '\0' && p >= 0.0 && p <= 1.0,
+                 "chaos clause '" << clause << "': probability must be in [0, 1]");
+  return p;
+}
+
+std::uint64_t parse_count(const std::string& clause, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  PTYCHO_REQUIRE(end != nullptr && *end == '\0' && n > 0,
+                 "chaos clause '" << clause << "': expected a positive integer");
+  return n;
+}
+
+}  // namespace
+
+ChaosSpec parse_chaos_spec(const std::string& spec) {
+  ChaosSpec out;
+  usize pos = 0;
+  while (pos < spec.size()) {
+    usize comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string clause = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (clause.empty()) continue;
+    const usize eq = clause.find('=');
+    const usize at = clause.find('@');
+    if (at != std::string::npos && eq == std::string::npos) {
+      const std::string key = clause.substr(0, at);
+      const std::uint64_t n = parse_count(clause, clause.substr(at + 1));
+      if (key == "drop") {
+        out.drop_at = n;
+      } else if (key == "corrupt") {
+        out.corrupt_at = n;
+      } else if (key == "wedge") {
+        out.wedge_at = n;
+      } else {
+        PTYCHO_FAIL("unknown chaos clause '" << clause << "' (one-shots: drop@N, corrupt@N, wedge@N)");
+      }
+      continue;
+    }
+    PTYCHO_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < clause.size(),
+                   "malformed chaos clause '" << clause << "' (expected key=value or key@N)");
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    if (key == "seed") {
+      char* end = nullptr;
+      out.seed = std::strtoull(value.c_str(), &end, 10);
+      PTYCHO_REQUIRE(end != nullptr && *end == '\0', "malformed chaos seed '" << value << "'");
+    } else if (key == "rank") {
+      char* end = nullptr;
+      out.rank = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      PTYCHO_REQUIRE(end != nullptr && *end == '\0' && out.rank >= 0,
+                     "malformed chaos rank '" << value << "'");
+    } else if (key == "delay") {
+      // delay=P or delay=P:MAXMS
+      const usize colon = value.find(':');
+      out.delay_p = parse_probability(clause, value.substr(0, colon));
+      if (colon != std::string::npos) {
+        out.delay_max_ms = static_cast<int>(parse_count(clause, value.substr(colon + 1)));
+      }
+    } else if (key == "reorder") {
+      out.reorder_p = parse_probability(clause, value);
+    } else if (key == "drop") {
+      out.drop_p = parse_probability(clause, value);
+    } else if (key == "corrupt") {
+      out.corrupt_p = parse_probability(clause, value);
+    } else {
+      PTYCHO_FAIL("unknown chaos clause '" << clause
+                  << "' (expected seed|rank|delay|reorder|drop|corrupt|wedge)");
+    }
+  }
+  return out;
+}
+
+ChaosTransport::ChaosTransport(std::unique_ptr<Transport> inner, ChaosSpec spec,
+                               std::uint32_t generation)
+    : inner_(std::move(inner)), spec_(spec), generation_(generation) {
+  PTYCHO_REQUIRE(inner_ != nullptr, "chaos transport needs a backend to wrap");
+  name_ = std::string("chaos+") + inner_->name();
+  // Per-source rng streams (same-source sends come from one rank thread,
+  // so each stream is consumed sequentially → decisions are deterministic
+  // even when several ranks send concurrently). The generation folds into
+  // the seed so recovery attempts draw a fresh, but still deterministic,
+  // fault pattern.
+  for (int r = 0; r < inner_->nranks(); ++r) {
+    rngs_.emplace(r, Rng(spec_.seed + generation_).split(static_cast<std::uint64_t>(r)));
+    send_counts_.emplace(r, 0);
+  }
+}
+
+void ChaosTransport::attach(Fabric& fabric) {
+  fabric_ = &fabric;
+  inner_->attach(fabric);
+  // The worker only has work once sends start flowing, but starting it
+  // here (after the inner mesh is up) keeps attach-ordering assumptions in
+  // one place.
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+ChaosTransport::~ChaosTransport() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+  // The worker flushes everything still held (ignoring release times) so
+  // no message is lost at teardown, then exits; inner_ is declared first
+  // and therefore destroyed after this body — the flush happens onto a
+  // live backend.
+  if (worker_.joinable()) worker_.join();
+}
+
+void ChaosTransport::set_wedged(bool wedged) noexcept {
+  wedged_.store(wedged, std::memory_order_release);
+  inner_->set_wedged(wedged);
+}
+
+void ChaosTransport::wire_send(int src, int dst, Tag tag, std::vector<cplx> payload) noexcept {
+  std::lock_guard<std::mutex> lock(wire_mutex_);
+  try {
+    inner_->send(src, dst, tag, std::move(payload));
+  } catch (const std::exception& e) {
+    log::warn() << "chaos transport: inner send failed (" << e.what() << ")";
+    if (fabric_ != nullptr) fabric_->poison_local();
+  } catch (...) {
+    if (fabric_ != nullptr) fabric_->poison_local();
+  }
+}
+
+void ChaosTransport::hold(int src, int dst, Tag tag, std::vector<cplx> payload,
+                          std::int64_t delay_ns) {
+  // Caller holds state_mutex_. Monotonize the release within the (src,
+  // dst, tag) stream: a later message must never be released before an
+  // earlier one, or the fabric's per-key FIFO (and with it bitwise
+  // determinism) would break.
+  KeyState& ks = keys_[Key{src, dst, tag}];
+  std::int64_t release = now_ns() + delay_ns;
+  if (release < ks.last_release_ns) release = ks.last_release_ns;
+  ks.last_release_ns = release;
+  ks.queued += 1;
+  queue_.emplace(std::pair<std::int64_t, std::uint64_t>{release, next_seq_++},
+                 Held{src, dst, tag, std::move(payload)});
+  cv_.notify_all();
+}
+
+void ChaosTransport::send(int src, int dst, Tag tag, std::vector<cplx> payload) {
+  // Self-delivery never touches the wire, and rank-restricted chaos
+  // leaves other senders untouched — both bypass injection entirely.
+  if (src == dst || (spec_.rank >= 0 && src != spec_.rank)) {
+    wire_send(src, dst, tag, std::move(payload));
+    return;
+  }
+
+  enum class Action { kPass, kHold, kDrop, kCorrupt, kWedge };
+  Action action = Action::kPass;
+  bool reordered = false;
+  std::int64_t delay_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (wedged_.load(std::memory_order_acquire)) return;  // silent: the victim is hung
+    const std::uint64_t count = ++send_counts_.at(src);
+    Rng& rng = rngs_.at(src);
+    // One-shot clauses fire only in generation 0 — a restarted run
+    // replays the same send sequence from the restored step, so a
+    // count-based fault would otherwise re-kill every recovery attempt.
+    if (generation_ == 0 && spec_.wedge_at > 0 && count == spec_.wedge_at) {
+      action = Action::kWedge;
+    } else if (generation_ == 0 && spec_.drop_at > 0 && count == spec_.drop_at) {
+      action = Action::kDrop;
+    } else if (generation_ == 0 && spec_.corrupt_at > 0 && count == spec_.corrupt_at) {
+      action = Action::kCorrupt;
+    } else if (spec_.drop_p > 0 && rng.uniform() < spec_.drop_p) {
+      action = Action::kDrop;
+    } else if (spec_.corrupt_p > 0 && rng.uniform() < spec_.corrupt_p) {
+      action = Action::kCorrupt;
+    } else if (spec_.delay_p > 0 && rng.uniform() < spec_.delay_p) {
+      action = Action::kHold;
+      delay_ns = static_cast<std::int64_t>(
+          rng.uniform(0.0, static_cast<double>(spec_.delay_max_ms)) * 1e6);
+    } else if (spec_.reorder_p > 0 && rng.uniform() < spec_.reorder_p) {
+      // Held just long enough for traffic behind it (other keys) to pass.
+      action = Action::kHold;
+      reordered = true;
+      delay_ns = 1'000'000;
+    }
+    switch (action) {
+      case Action::kHold:
+        hold(src, dst, tag, std::move(payload), delay_ns);
+        bump(reordered ? "runtime.chaos.reordered_total" : "runtime.chaos.delayed_total");
+        return;
+      case Action::kPass: {
+        auto it = keys_.find(Key{src, dst, tag});
+        if (it != keys_.end() && it->second.queued > 0) {
+          // Earlier messages of this key are still held: route this one
+          // through the queue too (at the same release) or it would
+          // overtake them on the wire.
+          hold(src, dst, tag, std::move(payload), 0);
+          return;
+        }
+        break;  // truly direct — sent below, outside the state lock
+      }
+      default:
+        break;  // faults act below, outside the state lock
+    }
+  }
+
+  switch (action) {
+    case Action::kPass:
+      wire_send(src, dst, tag, std::move(payload));
+      return;
+    case Action::kDrop:
+      log::warn() << "chaos: dropping message src=" << src << " dst=" << dst;
+      bump("runtime.chaos.dropped_total");
+      return;  // vanishes — the recv deadline / liveness watchdog must catch it
+    case Action::kWedge:
+      log::warn() << "chaos: wedging rank " << src << " (silent from here on)";
+      bump("runtime.chaos.wedged_total");
+      set_wedged(true);  // swallows this send and everything after it
+      return;
+    case Action::kCorrupt: {
+      log::warn() << "chaos: corrupting message src=" << src << " dst=" << dst;
+      bump("runtime.chaos.corrupted_total");
+      if (!inner_->send_corrupted(src, dst, tag, std::move(payload))) {
+        // No wire to corrupt (in-proc): model the receiver-side checksum
+        // detection directly — the job dies with RankFailure either way.
+        if (fabric_ != nullptr) fabric_->poison();
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void ChaosTransport::worker_loop() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  for (;;) {
+    if (queue_.empty()) {
+      if (draining_) return;
+      cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+      continue;
+    }
+    const std::int64_t release = queue_.begin()->first.first;
+    const std::int64_t now = now_ns();
+    if (!draining_ && release > now) {
+      cv_.wait_for(lock, std::chrono::nanoseconds(release - now));
+      continue;
+    }
+    auto it = queue_.begin();
+    const Key key{it->second.src, it->second.dst, it->second.tag};
+    Held held = std::move(it->second);
+    queue_.erase(it);
+    // Send outside the state lock (senders must not block on the wire),
+    // but before decrementing `queued`: a same-key send arriving meanwhile
+    // must still see the key as busy and queue behind us.
+    lock.unlock();
+    wire_send(held.src, held.dst, held.tag, std::move(held.payload));
+    lock.lock();
+    auto ks = keys_.find(key);
+    if (ks != keys_.end() && --ks->second.queued == 0) keys_.erase(ks);
+  }
+}
+
+}  // namespace ptycho::rt

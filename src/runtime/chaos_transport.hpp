@@ -1,0 +1,142 @@
+// Chaos-injection transport decorator.
+//
+// Wraps either delivery backend and injects communication faults on the
+// send path, deterministically per seed:
+//
+//  * delay / reorder — messages are held back and released later. Release
+//    times are monotonized per (src, dst, tag) key, so the per-key FIFO
+//    the fabric's tag matcher relies on is preserved: a chaos soak with
+//    only delay/reorder clauses is bitwise-identical to a clean run, which
+//    is exactly what tests assert.
+//  * drop — the message silently vanishes (the receiver's recv deadline
+//    or the peer liveness watchdog must catch the resulting hang).
+//  * corrupt — the frame reaches the peer with a failing checksum
+//    (socket), or the detection is emulated by poisoning the fabric
+//    directly (in-proc has no wire to corrupt). Either way the run dies
+//    with RankFailure and recovery takes over.
+//  * wedge — the victim goes silent mid-run without closing anything:
+//    every subsequent send (and, on sockets, heartbeats) is swallowed.
+//    Only the liveness deadline can catch this.
+//
+// Spec grammar (comma-separated clauses, e.g. "delay=0.5:2,reorder=0.3,seed=9"):
+//
+//   seed=N        rng seed (default 0); streams are per source rank and
+//                 re-derived per cluster generation
+//   rank=R        restrict injection to sends originating at rank R
+//   delay=P[:M]   delay each send with probability P, uniform in (0, M] ms
+//                 (M defaults to 5)
+//   reorder=P     hold a send just long enough for later traffic to pass it
+//   drop=P        drop each send with probability P
+//   drop@N        drop exactly the Nth send of a source rank (one-shot)
+//   corrupt=P     corrupt each send with probability P
+//   corrupt@N     corrupt exactly the Nth send (one-shot)
+//   wedge@N       at the Nth send, the victim goes permanently silent
+//
+// One-shot (@N) clauses fire only in cluster generation 0: recovery
+// attempts re-run the same send sequence from the restored step, so a
+// count-based fault would re-fire identically forever and no run could
+// ever heal. Probabilistic clauses stay active in every generation (with
+// a generation-derived rng stream).
+//
+// Counters (when metrics are enabled): runtime.chaos.{delayed,reordered,
+// dropped,corrupted,wedged}_total.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.hpp"
+#include "runtime/transport.hpp"
+
+namespace ptycho::rt {
+
+struct ChaosSpec {
+  std::uint64_t seed = 0;
+  int rank = -1;  ///< only sends from this rank are chaos-eligible (-1: all)
+  double delay_p = 0.0;
+  int delay_max_ms = 5;
+  double reorder_p = 0.0;
+  double drop_p = 0.0;
+  std::uint64_t drop_at = 0;  ///< 1-based send index; 0 disables
+  double corrupt_p = 0.0;
+  std::uint64_t corrupt_at = 0;
+  std::uint64_t wedge_at = 0;
+
+  /// True when any clause actually injects something (a spec of just
+  /// "seed=9" is inert and the decorator is skipped).
+  [[nodiscard]] bool any() const {
+    return delay_p > 0 || reorder_p > 0 || drop_p > 0 || drop_at > 0 || corrupt_p > 0 ||
+           corrupt_at > 0 || wedge_at > 0;
+  }
+};
+
+/// Parse the grammar above; throws ptycho::Error on unknown clauses or
+/// malformed values.
+[[nodiscard]] ChaosSpec parse_chaos_spec(const std::string& spec);
+
+class ChaosTransport final : public Transport {
+ public:
+  ChaosTransport(std::unique_ptr<Transport> inner, ChaosSpec spec, std::uint32_t generation);
+  ~ChaosTransport() override;
+
+  [[nodiscard]] const char* name() const override { return name_.c_str(); }
+  [[nodiscard]] int nranks() const override { return inner_->nranks(); }
+  [[nodiscard]] bool is_local(int rank) const override { return inner_->is_local(rank); }
+  void attach(Fabric& fabric) override;
+  void send(int src, int dst, Tag tag, std::vector<cplx> payload) override;
+  void broadcast_poison() noexcept override { inner_->broadcast_poison(); }
+  void set_wedged(bool wedged) noexcept override;
+  bool send_corrupted(int src, int dst, Tag tag, std::vector<cplx> payload) override {
+    return inner_->send_corrupted(src, dst, tag, std::move(payload));
+  }
+  [[nodiscard]] TransportStats stats() const override { return inner_->stats(); }
+
+ private:
+  struct Held {
+    int src = 0;
+    int dst = 0;
+    Tag tag = 0;
+    std::vector<cplx> payload;
+  };
+  /// Per (src, dst, tag) stream state: queued count and the latest release
+  /// time handed out, so held messages of one key can never pass each other.
+  struct KeyState {
+    std::int64_t last_release_ns = 0;
+    int queued = 0;
+  };
+  using Key = std::tuple<int, int, Tag>;
+
+  void hold(int src, int dst, Tag tag, std::vector<cplx> payload, std::int64_t delay_ns);
+  void wire_send(int src, int dst, Tag tag, std::vector<cplx> payload) noexcept;
+  void worker_loop();
+
+  // inner_ declared first: the worker thread (joined in the destructor
+  // body) flushes the queue through it, so it must be destroyed last.
+  std::unique_ptr<Transport> inner_;
+  ChaosSpec spec_;
+  std::uint32_t generation_ = 0;
+  std::string name_;
+  Fabric* fabric_ = nullptr;
+
+  std::mutex state_mutex_;  ///< rng streams, counters, hold queue, key states
+  std::condition_variable cv_;
+  std::map<int, Rng> rngs_;                     ///< per source rank
+  std::map<int, std::uint64_t> send_counts_;    ///< per source rank, 1-based
+  std::map<Key, KeyState> keys_;
+  std::map<std::pair<std::int64_t, std::uint64_t>, Held> queue_;  ///< (release_ns, seq)
+  std::uint64_t next_seq_ = 0;
+  bool draining_ = false;
+
+  std::mutex wire_mutex_;  ///< serializes every inner_->send (worker + direct path)
+  std::atomic<bool> wedged_{false};
+  std::thread worker_;
+};
+
+}  // namespace ptycho::rt

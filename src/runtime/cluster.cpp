@@ -1,5 +1,9 @@
 #include "runtime/cluster.hpp"
 
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
 #include <exception>
 #include <thread>
 
@@ -46,6 +50,10 @@ VirtualCluster::VirtualCluster(const ClusterSpec& spec)
       profilers_(static_cast<usize>(spec.nranks)),
       ledgers_(static_cast<usize>(spec.nranks)) {
   PTYCHO_REQUIRE(spec.nranks >= 1, "cluster needs at least one rank");
+  // Hang detection for blocking receives (and everything riding on them:
+  // collectives, the distributed barrier). The in-process barrier below
+  // honors the same bound.
+  fabric_.set_recv_deadline_ms(spec.transport.recv_deadline_ms);
 }
 
 void VirtualCluster::run(const RankBody& body) {
@@ -168,8 +176,22 @@ void VirtualCluster::barrier_wait() {
     ++barrier_generation_;
     barrier_cv_.notify_all();
   } else {
-    barrier_cv_.wait(lock,
-                     [&] { return barrier_generation_ != generation || barrier_poisoned_; });
+    const auto released = [&] { return barrier_generation_ != generation || barrier_poisoned_; };
+    const int deadline_ms = fabric_.recv_deadline_ms();
+    if (deadline_ms > 0) {
+      if (!barrier_cv_.wait_for(lock, std::chrono::milliseconds(deadline_ms), released)) {
+        // A rank never arrived: mark the barrier dead for everyone still
+        // coming, poison the fabric (waking blocked receives too), and
+        // surface the hang as a rank failure here.
+        barrier_poisoned_ = true;
+        barrier_cv_.notify_all();
+        lock.unlock();
+        fabric_.poison();
+        throw RankFailure("barrier timed out: a rank never arrived within the recv deadline");
+      }
+    } else {
+      barrier_cv_.wait(lock, released);
+    }
     if (barrier_generation_ == generation) {
       throw RankFailure("barrier aborted: a rank has failed");
     }
@@ -179,6 +201,15 @@ void VirtualCluster::barrier_wait() {
 void VirtualCluster::maybe_fault(int rank, std::uint64_t step) {
   if (!fault_.armed() || rank != fault_.rank || step < fault_.at_step) return;
   if (fault_fired_.exchange(true, std::memory_order_acq_rel)) return;  // fire once
+  if (fault_.kind == FaultKind::kExit && distributed_) {
+    // A real node loss: the process vanishes without a word. Peers learn
+    // of it from the kernel-closed sockets (EOF without shutdown), which
+    // is exactly the detection path recovery must exercise. In-process
+    // clusters fall through to kThrow — _exit would take every rank down.
+    log::warn() << "injected fault: rank " << rank << " hard-exiting at step " << step;
+    std::fflush(nullptr);
+    _exit(137);
+  }
   poison();
   std::ostringstream os;
   os << "injected fault: rank " << rank << " killed at step " << step;

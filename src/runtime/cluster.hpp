@@ -22,6 +22,14 @@ namespace ptycho::rt {
 
 class VirtualCluster;
 
+/// How an injected fault kills its victim.
+enum class FaultKind {
+  kThrow,  ///< poison the fabric, throw RankFailure on the victim
+  kExit,   ///< hard _exit() the victim's process (distributed runs only —
+           ///< peers must detect the death via EOF; in-process clusters
+           ///< downgrade to kThrow since _exit would kill every rank)
+};
+
 /// Kill `rank` when it reaches the first fault point with step >= at_step.
 /// Models losing a node mid-run: the victim throws RankFailure and the
 /// fabric is poisoned so every other rank's blocking communication aborts
@@ -29,6 +37,7 @@ class VirtualCluster;
 struct FaultPlan {
   int rank = -1;              ///< victim rank; -1 disables injection
   std::uint64_t at_step = 0;  ///< first step at which the fault fires
+  FaultKind kind = FaultKind::kThrow;
 
   [[nodiscard]] bool armed() const { return rank >= 0; }
 };

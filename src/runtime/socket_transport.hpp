@@ -3,14 +3,31 @@
 // Wire protocol (all fields host-endian — the roster is assumed
 // same-architecture, documented in README "Running multi-process"):
 //
-//   FrameHeader { magic, type, src, dst, tag, count } then count * cplx.
+//   FrameHeader { magic, type, src, dst, tag, count, generation,
+//                 checksum } then count * cplx.
+//
+// Every frame carries a CRC32 over the header (checksum field zeroed)
+// plus the payload; a mismatch is a detected corruption and poisons the
+// fabric cluster-wide. The generation field stamps the sender's cluster
+// incarnation: hellos from another generation are refused at the mesh
+// handshake, and stray data/poison frames from a dead incarnation are
+// dropped instead of tag-matched.
 //
 // Frame types: kHello (connection handshake carrying the connector's
 // rank), kData (a fabric message), kPoison (remote rank failed — poison
 // the local fabric), kShutdown (orderly close; an EOF *after* a shutdown
 // frame is a clean exit, an EOF *without* one is a dead peer and poisons
 // the fabric, which is exactly the RankFailure teardown FaultPlan
-// recovery expects).
+// recovery expects), kPing (heartbeat — refreshes the peer's liveness
+// clock, carries nothing).
+//
+// Failure detection is two-tier: EOF stays the fast path (a killed
+// process's kernel closes its sockets), and the heartbeat/liveness pair
+// catches the slow one — a peer that is alive but wedged keeps its
+// sockets open and sends nothing, so the progress thread declares it
+// dead once nothing has arrived for liveness_timeout_ms and poisons the
+// fabric (broadcast: unlike an EOF, the other survivors may not have
+// observed the silence yet).
 //
 // Mesh establishment: every rank binds its listener first, then connects
 // to all lower ranks (with retry while peers are still starting) and
@@ -33,10 +50,11 @@ namespace ptycho::rt {
 
 class SocketTransport final : public Transport {
  public:
-  /// `peers[r]` is rank r's listen address; `rank` is this process's rank.
-  /// The mesh is established in attach() (blocking, with a connect
-  /// timeout), not here.
-  SocketTransport(int rank, std::vector<PeerAddr> peers);
+  /// `peers[r]` is rank r's listen address; `rank` is this process's
+  /// rank. Timeouts, heartbeat cadence and the cluster generation come
+  /// from `options`. The mesh is established in attach() (blocking, with
+  /// a connect timeout), not here.
+  SocketTransport(int rank, std::vector<PeerAddr> peers, const TransportOptions& options);
   ~SocketTransport() override;
 
   [[nodiscard]] const char* name() const override { return "socket"; }
@@ -46,28 +64,49 @@ class SocketTransport final : public Transport {
   void attach(Fabric& fabric) override;
   void send(int src, int dst, Tag tag, std::vector<cplx> payload) override;
   void broadcast_poison() noexcept override;
+  void set_wedged(bool wedged) noexcept override {
+    wedged_.store(wedged, std::memory_order_release);
+  }
+  bool send_corrupted(int src, int dst, Tag tag, std::vector<cplx> payload) override;
   [[nodiscard]] TransportStats stats() const override;
 
  private:
   struct Peer {
     int fd = -1;
-    std::mutex send_mutex;       ///< serializes frame writes to this peer
+    std::mutex send_mutex;              ///< serializes frame writes to this peer
     std::atomic<bool> shutdown{false};  ///< peer announced an orderly close
+    /// steady_clock ns of the last frame received from / sent to this
+    /// peer — the liveness deadline and the heartbeat cadence clocks.
+    std::atomic<std::int64_t> last_rx_ns{0};
+    std::atomic<std::int64_t> last_tx_ns{0};
+    std::int64_t ping_seq = 0;  ///< progress thread only
   };
 
   void progress_loop();            ///< thread entry: poll_frames + fault trap
   void poll_frames();              ///< the actual poll/read loop
   bool read_frame(int peer_rank);  ///< false: connection ended (EOF/error)
-  void send_control(int peer_rank, std::uint32_t type) noexcept;
-  void fail(const char* what) noexcept;  ///< poison the fabric on a wire fault
+  void send_control(int peer_rank, std::uint32_t type, Tag tag = 0) noexcept;
+  void send_heartbeats(std::int64_t now_ns) noexcept;  ///< progress thread only
+  void check_liveness(std::int64_t now_ns) noexcept;   ///< progress thread only
+  /// Poison the fabric on a wire fault. `broadcast` tells the peers too —
+  /// needed when the failure is not wire-visible to them (a liveness
+  /// timeout, a corrupt frame); EOF faults stay local since every
+  /// survivor observes the dead connection itself.
+  void fail(const char* what, bool broadcast = false) noexcept;
 
   int rank_ = -1;
   std::vector<PeerAddr> peers_;
+  std::uint32_t generation_ = 0;
+  int connect_timeout_ms_ = 30000;
+  int shutdown_drain_ms_ = 5000;
+  int heartbeat_ms_ = 0;
+  int liveness_timeout_ms_ = 0;
   Fabric* fabric_ = nullptr;
   std::vector<std::unique_ptr<Peer>> conns_;  ///< indexed by rank; [rank_] unused
   std::array<int, 2> wake_pipe_{-1, -1};      ///< self-pipe to stop the poll loop
   std::thread progress_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> wedged_{false};  ///< chaos: emit nothing onto the wire
   /// steady_clock deadline (ns since epoch; 0 = unset) after which the
   /// destructor's drain force-closes connections to hung peers.
   std::atomic<std::int64_t> drain_deadline_ns_{0};

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "runtime/channel.hpp"
+#include "runtime/chaos_transport.hpp"
 #include "runtime/socket_transport.hpp"
 
 namespace ptycho::rt {
@@ -39,9 +40,11 @@ TransportStats InProcTransport::stats() const {
 
 std::unique_ptr<Transport> make_transport(const TransportOptions& options, int nranks) {
   PTYCHO_REQUIRE(nranks >= 1, "transport needs at least one rank");
+  std::unique_ptr<Transport> backend;
   switch (options.kind) {
     case TransportKind::kInProc:
-      return std::make_unique<InProcTransport>(nranks);
+      backend = std::make_unique<InProcTransport>(nranks);
+      break;
     case TransportKind::kSocket: {
       PTYCHO_REQUIRE(options.rank >= 0 && options.rank < nranks,
                      "socket transport: --rank must be in [0, " << nranks << "), got "
@@ -52,10 +55,20 @@ std::unique_ptr<Transport> make_transport(const TransportOptions& options, int n
       std::vector<PeerAddr> peers;
       peers.reserve(options.peers.size());
       for (const auto& spec : options.peers) peers.push_back(parse_peer(spec));
-      return std::make_unique<SocketTransport>(options.rank, std::move(peers));
+      backend = std::make_unique<SocketTransport>(options.rank, std::move(peers), options);
+      break;
     }
   }
-  PTYCHO_FAIL("unknown transport kind");
+  PTYCHO_CHECK(backend != nullptr, "unknown transport kind");
+  if (!options.chaos.empty()) {
+    ChaosSpec spec = parse_chaos_spec(options.chaos);
+    if (spec.any()) {
+      // Parsed even when inert (to reject typos), wrapped only when a
+      // clause actually injects something.
+      return std::make_unique<ChaosTransport>(std::move(backend), spec, options.generation);
+    }
+  }
+  return backend;
 }
 
 PeerAddr parse_peer(const std::string& spec) {

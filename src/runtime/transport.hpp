@@ -46,13 +46,45 @@ enum class TransportKind {
 [[nodiscard]] TransportKind transport_kind_from_string(const std::string& name);
 
 /// Deployment description of the communication substrate, carried through
-/// ExecOptions from the CLI down to the cluster. In-proc mode ignores
-/// everything but `kind`; socket mode needs this process's rank and the
-/// full host:port roster (one entry per rank, identical on every process).
+/// ExecOptions from the CLI down to the cluster. In-proc mode ignores the
+/// socket-only fields; socket mode needs this process's rank and the full
+/// host:port roster (one entry per rank, identical on every process).
 struct TransportOptions {
   TransportKind kind = TransportKind::kInProc;
   int rank = -1;                   ///< this process's rank (socket mode)
   std::vector<std::string> peers;  ///< "host:port" per rank (socket mode)
+
+  /// Cluster generation, bumped by the recovery supervisor on every
+  /// restart. Stamped into the wire hello and every frame header so a
+  /// straggler process from a previous incarnation cannot join the new
+  /// mesh, and its in-flight frames are rejected instead of tag-matched.
+  std::uint32_t generation = 0;
+
+  /// Mesh-formation window (socket): connect retries and the accept loop
+  /// both give up past this deadline instead of waiting forever for a
+  /// peer that will never arrive.
+  int connect_timeout_ms = 30000;
+  /// Destructor drain bound (socket): a peer that never sends its
+  /// shutdown frame is force-closed after this long so teardown cannot
+  /// hang on a wedged survivor.
+  int shutdown_drain_ms = 5000;
+  /// Emit a kPing frame to every peer at this cadence (socket; 0
+  /// disables). Keeps liveness observable across phases where the data
+  /// traffic pattern is one-sided.
+  int heartbeat_ms = 0;
+  /// Declare a peer dead when nothing (data, control or ping) arrived
+  /// from it for this long (socket; 0 = EOF-only failure detection).
+  /// Pair with heartbeat_ms well below it.
+  int liveness_timeout_ms = 0;
+  /// Abort a blocked mailbox wait (and with it every collective riding on
+  /// recv) with RankFailure after this long without a matching message
+  /// (any backend; 0 = block forever). The in-process barrier honors the
+  /// same bound.
+  int recv_deadline_ms = 0;
+
+  /// Chaos-injection spec (see runtime/chaos_transport.hpp for the
+  /// grammar); empty disables the decorator. Deterministic per seed.
+  std::string chaos;
 
   [[nodiscard]] bool distributed() const { return kind == TransportKind::kSocket; }
 };
@@ -95,6 +127,21 @@ class Transport {
   /// teardown). In-proc transports share the poisoned fabric already, so
   /// this is a no-op there.
   virtual void broadcast_poison() noexcept = 0;
+
+  /// Chaos hook: silence the backend — stop emitting anything onto the
+  /// wire (data, control, heartbeats), modeling a hung-but-alive process
+  /// whose sockets stay open. Default no-op (in-proc has no wire; the
+  /// chaos layer drops the handoffs itself).
+  virtual void set_wedged(bool) noexcept {}
+
+  /// Chaos hook: emit a frame whose integrity check fails at the
+  /// receiver. Returns false when the backend has no on-wire integrity
+  /// layer to corrupt (in-proc), in which case the caller models the
+  /// detection itself.
+  virtual bool send_corrupted(int /*src*/, int /*dst*/, Tag /*tag*/,
+                              std::vector<cplx> /*payload*/) {
+    return false;
+  }
 
   [[nodiscard]] virtual TransportStats stats() const = 0;
 };

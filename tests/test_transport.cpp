@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "ckpt/snapshot.hpp"
+#include "common/crc32.hpp"
 #include "core/gradient_decomposition.hpp"
 #include "core/exec_options.hpp"
 #include "runtime/cluster.hpp"
@@ -260,8 +261,10 @@ TEST(SocketTransport, DeadPeerWithoutShutdownPoisonsTheFabric) {
     std::int32_t dst = 0;
     std::int64_t tag = 0;
     std::uint64_t count = 0;
+    std::uint32_t generation = 0;
+    std::uint32_t checksum = 0;  // CRC32 of the header with this field zeroed
   };
-  static_assert(sizeof(WireHeader) == 32);
+  static_assert(sizeof(WireHeader) == 40);
 
   const std::vector<int> ports = reserve_ports(2);
   std::thread impostor([&] {
@@ -279,7 +282,8 @@ TEST(SocketTransport, DeadPeerWithoutShutdownPoisonsTheFabric) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
     ASSERT_GE(fd, 0) << "never reached rank 0's listener";
-    const WireHeader hello;
+    WireHeader hello;
+    hello.checksum = crc32(&hello, sizeof(hello));
     ASSERT_EQ(::send(fd, &hello, sizeof(hello), 0), static_cast<ssize_t>(sizeof(hello)));
     // Die abruptly: close with no shutdown frame.
     std::this_thread::sleep_for(std::chrono::milliseconds(50));

@@ -17,9 +17,16 @@
 //   ptycho reconstruct acquisition.ptyd --ranks 4 --restore ckpt --iterations 12
 //   # resume from a previous volume (or pass a checkpoint dir to --resume):
 //   ptycho reconstruct acquisition.ptyd --resume recon.bin --iterations 6
+//   # self-healing multi-process run: kill a rank mid-iteration, the
+//   # parent respawns the survivors from the newest checkpoint:
+//   ptycho reconstruct acquisition.ptyd --launch 3 --checkpoint-dir ckpt
+//          --checkpoint-every 1 --max-restarts 2 --heartbeat-ms 100
+//          --liveness-timeout-ms 2000
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -39,8 +46,9 @@ int usage() {
                "             [--iterations N] [--step A] [--passes T]\n"
                "             [--mode sgd|full-batch] [--no-appp] [--refine-probe]\n"
                "             [--resume VOLUME|CKPT_DIR] [--save-volume FILE] [--image FILE]\n"
-               "             [--restore CKPT_DIR]\n"
+               "             [--restore CKPT_DIR|latest]\n"
                "             [--launch K] [--port-base P]\n"
+               "             [--fault-rank R] [--fault-step S] [--fault-kind throw|exit]\n"
                "  execution options (shared with the benches):\n"
                "%s"
                "  --iterations is the TOTAL target; a restored run continues from the\n"
@@ -137,9 +145,25 @@ int cmd_reconstruct(const Options& opts) {
                                                                 : UpdateMode::kSgd;
   request.sync.appp = !opts.get_bool("no-appp", false);
   request.refine_probe = opts.get_bool("refine-probe", false);
-  PTYCHO_CHECK(
-      request.exec.checkpoint.directory.empty() == (request.exec.checkpoint.every_chunks == 0),
-      "--checkpoint-dir and --checkpoint-every must be given together");
+  // Fault injection for recovery testing: kill --fault-rank at the first
+  // chunk step >= --fault-step, either by throwing RankFailure or (in a
+  // multi-process run) by hard-exiting the victim.
+  request.fault.rank = static_cast<int>(opts.get_int("fault-rank", -1));
+  request.fault.at_step = static_cast<std::uint64_t>(opts.get_int("fault-step", 0));
+  const std::string fault_kind = opts.get_string("fault-kind", "throw");
+  PTYCHO_CHECK(fault_kind == "throw" || fault_kind == "exit",
+               "--fault-kind must be throw or exit");
+  request.fault.kind = fault_kind == "exit" ? rt::FaultKind::kExit : rt::FaultKind::kThrow;
+  // --restore latest reads --checkpoint-dir without writing to it, so a
+  // directory alone is fine in that case; otherwise the pair must come
+  // together or checkpointing silently stays off.
+  PTYCHO_CHECK(request.exec.checkpoint.every_chunks == 0 ||
+                   !request.exec.checkpoint.directory.empty(),
+               "--checkpoint-every needs --checkpoint-dir");
+  PTYCHO_CHECK(request.exec.checkpoint.directory.empty() ||
+                   request.exec.checkpoint.every_chunks > 0 ||
+                   opts.get_string("restore", "") == "latest",
+               "--checkpoint-dir needs --checkpoint-every (or --restore latest)");
   const bool distributed = request.exec.transport.distributed();
   if (distributed) {
     PTYCHO_CHECK(request.method == Method::kGradientDecomposition ||
@@ -153,9 +177,10 @@ int cmd_reconstruct(const Options& opts) {
 
   const Dataset dataset = io::load_dataset(opts.positional().front());
 
-  // --restore DIR resumes from the latest complete snapshot under DIR;
-  // --resume accepts either a raw volume file (warm start) or, when given
-  // a directory, behaves exactly like --restore.
+  // --restore DIR resumes from the newest *valid* snapshot under DIR
+  // (--restore latest uses --checkpoint-dir — the directory this run also
+  // writes to); --resume accepts either a raw volume file (warm start) or,
+  // when given a directory, behaves exactly like --restore.
   ckpt::Snapshot snapshot;
   std::string restore_path = opts.get_string("restore", "");
   FramedVolume resume;
@@ -165,8 +190,24 @@ int cmd_reconstruct(const Options& opts) {
     restore_path = std::move(resume_path);
     resume_path.clear();
   }
+  if (restore_path == "latest") {
+    PTYCHO_CHECK(!request.exec.checkpoint.directory.empty(),
+                 "--restore latest needs --checkpoint-dir to know where to look");
+    restore_path = request.exec.checkpoint.directory;
+  }
   if (!restore_path.empty()) {
-    snapshot = ckpt::load_latest(restore_path);
+    // The same discovery routine automatic recovery uses: newest-first by
+    // run progress, full shard validation (footers + CRCs), corrupt or
+    // layout-incompatible snapshots skipped with a warning.
+    ckpt::RestoreFilter filter;
+    filter.nranks = request.method == Method::kSerial ? 1 : request.nranks;
+    filter.chunks_per_iteration = request.passes_per_iteration;
+    filter.update_mode = static_cast<int>(request.mode);
+    filter.refine_probe = request.refine_probe ? 1 : 0;
+    auto found = ckpt::load_newest_valid(restore_path, filter);
+    PTYCHO_CHECK(found.has_value(),
+                 "no usable checkpoint found under '" << restore_path << "'");
+    snapshot = std::move(*found);
     request.restore = &snapshot;
     if (root) {
       std::printf("restoring from %s (step %llu: iteration %d, chunk %d, %d rank(s))\n",
@@ -217,58 +258,119 @@ int cmd_reconstruct(const Options& opts) {
   return 0;
 }
 
+// Children exit with this code when they died of a *recoverable* rank
+// failure (a peer disappeared, the fabric was poisoned) — the supervising
+// parent reads it as "this process survived and can be respawned".
+// Matches sysexits' EX_TEMPFAIL by intent.
+constexpr int kExitRankFailure = 75;
+
 int cmd_launch(const Options& opts, int nprocs) {
   PTYCHO_CHECK(nprocs >= 1, "--launch needs at least one process");
   const int port_base = static_cast<int>(opts.get_int("port-base", 38400));
-  std::string roster;
-  for (int r = 0; r < nprocs; ++r) {
-    if (r > 0) roster += ',';
-    roster += "127.0.0.1:" + std::to_string(port_base + r);
-  }
-  std::vector<pid_t> children;
-  for (int r = 0; r < nprocs; ++r) {
-    const pid_t pid = fork();
-    PTYCHO_CHECK(pid >= 0, "fork failed for rank " << r);
-    if (pid == 0) {
-      Options child = opts;
-      child.set("launch", "0");
-      child.set("ranks", std::to_string(nprocs));
-      child.set("transport", "socket");
-      child.set("rank", std::to_string(r));
-      child.set("peers", roster);
-      // Only rank 0 keeps the file-output flags; the others have nothing
-      // to save anyway and must not race on the paths.
-      if (r != 0) {
-        child.set("save-volume", "");
-        child.set("image", "");
-        child.set("trace-out", "");
-        child.set("metrics-out", "");
+  const int max_restarts = static_cast<int>(opts.get_int("max-restarts", 0));
+  const int backoff_ms = static_cast<int>(opts.get_int("restart-backoff-ms", 100));
+  const bool can_recover = max_restarts > 0 && !opts.get_string("checkpoint-dir", "").empty();
+
+  int nranks = nprocs;
+  for (int attempt = 0;; ++attempt) {
+    // Fresh loopback port block per attempt: the previous generation's
+    // listeners may still be in TIME_WAIT, and a straggler process from it
+    // must knock on ports nobody in the new mesh answers.
+    const int ports_from = port_base + attempt * nprocs;
+    std::string roster;
+    for (int r = 0; r < nranks; ++r) {
+      if (r > 0) roster += ',';
+      roster += "127.0.0.1:" + std::to_string(ports_from + r);
+    }
+    std::vector<pid_t> children;
+    for (int r = 0; r < nranks; ++r) {
+      const pid_t pid = fork();
+      PTYCHO_CHECK(pid >= 0, "fork failed for rank " << r);
+      if (pid == 0) {
+        Options child = opts;
+        child.set("launch", "0");
+        child.set("ranks", std::to_string(nranks));
+        child.set("transport", "socket");
+        child.set("rank", std::to_string(r));
+        child.set("peers", roster);
+        child.set("generation", std::to_string(attempt));
+        // In-run recovery is the parent's job here — a child that hits a
+        // rank failure must exit (code 75) and be respawned, not retry
+        // inside a half-dead mesh.
+        child.set("max-restarts", "0");
+        if (attempt > 0) {
+          // Respawned generation: resume from the newest valid snapshot,
+          // and the (one-shot) injected fault is spent — it must not
+          // re-kill every attempt.
+          child.set("restore", "latest");
+          child.set("resume", "");
+          child.set("fault-rank", "-1");
+        }
+        // Only rank 0 keeps the file-output flags; the others have nothing
+        // to save anyway and must not race on the paths.
+        if (r != 0) {
+          child.set("save-volume", "");
+          child.set("image", "");
+          child.set("trace-out", "");
+          child.set("metrics-out", "");
+        }
+        // _exit skips stdio teardown, so flush explicitly or the child's
+        // output is lost whenever stdout is a pipe (fully buffered).
+        try {
+          const int code = cmd_reconstruct(child);
+          std::fflush(nullptr);
+          _exit(code);
+        } catch (const rt::RankFailure& e) {
+          std::fprintf(stderr, "rank failure [rank %d]: %s\n", r, e.what());
+          std::fflush(nullptr);
+          _exit(kExitRankFailure);
+        } catch (const Error& e) {
+          std::fprintf(stderr, "error [rank %d]: %s\n", r, e.what());
+          std::fflush(nullptr);
+          _exit(1);
+        }
       }
-      // _exit skips stdio teardown, so flush explicitly or the child's
-      // output is lost whenever stdout is a pipe (fully buffered).
-      try {
-        const int code = cmd_reconstruct(child);
-        std::fflush(nullptr);
-        _exit(code);
-      } catch (const Error& e) {
-        std::fprintf(stderr, "error [rank %d]: %s\n", r, e.what());
-        std::fflush(nullptr);
-        _exit(1);
+      children.push_back(pid);
+    }
+
+    // Classify the exits: clean completions, survivors of a rank failure
+    // (exit 75 — respawnable), and dead ranks (signals, hard exits, other
+    // errors — dropped from the next generation).
+    int completed = 0;
+    int survivors = 0;
+    for (usize r = 0; r < children.size(); ++r) {
+      int status = 0;
+      waitpid(children[r], &status, 0);
+      const int code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+      if (code == 0) {
+        ++completed;
+        ++survivors;
+      } else if (code == kExitRankFailure) {
+        std::fprintf(stderr, "rank %zu survived a rank failure (exit %d)\n", r, code);
+        ++survivors;
+      } else {
+        std::fprintf(stderr, "rank %zu died (exit code %d)\n", r, code);
       }
     }
-    children.push_back(pid);
-  }
-  int rc = 0;
-  for (usize r = 0; r < children.size(); ++r) {
-    int status = 0;
-    waitpid(children[r], &status, 0);
-    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
-    if (code != 0) {
-      std::fprintf(stderr, "rank %zu exited with code %d\n", r, code);
-      rc = 1;
+    if (completed == nranks) return 0;
+    if (!can_recover || attempt >= max_restarts) {
+      std::fprintf(stderr, "launch failed%s\n",
+                   can_recover ? " (restart budget exhausted)"
+                               : " (no recovery: needs --max-restarts and --checkpoint-dir)");
+      return 1;
     }
+    if (survivors == 0) {
+      std::fprintf(stderr, "launch failed (no surviving ranks to respawn)\n");
+      return 1;
+    }
+    std::fprintf(stderr, "respawning %d surviving rank(s) from the newest checkpoint "
+                         "(attempt %d/%d)\n",
+                 survivors, attempt + 1, max_restarts);
+    std::fflush(nullptr);
+    usleep(static_cast<useconds_t>(
+        static_cast<std::uint64_t>(backoff_ms) << std::min(attempt, 20)) * 1000);
+    nranks = survivors;
   }
-  return rc;
 }
 
 }  // namespace
@@ -292,6 +394,11 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(opts);
     if (command == "reconstruct") return cmd_reconstruct(opts);
     return usage();
+  } catch (const rt::RankFailure& e) {
+    // Recoverable by a supervisor: a --launch parent reads exit 75 as
+    // "survivor, respawn me from the newest checkpoint".
+    std::fprintf(stderr, "rank failure: %s\n", e.what());
+    return kExitRankFailure;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

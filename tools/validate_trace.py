@@ -200,6 +200,38 @@ def validate_overlap(path, minimum):
     )
 
 
+def validate_recovery(path):
+    """Gate the self-healing instrumentation: a run that recovered from a
+    rank failure must have counted the failure, counted the restart, and
+    timed the recovery."""
+    metrics = load_json(path, "metrics")
+    counters = metrics.get("counters", {})
+    for key in (
+        "runtime.recovery.rank_failures_total",
+        "runtime.recovery.restarts_total",
+    ):
+        value = counters.get(key)
+        if not isinstance(value, int) or value < 1:
+            fail(f"{path}: counter {key!r} is {value!r}, expected >= 1 for a recovered run")
+    latency = metrics.get("histograms", {}).get("runtime.recovery.latency_seconds")
+    if not isinstance(latency, dict) or not isinstance(latency.get("count"), int):
+        fail(f"{path}: histogram 'runtime.recovery.latency_seconds' missing for a recovered run")
+    if latency["count"] < 1:
+        fail(f"{path}: recovery latency histogram is empty — recovery was never timed")
+    generation = metrics.get("gauges", {}).get("runtime.recovery.generation")
+    if not isinstance(generation, numbers.Number) or generation < 1:
+        fail(
+            f"{path}: gauge 'runtime.recovery.generation' is {generation!r}, "
+            "expected >= 1 after a restart"
+        )
+    print(
+        "validate_trace: recovery OK: "
+        f"{counters['runtime.recovery.rank_failures_total']} failure(s), "
+        f"{counters['runtime.recovery.restarts_total']} restart(s), "
+        f"latency count {latency['count']}, generation {generation:g}"
+    )
+
+
 def validate_metrics(path):
     metrics = load_json(path, "metrics")
     if metrics.get("schema") != "ptycho.metrics.v1":
@@ -247,11 +279,18 @@ def main():
         metavar="MIN",
         help="require the fraction of snapshot-write time hidden under rank-lane work >= MIN",
     )
+    parser.add_argument(
+        "--expect-recovery",
+        action="store_true",
+        help="require runtime.recovery.* metrics showing at least one healed rank failure",
+    )
     args = parser.parse_args()
     if not args.trace and not args.metrics:
         parser.error("nothing to validate: pass --trace and/or --metrics")
     if args.expect_overlap is not None and not args.trace:
         parser.error("--expect-overlap requires --trace")
+    if args.expect_recovery and not args.metrics:
+        parser.error("--expect-recovery requires --metrics")
 
     require_spans = [s for s in args.require_spans.split(",") if s]
     if args.trace:
@@ -260,6 +299,8 @@ def main():
             validate_overlap(args.trace, args.expect_overlap)
     if args.metrics:
         validate_metrics(args.metrics)
+        if args.expect_recovery:
+            validate_recovery(args.metrics)
     print("validate_trace: all checks passed")
 
 
