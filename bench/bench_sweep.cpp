@@ -11,9 +11,12 @@
 //
 // A/B columns quantify the fused spectral engine next to the plain one:
 // per-backend numbers (scalar vs SIMD kernel tables), radix-4 vs radix-2
-// FFT stage fusion, and fused vs unfused propagator passes end-to-end in
-// probes/s. A `provenance` object (host, cores, compiler) records where
-// the JSON was produced — numbers are only comparable within one host.
+// FFT stage fusion, fused vs unfused propagator passes end-to-end in
+// probes/s, and the strict-vs-fast precision tier (FMA tables +
+// f16-compact measurement storage, self-gated by the cost-trajectory
+// comparator). A `provenance` object (host, cores, compiler) records
+// where the JSON was produced — numbers are only comparable within one
+// host.
 //
 //   bench_sweep [--spec tiny|small] [--threads N] [--repeat R]
 //               [--fft-iters N] [--backend scalar|simd|auto]
@@ -32,10 +35,14 @@
 #include "ckpt/snapshot.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "core/precision.hpp"
 #include "core/serial_solver.hpp"
 #include "core/sweep.hpp"
+#include "data/simulate.hpp"
 #include "data/synthetic.hpp"
 #include "fft/fft2d.hpp"
+#include "physics/multislice.hpp"
+#include "tensor/compact.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -117,6 +124,88 @@ double async_overlap_ratio(const Dataset& dataset, int threads, const std::strin
   obs::Tracer::instance().clear();
   std::filesystem::remove_all(ckpt_dir);
   return stats.ratio();
+}
+
+/// Fast-tier sweep rate: the same full-batch sweep as sweep_rate but with
+/// the FMA dispatch column active and the measurement stack held f16
+/// compact (decoded per item into workspace scratch) — the
+/// `--precision fast` hot path. Restores the strict tier on exit.
+double sweep_rate_fast(const Dataset& dataset, int threads, int repeat) {
+  backend::set_precision(backend::Precision::kFast);
+  GradientEngine engine(dataset);
+  ThreadPool pool(threads);
+  const std::unique_ptr<SweepScheduler> scheduler =
+      make_sweep_scheduler(SweepSchedule::kStatic, pool);
+  BatchSweeper sweeper(engine, *scheduler, compact::Format::kF16);
+  const compact::FrameStack compact_meas(dataset.measurements, compact::Format::kF16);
+  sweeper.set_compact_measurements(&compact_meas);
+  FramedVolume volume = make_vacuum_volume(dataset.field(), dataset.spec.slices);
+  AccumulationBuffer accbuf(dataset.spec.slices, volume.frame);
+  Probe probe = dataset.probe.clone();
+  const index_t probes = dataset.probe_count();
+  const auto id_of = [](index_t item) { return item; };
+  const auto meas_of = [&](index_t item) {
+    return dataset.measurements[static_cast<usize>(item)].view();
+  };
+  double cost = 0.0;
+  const double seconds = bench::best_of_seconds(/*warmup=*/1, repeat, [&] {
+    sweeper.sweep(0, probes, probe, volume, accbuf, cost, nullptr, id_of, meas_of);
+    accbuf.reset();
+  });
+  backend::set_precision(backend::Precision::kStrict);
+  return static_cast<double>(probes) / seconds;
+}
+
+/// The fast-tier tolerance comparator, run as a self-gating A/B: max
+/// per-iteration relative cost deviation of a `--precision fast` serial
+/// reconstruction against the strict trajectory, both continued from one
+/// strict warm-up iteration (cold starts gate gradient chaos, not
+/// numerics — see tests/test_precision.cpp). Aborts the bench when the
+/// deviation exceeds the documented 1e-3 gate.
+double fast_cost_deviation(const Dataset& dataset) {
+  const auto run = [&](const PrecisionPolicy& policy, int iterations,
+                       const FramedVolume* initial) {
+    SerialConfig config;
+    config.iterations = iterations;
+    config.step = real(0.1);
+    config.mode = UpdateMode::kFullBatch;
+    config.exec.precision = policy;
+    apply_precision(policy);
+    return reconstruct_serial(dataset, config, initial);
+  };
+  const SerialResult head = run(PrecisionPolicy{}, 1, nullptr);
+  const SerialResult strict = run(PrecisionPolicy{}, 4, &head.volume);
+  const SerialResult fast = run(parse_precision("fast"), 4, &head.volume);
+  apply_precision(PrecisionPolicy{});
+  const TrajectoryDeviation dev =
+      compare_cost_trajectories(fast.cost.values(), strict.cost.values());
+  PTYCHO_CHECK(dev.within(1e-3), "--precision fast failed the tolerance gate: deviation "
+                                     << dev.max_relative << " at iteration "
+                                     << dev.worst_iteration << " (gate 1e-3)");
+  return dev.max_relative;
+}
+
+/// Resident MB of the compact (f16) transmittance cache after one cached
+/// potential-model evaluation: the encoded per-slice planes plus the one
+/// shared decode scratch plane. The strict f32 cache for the same
+/// geometry is 2x the plane payload with no scratch.
+double transmittance_cache_mb() {
+  DatasetSpec spec = repro_tiny_spec();
+  spec.model.model = ObjectModel::kPotential;
+  const Dataset potential = make_synthetic_dataset(spec, SpecimenParams{}, AcquisitionParams{});
+  GradientEngine engine(potential);
+  MultisliceWorkspace ws = engine.make_workspace(compact::Format::kF16);
+  ws.cache_transmittance = true;
+  const FramedVolume volume = make_vacuum_volume(potential.field(), potential.spec.slices);
+  (void)engine.probe_cost(0, volume, ws);
+  double bytes = static_cast<double>(ws.trans_scratch.rows()) *
+                 static_cast<double>(ws.trans_scratch.cols()) * sizeof(cplx);
+  for (const auto& plane : ws.trans_c) {
+    bytes += static_cast<double>(plane.size()) * sizeof(std::uint16_t);
+  }
+  PTYCHO_CHECK(!ws.trans_c.empty() && !ws.trans_c.front().empty(),
+               "compact transmittance cache did not engage");
+  return bytes / 1e6;
 }
 
 struct FftResult {
@@ -310,6 +399,28 @@ int main(int argc, char** argv) {
   std::printf("pipeline ckpt sync %8.1f probes/s vs async %8.1f probes/s (%.2fx, overlap %.2f)\n",
               rate_sync_ckpt, rate_async, rate_async / rate_sync_ckpt, overlap_ratio);
 
+  // Strict-vs-fast tier A/B: the same 1-thread sweep with the FMA
+  // dispatch column active and f16-compact measurement frames (the
+  // `--precision fast` hot path), self-gated by the warm-started cost
+  // trajectory comparator so a fast number that drifted past the 1e-3
+  // tolerance can never be published. The footprint column records the
+  // compact transmittance cache so it cannot silently grow back to f32.
+  const double rate_1t_fast = sweep_rate_fast(dataset, 1, repeat);
+  std::printf("  1 thread fast: %8.1f probes/s (vs strict %.2fx)\n", rate_1t_fast,
+              rate_1t_fast / rate_1t);
+  const double fast_dev = fast_cost_deviation(dataset);
+  std::printf("  fast cost deviation: %.2e (gate 1e-3)\n", fast_dev);
+  const double trans_cache_mb = transmittance_cache_mb();
+  std::printf("  compact transmittance cache: %.3f MB\n", trans_cache_mb);
+  KernelRates kr_fma;
+  const bool have_fma = backend::fma_available();
+  if (have_fma) {
+    kr_fma = kernel_rates(*backend::fma_kernels(), repeat);
+    std::printf("kernels (%s): cmul %.0f MB/s, butterfly %.0f MB/s\n",
+                backend::fma_kernels()->name, kr_fma.cmul_mb_per_sec,
+                kr_fma.butterfly_mb_per_sec);
+  }
+
   const FftResult fft = fft_rate(fft_iters, repeat);
   std::printf("fft 256x256 fwd+inv (%s): %.1f us/pair, %.1f MB/s\n", active_backend.c_str(),
               fft.us_per_pair, fft.mb_per_sec);
@@ -391,6 +502,13 @@ int main(int argc, char** argv) {
        << "  \"sweep_probes_per_sec_ws_nt\": " << rate_nt_ws << ",\n"
        << "  \"sweep_ws_vs_static_1t\": " << rate_1t_ws / rate_1t << ",\n"
        << "  \"sweep_ws_vs_static_nt\": " << rate_nt_ws / rate_nt << ",\n"
+       << "  \"sweep_probes_per_sec_1t_fast\": " << rate_1t_fast << ",\n"
+       << "  \"sweep_fast_speedup\": " << rate_1t_fast / rate_1t << ",\n"
+       << "  \"sweep_fast_cost_dev\": " << fast_dev << ",\n"
+       << "  \"transmittance_cache_mb\": " << trans_cache_mb << ",\n"
+       << "  \"cmul_mb_per_sec_fma\": " << (have_fma ? kr_fma.cmul_mb_per_sec : 0.0) << ",\n"
+       << "  \"butterfly_mb_per_sec_fma\": "
+       << (have_fma ? kr_fma.butterfly_mb_per_sec : 0.0) << ",\n"
        << "  \"sweep_probes_per_sec_sync_ckpt\": " << rate_sync_ckpt << ",\n"
        << "  \"sweep_probes_per_sec_async\": " << rate_async << ",\n"
        << "  \"sweep_async_vs_sync_ckpt\": " << rate_async / rate_sync_ckpt << ",\n"

@@ -1,7 +1,8 @@
 // Backend selection: one atomic pointer to the active kernel table,
-// initialized lazily from PTYCHO_BACKEND / CPU detection and overridable
-// via select() (the CLI --backend flag). Generic code only — this TU is
-// compiled without ISA extension flags.
+// resolved from (backend choice, precision tier). The choice comes from
+// PTYCHO_BACKEND / CPU detection / select() (the CLI --backend flag); the
+// tier from set_precision() (the CLI --precision flag, strict by default).
+// Generic code only — this TU is compiled without ISA extension flags.
 #include "backend/kernels.hpp"
 
 #include <atomic>
@@ -13,31 +14,49 @@ namespace ptycho::backend {
 
 namespace {
 
-std::atomic<const Kernels*> g_active{nullptr};
+enum class Choice { kAuto, kScalar, kSimd };
 
-const Kernels* pick_auto() {
-  return simd_available() ? simd_kernels() : &scalar_kernels();
+std::atomic<const Kernels*> g_active{nullptr};
+std::atomic<Choice> g_choice{Choice::kAuto};
+std::atomic<Precision> g_precision{Precision::kStrict};
+
+/// Map (choice, precision) to a concrete table. Fast tier substitutes the
+/// FMA column where one exists: scalar -> scalar-fma (always compiled),
+/// simd -> vector-fma when the CPU has it, else the strict vector table
+/// (degrading to strict beats degrading to scalar on a bandwidth-bound
+/// sweep). kernels() stays a single atomic load — resolution happens only
+/// here, on select()/set_precision().
+const Kernels* resolve(Choice choice, Precision precision) {
+  const bool scalar = choice == Choice::kScalar ||
+                      (choice == Choice::kAuto && !simd_available());
+  if (precision == Precision::kFast) {
+    if (scalar) return &scalar_fma_kernels();
+    if (fma_available()) return fma_kernels();
+    return simd_kernels();
+  }
+  return scalar ? &scalar_kernels() : simd_kernels();
 }
 
 /// Resolve the PTYCHO_BACKEND environment variable (or its absence) to a
-/// table. Invalid or unsatisfiable values warn and fall back to auto: env
-/// configuration must never abort a run that would work without it.
-const Kernels* initial_table() {
+/// backend choice. Invalid or unsatisfiable values warn and fall back to
+/// auto: env configuration must never abort a run that would work without
+/// it.
+Choice initial_choice() {
   const char* env = std::getenv("PTYCHO_BACKEND");
   if (env != nullptr && env[0] != '\0') {
     const std::string_view name(env);
-    if (name == "scalar") return &scalar_kernels();
+    if (name == "scalar") return Choice::kScalar;
     if (name == "simd") {
-      if (simd_available()) return simd_kernels();
+      if (simd_available()) return Choice::kSimd;
       log::warn() << "PTYCHO_BACKEND=simd but no SIMD backend is usable on this CPU; "
                      "using scalar";
-      return &scalar_kernels();
+      return Choice::kScalar;
     }
     if (name != "auto") {
       log::warn() << "PTYCHO_BACKEND='" << env << "' is not scalar|simd|auto; using auto";
     }
   }
-  return pick_auto();
+  return Choice::kAuto;
 }
 
 }  // namespace
@@ -54,11 +73,22 @@ bool simd_available() {
 #endif
 }
 
+bool fma_available() {
+  if (fma_kernels() == nullptr) return false;
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return true;
+#endif
+}
+
 const Kernels& kernels() {
   const Kernels* k = g_active.load(std::memory_order_acquire);
   if (k == nullptr) {
-    const Kernels* fresh = initial_table();
+    const Choice choice = initial_choice();
+    const Kernels* fresh = resolve(choice, g_precision.load(std::memory_order_acquire));
     if (g_active.compare_exchange_strong(k, fresh, std::memory_order_acq_rel)) {
+      g_choice.store(choice, std::memory_order_release);
       k = fresh;  // this thread won the (idempotent) initialization race
     }
   }
@@ -66,21 +96,30 @@ const Kernels& kernels() {
 }
 
 bool select(std::string_view name) {
+  Choice choice;
   if (name.empty() || name == "auto") {
-    g_active.store(pick_auto(), std::memory_order_release);
-    return true;
-  }
-  if (name == "scalar") {
-    g_active.store(&scalar_kernels(), std::memory_order_release);
-    return true;
-  }
-  if (name == "simd") {
+    choice = Choice::kAuto;
+  } else if (name == "scalar") {
+    choice = Choice::kScalar;
+  } else if (name == "simd") {
     if (!simd_available()) return false;
-    g_active.store(simd_kernels(), std::memory_order_release);
-    return true;
+    choice = Choice::kSimd;
+  } else {
+    return false;
   }
-  return false;
+  g_choice.store(choice, std::memory_order_release);
+  g_active.store(resolve(choice, g_precision.load(std::memory_order_acquire)),
+                 std::memory_order_release);
+  return true;
 }
+
+void set_precision(Precision p) {
+  g_precision.store(p, std::memory_order_release);
+  g_active.store(resolve(g_choice.load(std::memory_order_acquire), p),
+                 std::memory_order_release);
+}
+
+Precision active_precision() { return g_precision.load(std::memory_order_acquire); }
 
 const char* active_name() { return kernels().name; }
 

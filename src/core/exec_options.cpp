@@ -66,6 +66,9 @@ ExecOptions parse_exec_options(const Options& options, const ExecOptions& defaul
   exec.max_restarts = static_cast<int>(options.get_int("max-restarts", exec.max_restarts));
   exec.restart_backoff_ms =
       static_cast<int>(options.get_int("restart-backoff-ms", exec.restart_backoff_ms));
+  if (options.has("precision")) {
+    exec.precision = parse_precision(options.get_string("precision", ""));
+  }
   PTYCHO_REQUIRE(exec.max_restarts >= 0, "--max-restarts must be >= 0");
   PTYCHO_REQUIRE(exec.restart_backoff_ms >= 0, "--restart-backoff-ms must be >= 0");
   if (exec.transport.liveness_timeout_ms > 0 && exec.transport.heartbeat_ms > 0) {
@@ -103,7 +106,8 @@ std::string exec_options_help() {
       "  --recv-deadline-ms N     abort a blocked receive after N ms (0 = wait forever)\n"
       "  --chaos SPEC             fault injection, e.g. delay=0.5:2,reorder=0.3,seed=9\n"
       "  --max-restarts N         auto-recover from rank failures up to N times (0 = off)\n"
-      "  --restart-backoff-ms N   base recovery backoff, doubled per restart (default 100)\n";
+      "  --restart-backoff-ms N   base recovery backoff, doubled per restart (default 100)\n"
+      "  --precision P            numerics tier: strict (bitwise, default) | fast[:bf16|:f16]\n";
 }
 
 }  // namespace ptycho

@@ -8,31 +8,56 @@
 
 namespace ptycho {
 
-MultisliceWorkspace::MultisliceWorkspace(index_t probe_n, index_t slices)
+MultisliceWorkspace::MultisliceWorkspace(index_t probe_n, index_t slices,
+                                         compact::Format compact_trans_format)
     : psi(probe_n, probe_n),
       far(probe_n, probe_n),
       grad(probe_n, probe_n),
-      scratch(probe_n, probe_n) {
+      scratch(probe_n, probe_n),
+      compact_trans(compact_trans_format) {
   psi_in.reserve(static_cast<usize>(slices));
   trans.reserve(static_cast<usize>(slices));
+  const bool compact = compact_trans != compact::Format::kNone;
   for (index_t s = 0; s < slices; ++s) {
     psi_in.emplace_back(probe_n, probe_n);
-    trans.emplace_back(probe_n, probe_n);
+    // With a compact cache the f32 planes stay unallocated (0x0) unless a
+    // non-cacheable model later forces them (see compute_transmittance).
+    trans.emplace_back(compact ? 0 : probe_n, compact ? 0 : probe_n);
   }
 }
 
 WorkspacePool::WorkspacePool(index_t probe_n, index_t slices, int slots,
-                             bool cache_transmittance) {
+                             bool cache_transmittance, compact::Format compact_trans) {
   PTYCHO_REQUIRE(slots >= 1, "workspace pool needs at least one slot");
   workspaces_.reserve(static_cast<usize>(slots));
   for (int s = 0; s < slots; ++s) {
-    workspaces_.emplace_back(probe_n, slices);
+    workspaces_.emplace_back(probe_n, slices, cache_transmittance ? compact_trans
+                                                                  : compact::Format::kNone);
     workspaces_.back().cache_transmittance = cache_transmittance;
   }
 }
 
 MultisliceOperator::MultisliceOperator(const OpticsGrid& grid, MultisliceConfig config)
     : grid_(grid), config_(config), propagator_(grid) {}
+
+bool MultisliceOperator::compact_cache_active(const MultisliceWorkspace& ws) const {
+  // Compact storage rides the transmittance *cache*: without the cache the
+  // planes are rebuilt per evaluation and encoding them would only add
+  // work. kTransmittance evaluations always run f32.
+  return ws.compact_trans != compact::Format::kNone &&
+         config_.model == ObjectModel::kPotential && ws.cache_transmittance;
+}
+
+View2D<const cplx> MultisliceOperator::slice_transmittance(MultisliceWorkspace& ws,
+                                                           index_t s) const {
+  const auto us = static_cast<usize>(s);
+  if (!compact_cache_active(ws)) return ws.trans[us].view();
+  const auto n = static_cast<index_t>(grid_.probe_n);
+  if (ws.trans_scratch.empty()) ws.trans_scratch = CArray2D(n, n);
+  compact::decode(ws.compact_trans, reinterpret_cast<real*>(ws.trans_scratch.data()),
+                  ws.trans_c[us].data(), static_cast<usize>(n) * static_cast<usize>(n) * 2);
+  return ws.trans_scratch.view();
+}
 
 void MultisliceOperator::compute_transmittance(const FramedVolume& volume, const Rect& window,
                                                MultisliceWorkspace& ws) const {
@@ -53,9 +78,24 @@ void MultisliceOperator::compute_transmittance(const FramedVolume& volume, const
     static obs::Counter& misses = obs::registry().counter("workspace_cache_misses_total");
     misses.add(1);
   }
+  const bool compact = compact_cache_active(ws);
+  const auto n = static_cast<index_t>(grid_.probe_n);
+  if (compact) {
+    const usize plane = static_cast<usize>(n) * static_cast<usize>(n) * 2;
+    if (ws.trans_c.size() != static_cast<usize>(slices)) {
+      ws.trans_c.assign(static_cast<usize>(slices), std::vector<std::uint16_t>(plane));
+    }
+    if (ws.trans_scratch.empty()) ws.trans_scratch = CArray2D(n, n);
+  }
   for (index_t s = 0; s < slices; ++s) {
     View2D<const cplx> v = volume.window(s, window);
-    View2D<cplx> t = ws.trans[static_cast<usize>(s)].view();
+    // A compact-configured workspace defers the f32 planes; allocate them
+    // here if a non-cacheable evaluation (e.g. kTransmittance model) needs
+    // one after all.
+    if (!compact && ws.trans[static_cast<usize>(s)].empty()) {
+      ws.trans[static_cast<usize>(s)] = CArray2D(n, n);
+    }
+    View2D<cplx> t = compact ? ws.trans_scratch.view() : ws.trans[static_cast<usize>(s)].view();
     if (config_.model == ObjectModel::kTransmittance) {
       copy(v, t);
       continue;
@@ -70,6 +110,11 @@ void MultisliceOperator::compute_transmittance(const FramedVolume& volume, const
         const real phase = sigma * vr[x].real();
         tr[x] = cplx(amp * std::cos(phase), amp * std::sin(phase));
       }
+    }
+    if (compact) {
+      compact::encode(ws.compact_trans, ws.trans_c[static_cast<usize>(s)].data(),
+                      reinterpret_cast<const real*>(ws.trans_scratch.data()),
+                      static_cast<usize>(n) * static_cast<usize>(n) * 2);
     }
   }
   if (cacheable) {
@@ -87,22 +132,42 @@ void MultisliceOperator::forward(const Probe& probe, const FramedVolume& volume,
 
   compute_transmittance(volume, window, ws);
 
+  // Fast tier: the last slice's propagation ends with an inverse FFT that
+  // the far-field forward immediately undoes. F(F^-1(x)) == x exactly in
+  // algebra, so the fast tier elides the roundtrip and forms
+  // far = (1/n) * H .* F(T_last .* psi) directly — one full FFT pair
+  // saved per evaluation, at the cost of the roundtrip's roundoff no
+  // longer being replayed. Strict keeps the composed sequence bitwise.
+  const bool fast_spectral =
+      backend::active_precision() == backend::Precision::kFast && slices > 0;
   copy(probe.field().view(), ws.psi.view());
   for (index_t s = 0; s < slices; ++s) {
     // Record the wavefield entering the slice (needed for the adjoint).
     copy(ws.psi.view(), ws.psi_in[static_cast<usize>(s)].view());
-    multiply_inplace(ws.trans[static_cast<usize>(s)].view(), ws.psi.view());
-    propagator_.apply(ws.psi.view());
+    multiply_inplace(slice_transmittance(ws, s), ws.psi.view());
+    if (!fast_spectral || s + 1 < slices) propagator_.apply(ws.psi.view());
   }
-  copy(ws.psi.view(), ws.far.view());
   // Unitary far-field transform: |far|^2 integrates to the exit-wave
   // energy (Parseval), so measurement magnitudes and gradients are
   // independent of the window size. The 1/n normalization rides in the
   // transform's last pass on the fused engine.
   const cplx unitary(real(1) / static_cast<real>(grid_.probe_n), 0);
-  if (fft::engine_flags().fused) {
+  const auto lanes = static_cast<usize>(n) * static_cast<usize>(n);
+  if (fast_spectral) {
+    const backend::Kernels& kern = backend::kernels();
+    const CArray2D& h = propagator_.kernel();
+    if (fft::engine_flags().fused) {
+      propagator_.fft().forward_multiply(ws.psi.view(), h.view());
+    } else {
+      propagator_.fft().forward(ws.psi.view());
+      kern.cmul_lanes(ws.psi.data(), ws.psi.data(), h.data(), lanes);
+    }
+    kern.scale_lanes(ws.far.data(), ws.psi.data(), unitary, lanes);
+  } else if (fft::engine_flags().fused) {
+    copy(ws.psi.view(), ws.far.view());
     propagator_.fft().forward_scale(ws.far.view(), unitary);
   } else {
+    copy(ws.psi.view(), ws.far.view());
     propagator_.fft().forward(ws.far.view());
     scale(unitary, ws.far.view());
   }
@@ -173,7 +238,27 @@ double MultisliceOperator::cost_and_gradient(const Probe& probe, const FramedVol
   // is (1/n)*F^H = n * inverse. The fused engine applies the combined
   // factor in the inverse's last pass (n^2 * 1/n collapses to n, exact for
   // the power-of-two probe windows).
-  if (fft::engine_flags().fused) {
+  //
+  // Fast tier: the adjoint at the last slice starts with a forward FFT
+  // that exactly undoes this inverse, so the tier folds the pair into
+  // grad = n * F^-1(conj(H) .* grad_far) — the mirror of the roundtrip
+  // elided in forward(). Strict replays the composed sequence bitwise.
+  const index_t slices = volume.slices();
+  const bool fast_spectral =
+      backend::active_precision() == backend::Precision::kFast && slices > 0;
+  const backend::Kernels& kern = backend::kernels();
+  if (fast_spectral) {
+    const CArray2D& h = propagator_.kernel();
+    const auto lanes = static_cast<usize>(n) * static_cast<usize>(n);
+    kern.cmul_conj_lanes(ws.grad.data(), ws.grad.data(), h.data(), lanes);
+    if (fft::engine_flags().fused) {
+      propagator_.fft().inverse_scale(ws.grad.view(),
+                                      cplx(static_cast<real>(grid_.probe_n), 0));
+    } else {
+      propagator_.fft().adjoint_forward(ws.grad.view());
+      scale(cplx(real(1) / static_cast<real>(grid_.probe_n), 0), ws.grad.view());
+    }
+  } else if (fft::engine_flags().fused) {
     propagator_.fft().inverse_scale(ws.grad.view(),
                                     cplx(static_cast<real>(grid_.probe_n), 0));
   } else {
@@ -181,15 +266,14 @@ double MultisliceOperator::cost_and_gradient(const Probe& probe, const FramedVol
     scale(cplx(real(1) / static_cast<real>(grid_.probe_n), 0), ws.grad.view());
   }
 
-  const index_t slices = volume.slices();
   const real sigma = config_.sigma;
-  const backend::Kernels& kern = backend::kernels();
   for (index_t s = slices - 1; s >= 0; --s) {
-    // Back through the propagator.
-    propagator_.apply_adjoint(ws.grad.view());
+    // Back through the propagator; at the last slice the fast tier already
+    // applied conj(H) spectrally above.
+    if (!fast_spectral || s + 1 < slices) propagator_.apply_adjoint(ws.grad.view());
     const auto us = static_cast<usize>(s);
     View2D<const cplx> psi_in = ws.psi_in[us].view();
-    View2D<const cplx> trans = ws.trans[us].view();
+    View2D<const cplx> trans = slice_transmittance(ws, s);
     View2D<cplx> g_slice = grad_out.window(s, window);
     // gt = conj(psi_in) .* g ; gV = gt (transmittance) or conj(i sigma t) .* gt.
     for (index_t y = 0; y < n; ++y) {

@@ -390,6 +390,11 @@ int main(int argc, char** argv) {
                    "--backend " << backend << " is not available (want scalar|simd|auto; "
                                 << "simd requires CPU support)");
     }
+    // The precision tier re-resolves the same dispatch point (the solvers
+    // re-apply it from ExecOptions, but simulate/info never build one).
+    if (opts.has("precision")) {
+      apply_precision(parse_precision(opts.get_string("precision", "")));
+    }
     if (command == "simulate") return cmd_simulate(opts);
     if (command == "info") return cmd_info(opts);
     if (command == "reconstruct") return cmd_reconstruct(opts);
